@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks of the sparse-format substrate: extraction,
+//! conversion, and densification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mg_sparse::{csr_to_bsr, Bcoo, BlockedEll, Bsr, Coo, Csr};
+use mg_tensor::Matrix;
+
+fn banded(n: usize, band: usize) -> Matrix<f32> {
+    Matrix::from_fn(n, n, |r, c| {
+        if (r as isize - c as isize).unsigned_abs() <= band {
+            1.0 + (r * n + c) as f32
+        } else {
+            0.0
+        }
+    })
+}
+
+fn bench_formats(c: &mut Criterion) {
+    let dense = banded(512, 16);
+    let csr = Csr::from_dense(&dense);
+    let bsr = Bsr::from_dense(&dense, 32);
+
+    c.bench_function("formats/csr_from_dense", |b| {
+        b.iter(|| Csr::from_dense(&dense))
+    });
+    c.bench_function("formats/coo_from_dense", |b| {
+        b.iter(|| Coo::from_dense(&dense))
+    });
+    c.bench_function("formats/bsr_from_dense", |b| {
+        b.iter(|| Bsr::from_dense(&dense, 32))
+    });
+    c.bench_function("formats/csr_to_bsr", |b| {
+        b.iter(|| csr_to_bsr(&csr, 32).expect("aligned"))
+    });
+    c.bench_function("formats/bcoo_from_bsr", |b| b.iter(|| Bcoo::from_bsr(&bsr)));
+    c.bench_function("formats/blocked_ell_from_bsr", |b| {
+        b.iter(|| BlockedEll::from_bsr(&bsr))
+    });
+    c.bench_function("formats/csr_to_dense", |b| b.iter(|| csr.to_dense()));
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_formats);
+criterion_main!(benches);

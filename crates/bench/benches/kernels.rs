@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks of the functional kernels themselves (the
+//! Rust implementations, not the simulated GPU): SDDMM, softmax, SpMM in
+//! all three method flavours.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mg_kernels::{
+    coarse_sddmm_compute, coarse_spmm_compute, compound_softmax_compute, fine_sddmm_compute,
+    fine_spmm_compute,
+};
+use mg_patterns::{AtomicPattern, CompoundPattern, SlicedPattern};
+use mg_tensor::{Half, Matrix};
+
+const SEQ: usize = 512;
+const HEAD_DIM: usize = 64;
+const BLOCK: usize = 32;
+
+fn pattern() -> CompoundPattern {
+    CompoundPattern::new(SEQ)
+        .with(AtomicPattern::Local { window: 32 })
+        .with(AtomicPattern::Random {
+            per_row: 8,
+            seed: 3,
+        })
+}
+
+fn bench_sddmm(c: &mut Criterion) {
+    let q = Matrix::<Half>::random(SEQ, HEAD_DIM, 1);
+    let k = Matrix::<Half>::random(SEQ, HEAD_DIM, 2);
+    let sliced = SlicedPattern::from_compound(&pattern(), BLOCK).expect("aligned");
+    let coarse = sliced.coarse().expect("coarse part").structure.clone();
+    let fine = pattern().to_csr::<Half>();
+
+    let mut group = c.benchmark_group("sddmm");
+    group.bench_function(BenchmarkId::new("coarse", SEQ), |b| {
+        b.iter(|| coarse_sddmm_compute(&q, &k, &coarse))
+    });
+    group.bench_function(BenchmarkId::new("fine", SEQ), |b| {
+        b.iter(|| fine_sddmm_compute(&q, &k, &fine))
+    });
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let q = Matrix::<Half>::random(SEQ, HEAD_DIM, 1);
+    let k = Matrix::<Half>::random(SEQ, HEAD_DIM, 2);
+    let sliced = SlicedPattern::from_compound(&pattern(), BLOCK).expect("aligned");
+    let coarse = sliced.coarse().expect("coarse part");
+    let s_coarse = coarse_sddmm_compute(&q, &k, &coarse.structure);
+    let s_fine = sliced.fine().map(|f| fine_sddmm_compute(&q, &k, f));
+
+    c.bench_function("softmax/compound", |b| {
+        b.iter(|| {
+            compound_softmax_compute(
+                Some((&s_coarse, coarse.mask.as_slice())),
+                s_fine.as_ref(),
+                0.125,
+            )
+        })
+    });
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let q = Matrix::<Half>::random(SEQ, HEAD_DIM, 1);
+    let k = Matrix::<Half>::random(SEQ, HEAD_DIM, 2);
+    let v = Matrix::<Half>::random(SEQ, HEAD_DIM, 3);
+    let sliced = SlicedPattern::from_compound(&pattern(), BLOCK).expect("aligned");
+    let coarse = sliced.coarse().expect("coarse part").structure.clone();
+    let p_coarse = coarse_sddmm_compute(&q, &k, &coarse);
+    let p_fine = fine_sddmm_compute(&q, &k, &pattern().to_csr::<Half>());
+
+    let mut group = c.benchmark_group("spmm");
+    group.bench_function(BenchmarkId::new("coarse", SEQ), |b| {
+        b.iter(|| coarse_spmm_compute(&p_coarse, &v))
+    });
+    group.bench_function(BenchmarkId::new("fine", SEQ), |b| {
+        b.iter(|| fine_spmm_compute(&p_fine, &v))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sddmm, bench_softmax, bench_spmm);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion micro-benchmarks of pattern construction, metadata
+//! generation, and grain slicing — the ahead-of-time step of §3.1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mg_patterns::{presets, SlicedPattern};
+use mg_tensor::Half;
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("patterns");
+    for seq_len in [512usize, 1024, 2048] {
+        let pattern = presets::figure9_patterns(seq_len, 64, 11)
+            .into_iter()
+            .nth(4)
+            .expect("L+S+G preset");
+        group.bench_with_input(BenchmarkId::new("coords", seq_len), &pattern, |b, p| {
+            b.iter(|| p.coords())
+        });
+        group.bench_with_input(BenchmarkId::new("slice", seq_len), &pattern, |b, p| {
+            b.iter(|| SlicedPattern::from_compound(p, 64).expect("aligned"))
+        });
+        group.bench_with_input(BenchmarkId::new("to_csr", seq_len), &pattern, |b, p| {
+            b.iter(|| p.to_csr::<Half>())
+        });
+        group.bench_with_input(BenchmarkId::new("to_blocked", seq_len), &pattern, |b, p| {
+            b.iter(|| p.to_blocked(64).expect("aligned"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_patterns);
+criterion_main!(benches);

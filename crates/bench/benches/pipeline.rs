@@ -1,0 +1,68 @@
+//! Criterion benchmarks of the full attention pipeline: planning cost and
+//! simulated-timing cost per method, plus the numeric pipeline at small
+//! scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mg_gpusim::{DeviceSpec, Gpu};
+use mg_patterns::presets;
+use mg_tensor::{Half, Matrix};
+use multigrain::{Attention, AttentionProblem, Method};
+
+fn bench_planning(c: &mut Criterion) {
+    let pattern = presets::figure9_patterns(1024, 64, 13)
+        .into_iter()
+        .nth(4)
+        .expect("L+S+G preset");
+    let problem = AttentionProblem::new(pattern, 64, 1, 4, 64);
+    let mut group = c.benchmark_group("plan");
+    for method in Method::ALL {
+        group.bench_with_input(BenchmarkId::new(method.name(), 1024), &problem, |b, p| {
+            b.iter(|| Attention::plan(method, p.clone()).expect("plans"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let pattern = presets::figure9_patterns(1024, 64, 13)
+        .into_iter()
+        .next()
+        .expect("L+S preset");
+    let problem = AttentionProblem::new(pattern, 64, 1, 4, 64);
+    let mut group = c.benchmark_group("simulate");
+    for method in Method::ALL {
+        let attn = Attention::plan(method, problem.clone()).expect("plans");
+        group.bench_function(BenchmarkId::new(method.name(), 1024), |b| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(DeviceSpec::a100());
+                attn.run_timed(&mut gpu)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_numeric(c: &mut Criterion) {
+    let pattern = presets::figure9_patterns(256, 32, 13)
+        .into_iter()
+        .next()
+        .expect("L+S preset");
+    let problem = AttentionProblem::new(pattern, 32, 1, 1, 32);
+    let q = Matrix::<Half>::random(256, 32, 1);
+    let k = Matrix::<Half>::random(256, 32, 2);
+    let v = Matrix::<Half>::random(256, 32, 3);
+    let mut group = c.benchmark_group("numeric");
+    for method in Method::ALL {
+        let attn = Attention::plan(method, problem.clone()).expect("plans");
+        group.bench_function(BenchmarkId::new(method.name(), 256), |b| {
+            b.iter(|| attn.execute_numeric(&q, &k, &v))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_planning, bench_simulation, bench_numeric);
+criterion_main!(benches);

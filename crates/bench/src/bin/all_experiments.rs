@@ -1,0 +1,128 @@
+//! Runs every experiment in sequence — the full reproduction sweep used
+//! to fill EXPERIMENTS.md.
+
+fn main() {
+    println!("=============================================================");
+    println!("Multigrain reproduction — full experiment sweep");
+    println!("=============================================================\n");
+    mg_bench::runners::table1().print();
+    println!();
+    for bin in [
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "ablation_rowsplit",
+        "occupancy",
+    ] {
+        println!("------- {bin} -------");
+        match bin {
+            "fig7" => run_fig7(),
+            "fig8" => run_fig8(),
+            "fig9" => run_fig9(),
+            "fig10" => run_fig10(),
+            "fig11" => run_fig11(),
+            "fig12" => run_fig12(),
+            "ablation_rowsplit" => run_ablation(),
+            "occupancy" => run_occupancy(),
+            _ => {}
+        }
+        println!();
+    }
+}
+
+fn run_fig7() {
+    for r in mg_bench::runners::figure7() {
+        println!(
+            "{:8} {:17} MG {:8.2}ms  Triton {:8.2}ms  Sputnik {:8.2}ms  | {:.2}x vs T, {:.2}x vs S",
+            r.device,
+            r.model,
+            r.total_s[0] * 1e3,
+            r.total_s[1] * 1e3,
+            r.total_s[2] * 1e3,
+            r.vs_triton(),
+            r.vs_sputnik()
+        );
+    }
+}
+
+fn run_fig8() {
+    for r in mg_bench::runners::figure8() {
+        println!(
+            "{:17} batch {} | {:.2}x vs Triton, {:.2}x vs Sputnik",
+            r.model,
+            r.batch,
+            r.vs_triton(),
+            r.vs_sputnik()
+        );
+    }
+}
+
+fn run_fig9() {
+    let (sddmm, spmm) = mg_bench::runners::figure9();
+    for (op, rows) in [("SDDMM", sddmm), ("SpMM", spmm)] {
+        for r in rows {
+            println!(
+                "{op:6} {:8} | {:.2}x vs Sputnik, {:.2}x vs Triton",
+                r.pattern,
+                r.vs_sputnik(),
+                r.vs_triton()
+            );
+        }
+    }
+}
+
+fn run_fig10() {
+    for r in mg_bench::runners::figure10() {
+        println!(
+            "softmax {:8} | {:.2}x vs Sputnik, {:.2}x vs Triton",
+            r.pattern,
+            r.vs_sputnik(),
+            r.vs_triton()
+        );
+    }
+}
+
+fn run_fig11() {
+    let (sddmm, spmm) = mg_bench::runners::figure11();
+    for (op, rows) in [("SDDMM", sddmm), ("SpMM", spmm)] {
+        for r in rows {
+            println!(
+                "{op:6} {:15} | ours vs Triton {:.2}x",
+                r.pattern,
+                r.speedup()
+            );
+        }
+    }
+}
+
+fn run_fig12() {
+    let (sddmm, spmm) = mg_bench::runners::figure12();
+    for (op, rows) in [("SDDMM", sddmm), ("SpMM", spmm)] {
+        for r in rows {
+            println!(
+                "{op:6} {:15} batch {} | ours vs Triton {:.2}x",
+                r.pattern,
+                r.batch,
+                r.speedup()
+            );
+        }
+    }
+}
+
+fn run_ablation() {
+    for (p, s) in mg_bench::runners::ablation_rowsplit() {
+        println!("row-split vs 1D tiling, {:15} | {:.2}x", p, s);
+    }
+}
+
+fn run_occupancy() {
+    let (ls, lsg) = mg_bench::runners::occupancy_study();
+    println!(
+        "occupancy ratio: L+S {:.1}%  L+S+G {:.1}%",
+        ls * 100.0,
+        lsg * 100.0
+    );
+}

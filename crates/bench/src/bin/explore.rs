@@ -1,0 +1,133 @@
+//! Interactive exploration CLI: time any compound pattern on any device
+//! under all methods, with optional ASCII timeline and Chrome-trace
+//! export.
+//!
+//! Usage:
+//!   explore [--pattern SPEC] [--seq N] [--heads N] [--batch N]
+//!           [--block N] [--device a100|rtx3090] [--timeline]
+//!           [--trace FILE.json] [--autotune]
+//!
+//! Pattern SPEC syntax (see `mg_patterns::parse_pattern`):
+//!   L512+S(0..16)+G(0..16)    Longformer-flavoured
+//!   LB128+R24@7               BigBird-flavoured
+
+use mg_gpusim::{export_chrome_trace, render_timeline, DeviceSpec, Gpu};
+use mg_patterns::parse_pattern;
+use multigrain::{autotune_block_size, Attention, AttentionProblem, Method};
+
+struct Args {
+    pattern: String,
+    seq: usize,
+    heads: usize,
+    batch: usize,
+    block: usize,
+    device: DeviceSpec,
+    timeline: bool,
+    trace: Option<String>,
+    autotune: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        pattern: "L512+S(0..16)+G(0..16)".to_owned(),
+        seq: 4096,
+        heads: 4,
+        batch: 1,
+        block: 64,
+        device: DeviceSpec::a100(),
+        timeline: false,
+        trace: None,
+        autotune: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--pattern" => args.pattern = value("--pattern")?,
+            "--seq" => args.seq = value("--seq")?.parse().map_err(|e| format!("--seq: {e}"))?,
+            "--heads" => {
+                args.heads = value("--heads")?
+                    .parse()
+                    .map_err(|e| format!("--heads: {e}"))?
+            }
+            "--batch" => {
+                args.batch = value("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?
+            }
+            "--block" => {
+                args.block = value("--block")?
+                    .parse()
+                    .map_err(|e| format!("--block: {e}"))?
+            }
+            "--device" => {
+                args.device = match value("--device")?.to_lowercase().as_str() {
+                    "a100" => DeviceSpec::a100(),
+                    "rtx3090" | "3090" => DeviceSpec::rtx3090(),
+                    other => return Err(format!("unknown device '{other}'")),
+                }
+            }
+            "--timeline" => args.timeline = true,
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--autotune" => args.autotune = true,
+            "--help" | "-h" => {
+                println!("see module docs: explore --pattern 'L512+G(0..16)' --seq 4096 ...");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = parse_args().map_err(|e| format!("{e}\nrun with --help for usage"))?;
+    let pattern = parse_pattern(args.seq, &args.pattern)?;
+    println!(
+        "pattern {} over {} tokens: {} non-zeros ({:.2}% dense), device {}",
+        pattern.name(),
+        args.seq,
+        pattern.nnz(),
+        pattern.density() * 100.0,
+        args.device.name,
+    );
+
+    let mut block = args.block;
+    let problem = AttentionProblem::new(pattern.clone(), 64, args.batch, args.heads, block);
+    if args.autotune {
+        let (best, time) = autotune_block_size(&args.device, &problem);
+        println!(
+            "autotuned block size: {best} ({:.1} us simulated)",
+            time * 1e6
+        );
+        block = best;
+    }
+
+    for method in Method::ALL {
+        let problem = AttentionProblem::new(pattern.clone(), 64, args.batch, args.heads, block);
+        let attn = Attention::plan(method, problem)?;
+        let mut gpu = Gpu::new(args.device.clone());
+        let report = attn.run_timed(&mut gpu);
+        let mem = attn.plan_memory_bytes();
+        println!(
+            "\n{:10} total {:9.1} us | sddmm {:7.1} softmax {:7.1} spmm {:7.1} merge {:5.1} | dram {:7.1} MB | plan {:6.0} KB",
+            method.name(),
+            report.total() * 1e6,
+            report.sddmm * 1e6,
+            report.softmax * 1e6,
+            report.spmm * 1e6,
+            report.merge * 1e6,
+            report.dram_bytes as f64 / 1e6,
+            mem.total() as f64 / 1024.0,
+        );
+        if args.timeline {
+            print!("{}", render_timeline(gpu.records(), 80));
+        }
+        if let Some(path) = &args.trace {
+            let file = format!("{}.{}.json", path.trim_end_matches(".json"), method.name());
+            std::fs::write(&file, export_chrome_trace(gpu.records()))?;
+            println!("chrome trace written to {file}");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,92 @@
+//! Extension experiment (paper §6.2): 2:4 structured sparsity on sparse
+//! tensor cores versus compound sparse attention. cuSPARSELt halves the
+//! dense GEMM time, but a compound pattern removes ~95% of the work —
+//! the paper's point that 2:4 "is difficult to be applied to the existing
+//! compound SA-based sparse transformers" as a substitute.
+
+use mg_bench::runners::{BLOCK, HEADS, HEAD_DIM, SEED, SEQ_LEN};
+use mg_bench::Table;
+use mg_gpusim::{DeviceSpec, Gpu, DEFAULT_STREAM};
+use mg_kernels::{attention_2_4_profiles, dense_gemm_profile, dense_softmax_profile, AttnDims};
+use mg_patterns::presets;
+use multigrain::{Attention, AttentionProblem, Method};
+
+fn main() {
+    let spec = DeviceSpec::a100();
+    let dims = AttnDims {
+        seq_len: SEQ_LEN,
+        head_dim: HEAD_DIM,
+        batch: 1,
+        heads: HEADS,
+    };
+
+    // Fully dense attention as the reference point.
+    let mut gpu = Gpu::new(spec.clone());
+    for k in [
+        dense_gemm_profile(
+            &spec,
+            SEQ_LEN,
+            SEQ_LEN,
+            HEAD_DIM,
+            dims.instances(),
+            "dense.sddmm",
+        ),
+        dense_softmax_profile(&spec, &dims, SEQ_LEN, "dense.softmax"),
+        dense_gemm_profile(
+            &spec,
+            SEQ_LEN,
+            HEAD_DIM,
+            SEQ_LEN,
+            dims.instances(),
+            "dense.spmm",
+        ),
+    ] {
+        gpu.launch(DEFAULT_STREAM, k);
+    }
+    let t_dense = gpu.synchronize();
+
+    // 2:4 sparse-tensor-core attention.
+    let mut gpu24 = Gpu::new(spec.clone());
+    for k in attention_2_4_profiles(&spec, &dims) {
+        gpu24.launch(DEFAULT_STREAM, k);
+    }
+    let t_24 = gpu24.synchronize();
+
+    // Compound sparse attention (Multigrain on the L+S preset).
+    let pattern = presets::figure9_patterns(SEQ_LEN, BLOCK, SEED)
+        .into_iter()
+        .next()
+        .expect("L+S");
+    let prob = AttentionProblem::new(pattern.clone(), HEAD_DIM, 1, HEADS, BLOCK);
+    let mg = Attention::plan(Method::Multigrain, prob).expect("plans");
+    let t_mg = mg.run_timed(&mut Gpu::new(spec.clone())).total();
+
+    let mut t = Table::new(
+        "§6.2 extension — 2:4 structured sparsity vs compound SA (A100, L=4096)",
+        &["Approach", "Time us", "vs dense", "Work removed"],
+    );
+    t.push(vec![
+        "dense attention".into(),
+        format!("{:.1}", t_dense * 1e6),
+        "1.00x".into(),
+        "0%".into(),
+    ]);
+    t.push(vec![
+        "2:4 sparse tensor cores".into(),
+        format!("{:.1}", t_24 * 1e6),
+        format!("{:.2}x", t_dense / t_24),
+        "50% (of SpMM only)".into(),
+    ]);
+    t.push(vec![
+        format!("Multigrain on {}", pattern.name()),
+        format!("{:.1}", t_mg * 1e6),
+        format!("{:.2}x", t_dense / t_mg),
+        format!("{:.0}%", (1.0 - pattern.density()) * 100.0),
+    ]);
+    t.print();
+    println!();
+    println!("Paper §6.2: cuSPARSELt's 2:4 support 'reduces the execution time by half");
+    println!("compared to the dense GEMM' but cannot express compound patterns; compound");
+    println!("sparse attention removes an order of magnitude more work. (The two are also");
+    println!("composable in principle — 2:4 within non-zero blocks — left as future work.)");
+}

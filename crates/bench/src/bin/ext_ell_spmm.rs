@@ -1,0 +1,93 @@
+//! Extension experiment (paper §6.1 related work): the cuSPARSE-style
+//! Blocked-ELL SpMM vs the BSR SpMM kernels on patterns of increasing
+//! row irregularity. Blocked-ELL pads every block row to the longest,
+//! so skewed patterns pay for slots that carry nothing.
+
+use mg_bench::runners::{HEADS, HEAD_DIM};
+use mg_bench::Table;
+use mg_gpusim::{DeviceSpec, Gpu};
+use mg_kernels::{coarse_spmm_profile, ell_spmm_profile, AttnDims, CoarseMapping};
+use mg_patterns::{AtomicPattern, CompoundPattern};
+use mg_sparse::BlockedEll;
+
+fn main() {
+    let spec = DeviceSpec::a100();
+    let seq_len = 2048;
+    let dims = AttnDims {
+        seq_len,
+        head_dim: HEAD_DIM,
+        batch: 1,
+        heads: HEADS,
+    };
+
+    let cases: Vec<(&str, CompoundPattern)> = vec![
+        (
+            "uniform (blocked local)",
+            CompoundPattern::new(seq_len).with(AtomicPattern::BlockedLocal { block: 128 }),
+        ),
+        (
+            "mildly skewed (blocked random)",
+            CompoundPattern::new(seq_len).with(AtomicPattern::BlockedRandom {
+                block: 64,
+                blocks_per_row: 2,
+                seed: 7,
+            }),
+        ),
+        (
+            "heavily skewed (local + global)",
+            CompoundPattern::new(seq_len)
+                .with(AtomicPattern::Local { window: 128 })
+                .with(AtomicPattern::Global {
+                    tokens: (0..32).collect(),
+                }),
+        ),
+    ];
+
+    let mut t = Table::new(
+        "§6.1 extension — Blocked-ELL vs BSR SpMM (A100)",
+        &[
+            "Pattern",
+            "Batch",
+            "BSR us",
+            "ELL us",
+            "BSR wins",
+            "padded slots %",
+        ],
+    );
+    for (name, pattern) in &cases {
+        let blocked = pattern.to_blocked(64).expect("aligned");
+        let ell = BlockedEll::from_bsr(&blocked.structure);
+        let pad_pct = if ell.col_indices().is_empty() {
+            0.0
+        } else {
+            100.0 * ell.padded_slots() as f64 / ell.col_indices().len() as f64
+        };
+        for batch in [1usize, 8] {
+            let bdims = AttnDims { batch, ..dims };
+            let bsr_p = coarse_spmm_profile(
+                &spec,
+                &bdims,
+                &blocked.structure,
+                CoarseMapping::BlockRowPerTb,
+                "bsr.spmm",
+            );
+            let ell_p = ell_spmm_profile(&spec, &bdims, &ell, "ell.spmm");
+            let t_bsr = Gpu::new(spec.clone()).run_solo(bsr_p).duration();
+            let t_ell = Gpu::new(spec.clone()).run_solo(ell_p).duration();
+            t.push(vec![
+                (*name).to_owned(),
+                batch.to_string(),
+                format!("{:.1}", t_bsr * 1e6),
+                format!("{:.1}", t_ell * 1e6),
+                format!("{:.2}x", t_ell / t_bsr),
+                format!("{:.0}", pad_pct),
+            ]);
+        }
+    }
+    t.print();
+    println!();
+    println!("Paper §6.1: cuSPARSE's Blocked-ELL API pads block rows, so irregular");
+    println!("compound patterns waste compute and bandwidth. At batch 1 both kernels are");
+    println!("bounded by the longest row either way; once the machine saturates (batch 8),");
+    println!("the padding's extra work becomes real time and BSR pulls ahead.");
+}

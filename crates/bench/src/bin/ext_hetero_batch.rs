@@ -1,0 +1,51 @@
+//! Extension: heterogeneous batching. A serving batch contains documents
+//! of very different lengths and special-token counts; planning each
+//! sample's own pattern and merging the kernel grids beats padding every
+//! sample to the batch's worst case.
+
+use mg_bench::Table;
+use mg_gpusim::{DeviceSpec, Gpu};
+use mg_models::{workload, ModelConfig, SparseTransformer};
+use multigrain::Method;
+
+fn main() {
+    let spec = DeviceSpec::a100();
+    let model = SparseTransformer::new(ModelConfig::qds_base());
+    let l = model.config().max_seq_len;
+    let mut t = Table::new(
+        "Extension — heterogeneous vs padded batching (QDS, A100)",
+        &["Batch", "Method", "padded ms", "hetero ms", "gain"],
+    );
+    for batch in [4usize, 8, 16] {
+        let samples = workload::msmarco_like(l, batch, 77);
+        // Padded baseline: everyone gets the longest sample's pattern.
+        let longest = samples
+            .iter()
+            .max_by_key(|s| s.valid_len)
+            .expect("non-empty")
+            .clone();
+        for method in [Method::Multigrain, Method::SputnikStyle] {
+            let mut gpu_p = Gpu::new(spec.clone());
+            let padded = model
+                .inference_report(&mut gpu_p, method, &longest, batch)
+                .expect("plans");
+            let mut gpu_h = Gpu::new(spec.clone());
+            let hetero = model
+                .heterogeneous_inference_report(&mut gpu_h, method, &samples)
+                .expect("plans");
+            t.push(vec![
+                batch.to_string(),
+                method.name().to_owned(),
+                format!("{:.2}", padded.total() * 1e3),
+                format!("{:.2}", hetero.total() * 1e3),
+                format!("{:.2}x", padded.total() / hetero.total()),
+            ]);
+        }
+    }
+    t.print();
+    println!();
+    println!("MSMARCO documents vary 0.4x-1.0x of the window; per-sample patterns skip the");
+    println!("padded tokens' work entirely. The gain is pure scheduling — the same kernels,");
+    println!("just with each sample's own metadata (the paper's ahead-of-time metadata");
+    println!("generation, §3.1, done per input).");
+}

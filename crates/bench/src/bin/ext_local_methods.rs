@@ -1,0 +1,70 @@
+//! Extension experiment (paper §2.4): for a pure local pattern, compare
+//! the sparse methods against the GEMM-conversion methods — Longformer's
+//! sliding chunk and BigBird's blockify — including their memory-copy
+//! overheads and workspace costs.
+
+use mg_bench::runners::{BLOCK, HEADS, HEAD_DIM, SEQ_LEN};
+use mg_bench::Table;
+use mg_gpusim::{DeviceSpec, Gpu};
+use mg_kernels::{blockify_plan, sliding_chunk_plan, AttnDims};
+use mg_patterns::{AtomicPattern, CompoundPattern};
+use multigrain::{Attention, AttentionProblem, Method};
+
+fn main() {
+    let spec = DeviceSpec::a100();
+    let dims = AttnDims {
+        seq_len: SEQ_LEN,
+        head_dim: HEAD_DIM,
+        batch: 1,
+        heads: HEADS,
+    };
+    let window = 512; // Longformer's local window
+
+    let mut t = Table::new(
+        "§2.4 extension — local-pattern methods (A100, L=4096, w=512, 4 heads)",
+        &["Method", "Time us", "Workspace MB", "Note"],
+    );
+
+    // Sparse methods on the local pattern.
+    let pattern = CompoundPattern::new(SEQ_LEN).with(AtomicPattern::Local { window });
+    for method in Method::ALL {
+        let prob = AttentionProblem::new(pattern.clone(), HEAD_DIM, 1, HEADS, BLOCK);
+        let attn = Attention::plan(method, prob).expect("plans");
+        let mut gpu = Gpu::new(spec.clone());
+        let r = attn.run_timed(&mut gpu);
+        t.push(vec![
+            method.name().to_owned(),
+            format!("{:.1}", r.total() * 1e6),
+            "0.0".to_owned(),
+            "sparse kernels, no workspace".to_owned(),
+        ]);
+    }
+
+    // Sliding chunk (Longformer's original implementation).
+    let sliding = sliding_chunk_plan(&spec, &dims, window);
+    let mut gpu = Gpu::new(spec.clone());
+    let t_sliding = sliding.run_timed(&mut gpu);
+    t.push(vec![
+        "SlidingChunk".to_owned(),
+        format!("{:.1}", t_sliding * 1e6),
+        format!("{:.1}", sliding.workspace_bytes as f64 / 1e6),
+        "2x duplicated K/V chunks".to_owned(),
+    ]);
+
+    // Blockify (BigBird) on the equivalent blocked band.
+    let blockify = blockify_plan(&spec, &dims, window / 2);
+    let mut gpu = Gpu::new(spec.clone());
+    let t_blockify = blockify.run_timed(&mut gpu);
+    t.push(vec![
+        "Blockify".to_owned(),
+        format!("{:.1}", t_blockify * 1e6),
+        format!("{:.1}", blockify.workspace_bytes as f64 / 1e6),
+        "3x rolled K/V copies".to_owned(),
+    ]);
+
+    t.print();
+    println!();
+    println!("Paper §2.4: the chunk methods run at dense-GEMM efficiency but 'suffer from");
+    println!("significant memory copy overheads' and 2x/3x workspace. The sparse blocked");
+    println!("kernels avoid the copies entirely.");
+}

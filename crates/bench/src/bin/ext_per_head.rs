@@ -1,0 +1,53 @@
+//! Extension: Longformer's per-head dilation. Upper heads add a stride-4
+//! dilated window (a fine-grained pattern), so a single layer mixes heads
+//! with different grain profiles — planned per head and merged into one
+//! batched launch.
+
+use mg_bench::Table;
+use mg_gpusim::{DeviceSpec, Gpu};
+use mg_models::{workload, ModelConfig, SparseTransformer};
+use multigrain::{Attention, Method};
+
+fn main() {
+    let spec = DeviceSpec::a100();
+    let model = SparseTransformer::new(ModelConfig::longformer_large());
+    let sample =
+        workload::representative(&workload::hotpotqa_like(model.config().max_seq_len, 8, 17));
+
+    let mut t = Table::new(
+        "Extension — per-head dilation (Longformer-large layer, A100, batch 1)",
+        &[
+            "Method",
+            "uniform heads ms",
+            "dilated upper heads ms",
+            "dilation cost",
+        ],
+    );
+    for method in Method::ALL {
+        // Uniform: all heads share one plan (the fig7 configuration).
+        let uniform = model
+            .plan_attention(method, &sample, 1)
+            .expect("plans")
+            .run_timed(&mut Gpu::new(spec.clone()))
+            .total();
+        // Per-head: upper half dilated, merged into one batched launch.
+        let plans = model
+            .plan_attention_per_head(method, &sample, 1)
+            .expect("plans");
+        let refs: Vec<&Attention> = plans.iter().collect();
+        let per_head = Attention::run_timed_batch(&refs, &mut Gpu::new(spec.clone())).total();
+        t.push(vec![
+            method.name().to_owned(),
+            format!("{:.2}", uniform * 1e3),
+            format!("{:.2}", per_head * 1e3),
+            format!("{:.2}x", per_head / uniform),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("The dilated heads add a pure fine-grained pattern (stride 4 cannot form");
+    println!("blocks). Triton barely notices: the dilated window's blocks largely overlap");
+    println!("the blocks it already rasterizes. The element-exact methods pay real extra");
+    println!("work — Multigrain routes it to its fine kernels (which stay overlapped with");
+    println!("the coarse stream) and remains ~2-4x ahead overall.");
+}

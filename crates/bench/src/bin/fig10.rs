@@ -1,0 +1,43 @@
+//! Reproduces Fig. 10: compound sparse softmax speedups over the six
+//! compound patterns on A100.
+
+use mg_bench::runners::{bands, figure10};
+use mg_bench::Table;
+
+fn main() {
+    let rows = figure10();
+    let mut t = Table::new(
+        "Fig. 10 — SpSoftmax: Multigrain speedup (A100, batch 1)",
+        &[
+            "Pattern",
+            "MG us",
+            "Sputnik us",
+            "Triton us",
+            "vs Sputnik",
+            "vs Triton",
+            "verdict",
+        ],
+    );
+    for r in &rows {
+        t.push(vec![
+            r.pattern.clone(),
+            format!("{:.1}", r.multigrain_s * 1e6),
+            format!("{:.1}", r.sputnik_s * 1e6),
+            format!("{:.1}", r.triton_s * 1e6),
+            format!("{:.2}x", r.vs_sputnik()),
+            format!("{:.2}x", r.vs_triton()),
+            format!(
+                "{}/{}",
+                bands::SOFTMAX_VS_SPUTNIK.verdict(r.vs_sputnik()),
+                bands::SOFTMAX_VS_TRITON.verdict(r.vs_triton())
+            ),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("Paper: 1.26x-1.31x vs Sputnik (no global) / 2.20x-2.82x (global); 7.09x-12.63x vs");
+    println!("Triton (no global) / 5.06x-7.48x (global). Shape check: Triton's blocked softmax");
+    println!(
+        "pays for every invalid element it rasterizes, so it loses by ~an order of magnitude."
+    );
+}

@@ -1,0 +1,50 @@
+//! Reproduces Fig. 7: end-to-end execution time and memory traffic of
+//! Longformer and QDS-Transformer under Triton, Sputnik, and Multigrain
+//! on A100 and RTX3090 (batch 1).
+
+use mg_bench::runners::{bands, figure7};
+use mg_bench::Table;
+
+fn main() {
+    let results = figure7();
+    let mut t = Table::new(
+        "Fig. 7 — end-to-end time (ms) and DRAM traffic (GB), batch 1",
+        &[
+            "GPU", "Model", "MG", "Triton", "Sputnik", "MG GB", "T GB", "S GB", "vs T", "vs S",
+        ],
+    );
+    for r in &results {
+        t.push(vec![
+            r.device.to_owned(),
+            r.model.to_owned(),
+            format!("{:.2}", r.total_s[0] * 1e3),
+            format!("{:.2}", r.total_s[1] * 1e3),
+            format!("{:.2}", r.total_s[2] * 1e3),
+            format!("{:.1}", r.dram[0] as f64 / 1e9),
+            format!("{:.1}", r.dram[1] as f64 / 1e9),
+            format!("{:.1}", r.dram[2] as f64 / 1e9),
+            format!("{:.2}x", r.vs_triton()),
+            format!("{:.2}x", r.vs_sputnik()),
+        ]);
+    }
+    t.print();
+    println!();
+    println!(
+        "Paper (A100):    Longformer {} vs Triton [{}], {} vs Sputnik [{}]",
+        bands::LF_A100_TRITON,
+        bands::LF_A100_TRITON.verdict(results[0].vs_triton()),
+        bands::LF_A100_SPUTNIK,
+        bands::LF_A100_SPUTNIK.verdict(results[0].vs_sputnik()),
+    );
+    println!(
+        "                 QDS        {} vs Triton [{}], {} vs Sputnik [{}]",
+        bands::QDS_A100_TRITON,
+        bands::QDS_A100_TRITON.verdict(results[1].vs_triton()),
+        bands::QDS_A100_SPUTNIK,
+        bands::QDS_A100_SPUTNIK.verdict(results[1].vs_sputnik()),
+    );
+    println!("Paper (RTX3090): Longformer 1.58x vs Triton, 1.44x vs Sputnik; QDS 1.68x / 1.02x.");
+    println!(
+        "Shape check: Multigrain fastest everywhere; Multigrain also moves the least DRAM traffic."
+    );
+}

@@ -1,0 +1,55 @@
+//! Fig. 7 companion: the per-phase breakdown behind the end-to-end bars —
+//! where each method spends its attention time (SDDMM / softmax / SpMM /
+//! merge) and how much is the dense, method-independent rest of the layer.
+
+use mg_bench::Table;
+use mg_gpusim::{DeviceSpec, Gpu};
+use mg_models::{workload, ModelConfig, PatternKind, SparseTransformer};
+use multigrain::Method;
+
+fn main() {
+    let spec = DeviceSpec::a100();
+    for cfg in [ModelConfig::longformer_large(), ModelConfig::qds_base()] {
+        let model = SparseTransformer::new(cfg.clone());
+        let samples = match cfg.pattern {
+            PatternKind::QdsStyle => workload::msmarco_like(cfg.max_seq_len, 16, 42),
+            _ => workload::hotpotqa_like(cfg.max_seq_len, 16, 42),
+        };
+        let rep = workload::representative(&samples);
+        let mut t = Table::new(
+            format!(
+                "{} — phase breakdown, A100, batch 1 (ms, all layers)",
+                cfg.name
+            ),
+            &[
+                "Method",
+                "SDDMM",
+                "Softmax",
+                "SpMM",
+                "Merge",
+                "Dense rest",
+                "Total",
+            ],
+        );
+        for method in Method::ALL {
+            let mut gpu = Gpu::new(spec.clone());
+            let r = model
+                .inference_report(&mut gpu, method, &rep, 1)
+                .expect("plans");
+            t.push(vec![
+                method.name().to_owned(),
+                format!("{:.2}", r.attention.sddmm * 1e3),
+                format!("{:.2}", r.attention.softmax * 1e3),
+                format!("{:.2}", r.attention.spmm * 1e3),
+                format!("{:.2}", r.attention.merge * 1e3),
+                format!("{:.2}", r.dense_s * 1e3),
+                format!("{:.2}", r.total() * 1e3),
+            ]);
+        }
+        t.print();
+        println!();
+    }
+    println!("The softmax phase dominates Triton's loss (see fig10); the dense rest of the");
+    println!("layer (projections + FFN) is identical across methods and dilutes the");
+    println!("end-to-end speedup relative to the per-op numbers of fig9/fig10.");
+}

@@ -1,0 +1,59 @@
+//! Extension: projecting the three methods onto a Hopper-class device
+//! (paper §6.2 mentions Ampere and Hopper). H100's tensor:CUDA throughput
+//! ratio is even more extreme than A100's, which should *widen*
+//! Multigrain's advantage over the fine-only method.
+
+use mg_bench::runners::{BLOCK, HEADS, HEAD_DIM, SEED, SEQ_LEN};
+use mg_bench::Table;
+use mg_gpusim::{DeviceSpec, Gpu};
+use mg_patterns::presets;
+use multigrain::{Attention, AttentionProblem, Method};
+
+fn main() {
+    let pattern = presets::figure9_patterns(SEQ_LEN, BLOCK, SEED)
+        .into_iter()
+        .nth(4)
+        .expect("L+S+G");
+    let mut t = Table::new(
+        "Projection — L+S+G attention pipeline across device generations",
+        &[
+            "Device",
+            "T:C ratio",
+            "MG us",
+            "Triton us",
+            "Sputnik us",
+            "vs T",
+            "vs S",
+        ],
+    );
+    for spec in [
+        DeviceSpec::rtx3090(),
+        DeviceSpec::a100(),
+        DeviceSpec::h100(),
+    ] {
+        let mut times = Vec::new();
+        for method in Method::ALL {
+            let prob = AttentionProblem::new(pattern.clone(), HEAD_DIM, 1, HEADS, BLOCK);
+            let attn = Attention::plan(method, prob).expect("plans");
+            let mut gpu = Gpu::new(spec.clone());
+            times.push(attn.run_timed(&mut gpu).total());
+        }
+        t.push(vec![
+            spec.name.to_owned(),
+            format!("{:.1}", spec.tensor_fp16_flops / spec.cuda_fp16_flops),
+            format!("{:.1}", times[0] * 1e6),
+            format!("{:.1}", times[1] * 1e6),
+            format!("{:.1}", times[2] * 1e6),
+            format!("{:.2}x", times[1] / times[0]),
+            format!("{:.2}x", times[2] / times[0]),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("Multigrain leads on every generation, but the per-baseline gaps move in");
+    println!("opposite directions: Triton's waste shrinks a little as tensor cores get");
+    println!("faster, while Sputnik — L2-bandwidth-bound at this problem size — closes in on");
+    println!("H100 because memory bandwidth grew even faster than the tensor pipes. The");
+    println!("paper's §5.1 lesson generalizes: which baseline is closer depends on the");
+    println!("device's compute:bandwidth balance, and the compound method is the hedge.");
+}

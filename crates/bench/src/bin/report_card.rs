@@ -1,0 +1,122 @@
+//! Summarizes the whole reproduction in one table: for every headline
+//! number the paper reports, the measured value and an IN/NEAR/OFF
+//! verdict. This is the machine-checked version of EXPERIMENTS.md.
+
+use mg_bench::runners::{self, bands};
+use mg_bench::{Band, Table};
+
+fn main() {
+    let mut t = Table::new(
+        "Reproduction report card (A100 unless noted)",
+        &["Experiment", "Paper", "Measured", "Verdict"],
+    );
+    let mut push = |name: &str, band: Band, value: f64| {
+        t.push(vec![
+            name.to_owned(),
+            band.to_string(),
+            format!("{value:.2}x"),
+            band.verdict(value).to_owned(),
+        ]);
+    };
+
+    // Fig. 7 headline speedups.
+    let fig7 = runners::figure7();
+    push(
+        "Fig7 Longformer vs Triton",
+        bands::LF_A100_TRITON,
+        fig7[0].vs_triton(),
+    );
+    push(
+        "Fig7 Longformer vs Sputnik",
+        bands::LF_A100_SPUTNIK,
+        fig7[0].vs_sputnik(),
+    );
+    push(
+        "Fig7 QDS vs Triton",
+        bands::QDS_A100_TRITON,
+        fig7[1].vs_triton(),
+    );
+    push(
+        "Fig7 QDS vs Sputnik",
+        bands::QDS_A100_SPUTNIK,
+        fig7[1].vs_sputnik(),
+    );
+
+    // Fig. 9 per-op geomeans over patterns.
+    let (sddmm, spmm) = runners::figure9();
+    let gm = |rows: &[runners::OpComparison], f: fn(&runners::OpComparison) -> f64| {
+        mg_bench::geomean(&rows.iter().map(f).collect::<Vec<_>>())
+    };
+    push(
+        "Fig9 SDDMM vs Sputnik (geomean)",
+        bands::SDDMM_VS_SPUTNIK,
+        gm(&sddmm, runners::OpComparison::vs_sputnik),
+    );
+    push(
+        "Fig9 SDDMM vs Triton (geomean)",
+        bands::SDDMM_VS_TRITON,
+        gm(&sddmm, runners::OpComparison::vs_triton),
+    );
+    push(
+        "Fig9 SpMM vs Sputnik (geomean)",
+        bands::SPMM_VS_SPUTNIK,
+        gm(&spmm, runners::OpComparison::vs_sputnik),
+    );
+    push(
+        "Fig9 SpMM vs Triton (geomean)",
+        bands::SPMM_VS_TRITON,
+        gm(&spmm, runners::OpComparison::vs_triton),
+    );
+
+    // Fig. 10 softmax geomeans.
+    let softmax = runners::figure10();
+    push(
+        "Fig10 softmax vs Sputnik (geomean)",
+        bands::SOFTMAX_VS_SPUTNIK,
+        gm(&softmax, runners::OpComparison::vs_sputnik),
+    );
+    push(
+        "Fig10 softmax vs Triton (geomean)",
+        bands::SOFTMAX_VS_TRITON,
+        gm(&softmax, runners::OpComparison::vs_triton),
+    );
+
+    // Fig. 11 signature: blocked random at batch 1.
+    let (fig11_sddmm, _) = runners::figure11();
+    let br = fig11_sddmm
+        .iter()
+        .find(|r| r.pattern == "blocked random")
+        .expect("present");
+    push(
+        "Fig11 SDDMM blocked random (ours/Triton)",
+        Band::new(0.75, 0.75),
+        br.speedup(),
+    );
+
+    // §4 ablation best case.
+    let best_ablation = runners::ablation_rowsplit()
+        .into_iter()
+        .map(|(_, s)| s)
+        .fold(0.0f64, f64::max);
+    push(
+        "§4 row-split vs 1D tiling (best)",
+        bands::ROWSPLIT_ABLATION,
+        best_ablation,
+    );
+
+    // §5.2.1 occupancy drop (points).
+    let (ls, lsg) = runners::occupancy_study();
+    t.push(vec![
+        "§5.2.1 occupancy with global pattern".to_owned(),
+        "89.0% -> 61.2%".to_owned(),
+        format!("{:.1}% -> {:.1}%", ls * 100.0, lsg * 100.0),
+        if lsg < ls {
+            "SHAPE OK".to_owned()
+        } else {
+            "OFF".to_owned()
+        },
+    ]);
+
+    t.print();
+    println!("\nCSV:\n{}", t.to_csv());
+}

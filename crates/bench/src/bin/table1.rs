@@ -1,0 +1,7 @@
+//! Reproduces Table 1: the GPU specifications used in the evaluation.
+
+fn main() {
+    mg_bench::runners::table1().print();
+    println!("\nPaper Table 1: A100 1555 GB/s, 42.3/169 TFLOPS, 192 KB L1, 40 MB L2;");
+    println!("               RTX3090 936.2 GB/s, 29.3/58 TFLOPS, 128 KB L1, 6 MB L2.");
+}

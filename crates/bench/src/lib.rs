@@ -1,0 +1,14 @@
+//! # mg-bench — experiment harness
+//!
+//! One runner per table/figure of the paper, shared between the
+//! command-line binaries (`cargo run -p mg-bench --bin fig9 --release`)
+//! and the integration tests. Every runner prints the same rows/series
+//! the paper reports, next to the paper's own numbers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod report;
+pub mod runners;
+
+pub use report::{geomean, Band, Table};

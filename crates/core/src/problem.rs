@@ -1,0 +1,106 @@
+//! Problem definition shared by all execution methods.
+
+use mg_kernels::AttnDims;
+use mg_patterns::CompoundPattern;
+
+/// One sparse-attention problem: dimensions plus the compound sparsity
+/// pattern, and the block size the blocked kernels use.
+///
+/// # Examples
+///
+/// ```
+/// use mg_patterns::{AtomicPattern, CompoundPattern};
+/// use multigrain::AttentionProblem;
+///
+/// let problem = AttentionProblem::new(
+///     CompoundPattern::new(128).with(AtomicPattern::Local { window: 16 }),
+///     64,
+///     1,
+///     4,
+///     16,
+/// );
+/// assert_eq!(problem.dims().instances(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AttentionProblem {
+    pattern: CompoundPattern,
+    dims: AttnDims,
+    block_size: usize,
+}
+
+impl AttentionProblem {
+    /// Creates a problem over `pattern` with the given head dimension,
+    /// batch size, head count, and coarse block size.
+    pub fn new(
+        pattern: CompoundPattern,
+        head_dim: usize,
+        batch: usize,
+        heads: usize,
+        block_size: usize,
+    ) -> AttentionProblem {
+        let dims = AttnDims {
+            seq_len: pattern.seq_len(),
+            head_dim,
+            batch,
+            heads,
+        };
+        AttentionProblem {
+            pattern,
+            dims,
+            block_size,
+        }
+    }
+
+    /// The compound sparsity pattern.
+    pub fn pattern(&self) -> &CompoundPattern {
+        &self.pattern
+    }
+
+    /// The problem dimensions.
+    pub fn dims(&self) -> &AttnDims {
+        &self.dims
+    }
+
+    /// The coarse block size.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Returns a copy with a different batch size (patterns and metadata
+    /// are batch-independent).
+    #[must_use]
+    pub fn with_batch(&self, batch: usize) -> AttentionProblem {
+        let mut p = self.clone();
+        p.dims.batch = batch;
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_patterns::AtomicPattern;
+
+    #[test]
+    fn dims_derive_from_pattern() {
+        let p = AttentionProblem::new(
+            CompoundPattern::new(64).with(AtomicPattern::Dense),
+            32,
+            2,
+            8,
+            16,
+        );
+        assert_eq!(p.dims().seq_len, 64);
+        assert_eq!(p.dims().instances(), 16);
+        assert_eq!(p.block_size(), 16);
+    }
+
+    #[test]
+    fn with_batch_changes_only_batch() {
+        let p = AttentionProblem::new(CompoundPattern::new(32), 16, 1, 4, 8);
+        let p8 = p.with_batch(8);
+        assert_eq!(p8.dims().batch, 8);
+        assert_eq!(p8.dims().heads, 4);
+        assert_eq!(p8.pattern(), p.pattern());
+    }
+}

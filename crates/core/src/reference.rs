@@ -1,0 +1,62 @@
+//! Dense reference implementation of masked sparse attention — the
+//! numeric ground truth every execution method must match.
+
+use mg_patterns::CompoundPattern;
+use mg_tensor::{gemm, gemm_nt, softmax_rows, Half, Matrix};
+
+/// Computes one head of sparse attention densely:
+/// `C = softmax(scale · QKᵀ + mask(pattern)) × V`,
+/// with FP32 accumulation and FP16 rounding at each operator boundary
+/// (matching what the sparse kernels produce).
+///
+/// # Panics
+///
+/// Panics if the matrix shapes disagree with the pattern's sequence
+/// length.
+pub fn reference_attention(
+    q: &Matrix<Half>,
+    k: &Matrix<Half>,
+    v: &Matrix<Half>,
+    pattern: &CompoundPattern,
+    scale: f32,
+) -> Matrix<Half> {
+    assert_eq!(q.rows(), pattern.seq_len(), "Q rows must equal seq_len");
+    assert_eq!(k.rows(), pattern.seq_len(), "K rows must equal seq_len");
+    assert_eq!(v.rows(), pattern.seq_len(), "V rows must equal seq_len");
+    let mask = pattern.to_dense_mask();
+    // S in FP16 (the sparse kernels store S as FP16), softmax in FP32.
+    let s: Matrix<Half> = gemm_nt(q, k);
+    let p: Matrix<Half> = softmax_rows(&s, scale, Some(&mask));
+    gemm(&p, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_patterns::AtomicPattern;
+
+    #[test]
+    fn dense_pattern_equals_plain_attention() {
+        let pattern = CompoundPattern::new(16).with(AtomicPattern::Dense);
+        let q = Matrix::<Half>::random(16, 8, 1);
+        let k = Matrix::<Half>::random(16, 8, 2);
+        let v = Matrix::<Half>::random(16, 8, 3);
+        let c = reference_attention(&q, &k, &v, &pattern, 0.35);
+        let s: Matrix<Half> = gemm_nt(&q, &k);
+        let p: Matrix<Half> = softmax_rows(&s, 0.35, None);
+        let expect: Matrix<Half> = gemm(&p, &v);
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn masked_positions_do_not_contribute() {
+        // With a local window of 0, each row attends only to itself, so
+        // the context equals V exactly.
+        let pattern = CompoundPattern::new(8).with(AtomicPattern::Local { window: 0 });
+        let q = Matrix::<Half>::random(8, 4, 4);
+        let k = Matrix::<Half>::random(8, 4, 5);
+        let v = Matrix::<Half>::random(8, 4, 6);
+        let c = reference_attention(&q, &k, &v, &pattern, 1.0);
+        assert!(c.max_abs_diff(&v) < 1e-3);
+    }
+}

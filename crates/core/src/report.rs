@@ -1,0 +1,79 @@
+//! Timing reports for the attention pipeline.
+
+/// Per-phase durations (seconds) and DRAM traffic of one attention
+/// pipeline execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineReport {
+    /// SDDMM phase duration (all streams of the phase).
+    pub sddmm: f64,
+    /// Softmax phase duration.
+    pub softmax: f64,
+    /// SpMM phase duration.
+    pub spmm: f64,
+    /// Merge phase duration (zero for the baselines).
+    pub merge: f64,
+    /// DRAM bytes moved across all phases.
+    pub dram_bytes: u64,
+}
+
+impl PipelineReport {
+    /// Total pipeline duration.
+    pub fn total(&self) -> f64 {
+        self.sddmm + self.softmax + self.spmm + self.merge
+    }
+
+    /// Element-wise sum, for accumulating over heads/layers.
+    #[must_use]
+    pub fn merged(&self, other: &PipelineReport) -> PipelineReport {
+        PipelineReport {
+            sddmm: self.sddmm + other.sddmm,
+            softmax: self.softmax + other.softmax,
+            spmm: self.spmm + other.spmm,
+            merge: self.merge + other.merge,
+            dram_bytes: self.dram_bytes + other.dram_bytes,
+        }
+    }
+
+    /// A zero report.
+    pub fn zero() -> PipelineReport {
+        PipelineReport {
+            sddmm: 0.0,
+            softmax: 0.0,
+            spmm: 0.0,
+            merge: 0.0,
+            dram_bytes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_phases() {
+        let r = PipelineReport {
+            sddmm: 1.0,
+            softmax: 2.0,
+            spmm: 3.0,
+            merge: 0.5,
+            dram_bytes: 7,
+        };
+        assert_eq!(r.total(), 6.5);
+    }
+
+    #[test]
+    fn merged_accumulates() {
+        let r = PipelineReport {
+            sddmm: 1.0,
+            softmax: 1.0,
+            spmm: 1.0,
+            merge: 0.0,
+            dram_bytes: 10,
+        };
+        let s = r.merged(&r);
+        assert_eq!(s.total(), 6.0);
+        assert_eq!(s.dram_bytes, 20);
+        assert_eq!(PipelineReport::zero().total(), 0.0);
+    }
+}

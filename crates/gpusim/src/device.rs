@@ -1,0 +1,213 @@
+//! GPU device specifications (paper Table 1 plus public architecture
+//! parameters needed by the occupancy and timing models).
+
+/// Static description of a GPU used by the execution model.
+///
+/// The two constructors [`DeviceSpec::a100`] and [`DeviceSpec::rtx3090`]
+/// reproduce Table 1 of the paper; custom devices can be built literally.
+///
+/// # Examples
+///
+/// ```
+/// use mg_gpusim::DeviceSpec;
+///
+/// let a100 = DeviceSpec::a100();
+/// assert_eq!(a100.sm_count, 108);
+/// assert!(a100.tensor_fp16_flops > a100.cuda_fp16_flops);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, used in reports.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Boost clock in GHz (used to convert cycle overheads to seconds).
+    pub clock_ghz: f64,
+    /// Device-memory bandwidth in bytes per second.
+    pub mem_bw_bytes_per_s: f64,
+    /// Whole-GPU FP16 throughput of the CUDA cores, FLOP/s.
+    pub cuda_fp16_flops: f64,
+    /// Whole-GPU FP16 throughput of the tensor cores, FLOP/s.
+    pub tensor_fp16_flops: f64,
+    /// Whole-GPU special-function-unit throughput (exp, rsqrt), op/s.
+    pub sfu_ops_per_s: f64,
+    /// Shared memory usable per SM, bytes.
+    pub smem_per_sm: usize,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: usize,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: usize,
+    /// Maximum resident thread blocks per SM.
+    pub max_tbs_per_sm: usize,
+    /// Combined L1/shared capacity per SM, bytes (Table 1's "L1 D$ per SM").
+    pub l1_per_sm: usize,
+    /// L2 cache capacity, bytes (Table 1's "L2").
+    pub l2_bytes: usize,
+    /// Aggregate L2 cache bandwidth, bytes per second. On-chip data reuse
+    /// (or its absence) shows up on this pipe.
+    pub l2_bw_bytes_per_s: f64,
+    /// Host-side kernel launch overhead, seconds.
+    pub launch_overhead_s: f64,
+    /// Per-thread-block dispatch/drain overhead, cycles.
+    pub tb_overhead_cycles: f64,
+    /// Resident warps needed to saturate an SM's arithmetic pipes; blocks
+    /// with fewer warps on an otherwise idle SM cannot reach peak.
+    pub warps_to_saturate: f64,
+}
+
+impl DeviceSpec {
+    /// NVIDIA A100 (SXM, 40 GB): Table 1 row 1.
+    pub fn a100() -> DeviceSpec {
+        DeviceSpec {
+            name: "A100",
+            sm_count: 108,
+            clock_ghz: 1.41,
+            mem_bw_bytes_per_s: 1555.0e9,
+            cuda_fp16_flops: 42.3e12,
+            tensor_fp16_flops: 169.0e12,
+            sfu_ops_per_s: 42.3e12 / 8.0,
+            smem_per_sm: 164 * 1024,
+            regs_per_sm: 65536,
+            max_warps_per_sm: 64,
+            max_tbs_per_sm: 32,
+            l1_per_sm: 192 * 1024,
+            l2_bytes: 40 * 1024 * 1024,
+            l2_bw_bytes_per_s: 4.7e12,
+            launch_overhead_s: 1.5e-6,
+            tb_overhead_cycles: 600.0,
+            warps_to_saturate: 8.0,
+        }
+    }
+
+    /// NVIDIA GeForce RTX 3090: Table 1 row 2. Note the tensor-core FP16
+    /// rate drops far more than the CUDA-core rate relative to A100, which
+    /// drives the paper's cross-GPU observations (§5.1).
+    pub fn rtx3090() -> DeviceSpec {
+        DeviceSpec {
+            name: "RTX3090",
+            sm_count: 82,
+            clock_ghz: 1.70,
+            mem_bw_bytes_per_s: 936.2e9,
+            cuda_fp16_flops: 29.3e12,
+            tensor_fp16_flops: 58.0e12,
+            sfu_ops_per_s: 29.3e12 / 8.0,
+            smem_per_sm: 100 * 1024,
+            regs_per_sm: 65536,
+            max_warps_per_sm: 48,
+            max_tbs_per_sm: 16,
+            l1_per_sm: 128 * 1024,
+            l2_bytes: 6 * 1024 * 1024,
+            l2_bw_bytes_per_s: 2.0e12,
+            launch_overhead_s: 1.5e-6,
+            tb_overhead_cycles: 600.0,
+            warps_to_saturate: 8.0,
+        }
+    }
+
+    /// NVIDIA H100 (SXM5): a Hopper-generation projection for the
+    /// paper's §6.2 discussion (sparse tensor cores arrive with Ampere
+    /// and Hopper). Public specs; not part of the paper's Table 1.
+    pub fn h100() -> DeviceSpec {
+        DeviceSpec {
+            name: "H100",
+            sm_count: 132,
+            clock_ghz: 1.83,
+            mem_bw_bytes_per_s: 3350.0e9,
+            cuda_fp16_flops: 133.8e12,
+            tensor_fp16_flops: 989.0e12,
+            sfu_ops_per_s: 133.8e12 / 8.0,
+            smem_per_sm: 228 * 1024,
+            regs_per_sm: 65536,
+            max_warps_per_sm: 64,
+            max_tbs_per_sm: 32,
+            l1_per_sm: 256 * 1024,
+            l2_bytes: 50 * 1024 * 1024,
+            l2_bw_bytes_per_s: 12.0e12,
+            launch_overhead_s: 1.5e-6,
+            tb_overhead_cycles: 600.0,
+            warps_to_saturate: 8.0,
+        }
+    }
+
+    /// FP16 tensor-core FLOP/s available to one SM.
+    pub fn sm_tensor_rate(&self) -> f64 {
+        self.tensor_fp16_flops / self.sm_count as f64
+    }
+
+    /// FP16 CUDA-core FLOP/s available to one SM.
+    pub fn sm_cuda_rate(&self) -> f64 {
+        self.cuda_fp16_flops / self.sm_count as f64
+    }
+
+    /// Special-function op/s available to one SM.
+    pub fn sm_sfu_rate(&self) -> f64 {
+        self.sfu_ops_per_s / self.sm_count as f64
+    }
+
+    /// Fair per-SM share of device-memory bandwidth, bytes/s.
+    pub fn bw_per_sm(&self) -> f64 {
+        self.mem_bw_bytes_per_s / self.sm_count as f64
+    }
+
+    /// Fair per-SM share of L2 bandwidth, bytes/s.
+    pub fn l2_bw_per_sm(&self) -> f64 {
+        self.l2_bw_bytes_per_s / self.sm_count as f64
+    }
+
+    /// Per-thread-block overhead in seconds.
+    pub fn tb_overhead_s(&self) -> f64 {
+        self.tb_overhead_cycles / (self.clock_ghz * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values_match_paper() {
+        let a = DeviceSpec::a100();
+        assert_eq!(a.mem_bw_bytes_per_s, 1555.0e9);
+        assert_eq!(a.cuda_fp16_flops, 42.3e12);
+        assert_eq!(a.tensor_fp16_flops, 169.0e12);
+        assert_eq!(a.l1_per_sm, 192 * 1024);
+        assert_eq!(a.l2_bytes, 40 * 1024 * 1024);
+        let r = DeviceSpec::rtx3090();
+        assert_eq!(r.mem_bw_bytes_per_s, 936.2e9);
+        assert_eq!(r.cuda_fp16_flops, 29.3e12);
+        assert_eq!(r.tensor_fp16_flops, 58.0e12);
+        assert_eq!(r.l1_per_sm, 128 * 1024);
+        assert_eq!(r.l2_bytes, 6 * 1024 * 1024);
+    }
+
+    #[test]
+    fn tensor_advantage_shrinks_on_rtx3090() {
+        let a = DeviceSpec::a100();
+        let r = DeviceSpec::rtx3090();
+        let a_ratio = a.tensor_fp16_flops / a.cuda_fp16_flops;
+        let r_ratio = r.tensor_fp16_flops / r.cuda_fp16_flops;
+        assert!(a_ratio > 3.9 && r_ratio < 2.1, "paper §5.1's key ratio");
+    }
+
+    #[test]
+    fn per_sm_rates_sum_to_device_rates() {
+        let a = DeviceSpec::a100();
+        let total = a.sm_tensor_rate() * a.sm_count as f64;
+        assert!((total - a.tensor_fp16_flops).abs() / a.tensor_fp16_flops < 1e-12);
+    }
+
+    #[test]
+    fn h100_outclasses_a100_everywhere() {
+        let h = DeviceSpec::h100();
+        let a = DeviceSpec::a100();
+        assert!(h.tensor_fp16_flops > a.tensor_fp16_flops);
+        assert!(h.mem_bw_bytes_per_s > a.mem_bw_bytes_per_s);
+        assert!(h.sm_count > a.sm_count);
+    }
+
+    #[test]
+    fn tb_overhead_is_sub_microsecond() {
+        let a = DeviceSpec::a100();
+        assert!(a.tb_overhead_s() > 0.0 && a.tb_overhead_s() < 2e-6);
+    }
+}

@@ -1,0 +1,857 @@
+//! The timing engine: per-kernel duration via list scheduling over SM
+//! slots, and event-driven multi-stream co-execution.
+//!
+//! ## Single-kernel model
+//!
+//! Thread blocks are dispatched greedily to the earliest-free slot among
+//! `allocated_sms × resident_tbs_per_sm` slots (the round-robin-as-slots-
+//! free behaviour described in paper §2.1). A block's service time is the
+//! slowest of its pipe times at the slot's fair share of SM throughput,
+//! its DRAM time at the SM's bandwidth share, plus a fixed dispatch
+//! overhead. Kernel duration is the larger of the schedule makespan and
+//! the aggregate-DRAM roofline; this is what makes load imbalance (few or
+//! skewed blocks) and memory-boundedness both visible.
+//!
+//! ## Multi-stream model
+//!
+//! Kernels at the head of different streams run concurrently, dividing
+//! the SM pool proportionally to their block demand (space sharing). An
+//! event loop advances to each completion, re-partitioning the pool —
+//! the concurrency mechanism Multigrain exploits (§3.1).
+
+use crate::occupancy::{resident_tbs_per_sm, theoretical_occupancy};
+use crate::{DeviceSpec, KernelProfile};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which resource bounded a kernel's duration — the roofline verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundKind {
+    /// Tensor-core pipe throughput.
+    TensorPipe,
+    /// CUDA-core pipe throughput.
+    CudaPipe,
+    /// Special-function-unit throughput.
+    SfuPipe,
+    /// Device-memory bandwidth.
+    DramBandwidth,
+    /// L2 bandwidth (on-chip data movement).
+    L2Bandwidth,
+    /// The block schedule itself (imbalance, too few blocks, or per-block
+    /// overheads) rather than any aggregate roofline.
+    Schedule,
+}
+
+impl BoundKind {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BoundKind::TensorPipe => "tensor",
+            BoundKind::CudaPipe => "cuda",
+            BoundKind::SfuPipe => "sfu",
+            BoundKind::DramBandwidth => "dram",
+            BoundKind::L2Bandwidth => "l2",
+            BoundKind::Schedule => "schedule",
+        }
+    }
+}
+
+/// Result of timing one kernel, including the profiling counters the
+/// paper reads from Nsight Compute (duration, DRAM traffic, occupancy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRecord {
+    /// Kernel name copied from the profile.
+    pub name: String,
+    /// Stream the kernel ran in.
+    pub stream: StreamId,
+    /// Simulated start time, seconds.
+    pub start: f64,
+    /// Simulated end time, seconds.
+    pub end: f64,
+    /// Bytes moved to/from device memory.
+    pub dram_bytes: u64,
+    /// Thread blocks in the grid.
+    pub tb_count: usize,
+    /// Occupancy bound from the launch configuration.
+    pub theoretical_occupancy: f64,
+    /// Fraction of slot-time the schedule kept busy — the achieved /
+    /// theoretical occupancy ratio the paper uses to quantify load
+    /// imbalance (§5.2.1). 1.0 means perfectly balanced.
+    pub achieved_over_theoretical: f64,
+    /// The resource that bounded the kernel's duration.
+    pub bound: BoundKind,
+}
+
+impl KernelRecord {
+    /// Kernel duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Identifier of a stream created by [`Gpu::create_stream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub(crate) usize);
+
+impl StreamId {
+    /// The stream's index (0 is the default stream).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// The default stream, which always exists.
+pub const DEFAULT_STREAM: StreamId = StreamId(0);
+
+/// Duration and busy fraction of one kernel run on `sms` SMs.
+fn kernel_time_on(spec: &DeviceSpec, profile: &KernelProfile, sms: usize) -> (f64, f64, BoundKind) {
+    let sms = sms.max(1);
+    if profile.tbs.is_empty() {
+        return (spec.launch_overhead_s, 1.0, BoundKind::Schedule);
+    }
+    let resident = resident_tbs_per_sm(spec, &profile.launch);
+    // Blocks actually co-resident per SM: bounded by occupancy, but an
+    // underfilled grid leaves SMs with fewer (or no) neighbours.
+    let concurrent = profile.tbs.len().div_ceil(sms).clamp(1, resident);
+    let slots = sms * concurrent;
+    // A block's share of the SM pipes: fair share among co-residents, but
+    // never more than its own warps can issue.
+    let share = (profile.launch.warps_per_tb() as f64 / spec.warps_to_saturate)
+        .min(1.0 / concurrent as f64)
+        .min(1.0);
+    let tensor_rate = spec.sm_tensor_rate() * share;
+    let cuda_rate = spec.sm_cuda_rate() * share;
+    let sfu_rate = spec.sm_sfu_rate() * share;
+    let bw_slot = spec.bw_per_sm(); // one block may burst to the SM's share
+    let l2_slot = spec.l2_bw_per_sm();
+    let tb_overhead = spec.tb_overhead_s();
+
+    let tb_time = |w: &crate::TbWork| -> f64 {
+        let t_tensor = 2.0 * w.tensor_macs as f64 / tensor_rate;
+        let t_cuda = w.cuda_flops as f64 / cuda_rate;
+        let t_sfu = w.sfu_ops as f64 / sfu_rate;
+        let t_mem = w.dram_bytes() as f64 / bw_slot;
+        let t_l2 = (w.l2_read + w.dram_write) as f64 / l2_slot;
+        let t_stall = w.stall_cycles as f64 / (spec.clock_ghz * 1e9);
+        t_tensor.max(t_cuda).max(t_sfu).max(t_mem).max(t_l2) + t_stall + tb_overhead
+    };
+
+    // Greedy list schedule: each block goes to the earliest-free slot.
+    let mut heap: BinaryHeap<Reverse<OrderedF64>> = (0..slots.min(profile.tbs.len()))
+        .map(|_| Reverse(OrderedF64(0.0)))
+        .collect();
+    let mut busy_total = 0.0;
+    let mut makespan = 0.0f64;
+    for w in &profile.tbs {
+        let Reverse(OrderedF64(free_at)) = heap.pop().expect("slots > 0");
+        let t = tb_time(w);
+        busy_total += t;
+        let end = free_at + t;
+        makespan = makespan.max(end);
+        heap.push(Reverse(OrderedF64(end)));
+    }
+
+    // Aggregate rooflines over the allocation (bandwidth and pipes cannot
+    // exceed the allocated share even with perfect balance).
+    let total = profile.total();
+    let frac = sms as f64 / spec.sm_count as f64;
+    // Memory bandwidth is a device-wide resource: a kernel on a slice of
+    // the SMs can still burst to about half the device bandwidth while
+    // its co-runners are compute-bound.
+    let bw_frac = frac.max(0.5);
+    let agg_mem = total.dram_bytes() as f64 / (spec.mem_bw_bytes_per_s * bw_frac);
+    let agg_l2 = (total.l2_read + total.dram_write) as f64 / (spec.l2_bw_bytes_per_s * bw_frac);
+    let agg_tensor = 2.0 * total.tensor_macs as f64 / (spec.sm_tensor_rate() * sms as f64);
+    let agg_cuda = total.cuda_flops as f64 / (spec.sm_cuda_rate() * sms as f64);
+    let agg_sfu = total.sfu_ops as f64 / (spec.sm_sfu_rate() * sms as f64);
+    let aggregates = [
+        (agg_mem, BoundKind::DramBandwidth),
+        (agg_l2, BoundKind::L2Bandwidth),
+        (agg_tensor, BoundKind::TensorPipe),
+        (agg_cuda, BoundKind::CudaPipe),
+        (agg_sfu, BoundKind::SfuPipe),
+    ];
+    let (best_agg, agg_bound) = aggregates
+        .into_iter()
+        .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"))
+        .expect("non-empty");
+    let duration = makespan.max(best_agg);
+    // A balanced schedule always sits a hair above the binding roofline
+    // (per-block overheads); call it schedule-bound only when the
+    // schedule meaningfully exceeds every aggregate (imbalance, launch
+    // quantization, or per-block overhead domination).
+    let bound = if makespan > best_agg * 1.10 {
+        BoundKind::Schedule
+    } else {
+        agg_bound
+    };
+    // Occupancy ratio (Nsight's achieved/theoretical) is about warp slots
+    // being busy while blocks run: measure against the schedule makespan,
+    // not the roofline-padded duration.
+    let busy_fraction = if makespan > 0.0 {
+        (busy_total / (slots as f64 * makespan)).min(1.0)
+    } else {
+        1.0
+    };
+    (duration + spec.launch_overhead_s, busy_fraction, bound)
+}
+
+/// Splits `capacity` units among demands: each claimant gets at most its
+/// demand and at least 1; surplus is redistributed to still-hungry
+/// claimants (waterfilling).
+fn waterfill(demands: &[usize], capacity: usize) -> Vec<usize> {
+    let n = demands.len();
+    let mut shares = vec![0usize; n];
+    let mut satisfied = vec![false; n];
+    let mut remaining = capacity;
+    loop {
+        let hungry: Vec<usize> = (0..n).filter(|&i| !satisfied[i]).collect();
+        if hungry.is_empty() || remaining == 0 {
+            break;
+        }
+        let fair = (remaining / hungry.len()).max(1);
+        let mut progress = false;
+        for &i in &hungry {
+            let want = demands[i].saturating_sub(shares[i]);
+            let grant = want.min(fair).min(remaining);
+            shares[i] += grant;
+            remaining -= grant;
+            if shares[i] >= demands[i] {
+                satisfied[i] = true;
+            }
+            if grant > 0 {
+                progress = true;
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+    // Leftover capacity goes to the largest demander; everyone gets >= 1.
+    if remaining > 0 {
+        if let Some(max_i) = (0..n).max_by_key(|&i| demands[i]) {
+            shares[max_i] += remaining;
+        }
+    }
+    for s in &mut shares {
+        *s = (*s).max(1);
+    }
+    shares
+}
+
+/// f64 wrapper ordered by value (all times are finite).
+#[derive(PartialEq, PartialOrd)]
+struct OrderedF64(f64);
+impl Eq for OrderedF64 {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("times are finite")
+    }
+}
+
+/// Identifier of a launched kernel, used to express cross-stream
+/// dependencies (the CUDA-event mechanism).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KernelId(usize);
+
+struct Pending {
+    id: KernelId,
+    profile: KernelProfile,
+    stream: StreamId,
+    deps: Vec<KernelId>,
+}
+
+/// A simulated GPU: holds the device spec, stream queues, the simulated
+/// clock, and the records of every kernel that has run.
+///
+/// # Examples
+///
+/// ```
+/// use mg_gpusim::{DeviceSpec, Gpu, KernelProfile, LaunchConfig, TbWork, DEFAULT_STREAM};
+///
+/// let mut gpu = Gpu::new(DeviceSpec::a100());
+/// let work = TbWork { cuda_flops: 1 << 20, dram_read: 1 << 16, ..TbWork::default() };
+/// gpu.launch(DEFAULT_STREAM, KernelProfile::uniform("k", LaunchConfig::default(), 256, work));
+/// let t = gpu.synchronize();
+/// assert!(t > 0.0);
+/// assert_eq!(gpu.records().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Gpu {
+    spec: DeviceSpec,
+    time: f64,
+    queues: Vec<Vec<Pending>>, // per stream, FIFO (drained from the front)
+    records: Vec<KernelRecord>,
+    next_id: usize,
+}
+
+impl std::fmt::Debug for Pending {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Pending({:?}: {} on {:?}, {} deps)",
+            self.id,
+            self.profile.name,
+            self.stream,
+            self.deps.len()
+        )
+    }
+}
+
+impl Gpu {
+    /// Creates a GPU with the default stream.
+    pub fn new(spec: DeviceSpec) -> Gpu {
+        Gpu {
+            spec,
+            time: 0.0,
+            queues: vec![Vec::new()],
+            records: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The device specification.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Creates an additional stream; kernels in different streams may
+    /// co-execute.
+    pub fn create_stream(&mut self) -> StreamId {
+        self.queues.push(Vec::new());
+        StreamId(self.queues.len() - 1)
+    }
+
+    /// Returns the stream with the given index, creating intermediate
+    /// streams as needed (index 0 is the default stream). Unlike
+    /// [`Gpu::create_stream`], repeated calls reuse the same stream.
+    pub fn stream(&mut self, index: usize) -> StreamId {
+        while self.queues.len() <= index {
+            self.queues.push(Vec::new());
+        }
+        StreamId(index)
+    }
+
+    /// Enqueues a kernel on a stream (asynchronous: returns immediately)
+    /// and returns its id for use in dependencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` was not created by this GPU.
+    pub fn launch(&mut self, stream: StreamId, profile: KernelProfile) -> KernelId {
+        self.launch_after(stream, profile, &[])
+    }
+
+    /// Enqueues a kernel that must additionally wait for every kernel in
+    /// `deps` to complete (CUDA events / `cudaStreamWaitEvent`). In-stream
+    /// FIFO order still applies on top of the dependencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream` was not created by this GPU.
+    pub fn launch_after(
+        &mut self,
+        stream: StreamId,
+        profile: KernelProfile,
+        deps: &[KernelId],
+    ) -> KernelId {
+        assert!(stream.0 < self.queues.len(), "unknown stream");
+        let id = KernelId(self.next_id);
+        self.next_id += 1;
+        self.queues[stream.0].push(Pending {
+            id,
+            profile,
+            stream,
+            deps: deps.to_vec(),
+        });
+        id
+    }
+
+    /// Runs every enqueued kernel to completion, co-executing across
+    /// streams, and returns the simulated time.
+    pub fn synchronize(&mut self) -> f64 {
+        // Active kernel state: (queue idx, solo duration cache, remaining fraction).
+        struct Active {
+            queue: usize,
+            share: usize,
+            duration_at_share: f64,
+            busy_at_share: f64,
+            bound_at_share: BoundKind,
+            remaining: f64, // fraction of the kernel still to run
+            start: f64,
+        }
+        let mut active: Vec<Active> = Vec::new();
+        // Drain queues front-first; keep cursor per queue.
+        let mut cursors = vec![0usize; self.queues.len()];
+        let mut completed: std::collections::HashSet<KernelId> = std::collections::HashSet::new();
+
+        loop {
+            // Admit the head kernel of every stream that has none active
+            // and whose dependencies have all completed.
+            #[allow(clippy::needless_range_loop)] // q indexes two arrays
+            for q in 0..self.queues.len() {
+                let has_active = active.iter().any(|a| a.queue == q);
+                if !has_active && cursors[q] < self.queues[q].len() {
+                    let pending = &self.queues[q][cursors[q]];
+                    if pending.deps.iter().all(|d| completed.contains(d)) {
+                        active.push(Active {
+                            queue: q,
+                            share: 0,
+                            duration_at_share: 0.0,
+                            busy_at_share: 1.0,
+                            bound_at_share: BoundKind::Schedule,
+                            remaining: 1.0,
+                            start: self.time,
+                        });
+                    }
+                }
+            }
+            if active.is_empty() {
+                let all_drained = cursors
+                    .iter()
+                    .zip(self.queues.iter())
+                    .all(|(&c, q)| c >= q.len());
+                assert!(
+                    all_drained,
+                    "dependency deadlock: kernels remain but none is runnable"
+                );
+                break;
+            }
+
+            // Partition SMs proportionally to block demand.
+            let demands: Vec<usize> = active
+                .iter()
+                .map(|a| {
+                    let p = &self.queues[a.queue][cursors[a.queue]].profile;
+                    let resident = resident_tbs_per_sm(&self.spec, &p.launch).max(1);
+                    p.tb_count().div_ceil(resident).clamp(1, self.spec.sm_count)
+                })
+                .collect();
+            // Waterfilling: every kernel gets the SMs it can actually
+            // occupy, up to a fair share; surplus flows to kernels that
+            // can still use it. A lone kernel sees the whole device.
+            let shares = waterfill(&demands, self.spec.sm_count);
+
+            // Refresh cached durations where the share changed.
+            for (a, &share) in active.iter_mut().zip(shares.iter()) {
+                if a.share != share {
+                    let p = &self.queues[a.queue][cursors[a.queue]].profile;
+                    let (d, busy, bound) = kernel_time_on(&self.spec, p, share);
+                    a.share = share;
+                    a.duration_at_share = d;
+                    a.busy_at_share = busy;
+                    a.bound_at_share = bound;
+                }
+            }
+
+            // Advance to the next completion.
+            let dt = active
+                .iter()
+                .map(|a| a.remaining * a.duration_at_share)
+                .fold(f64::INFINITY, f64::min);
+            self.time += dt;
+            for a in &mut active {
+                a.remaining -= dt / a.duration_at_share;
+            }
+
+            // Retire finished kernels (with a tolerance for float error).
+            let finished: Vec<usize> = (0..active.len())
+                .filter(|&i| active[i].remaining <= 1e-12)
+                .collect();
+            for &i in finished.iter().rev() {
+                let a = active.swap_remove(i);
+                let pending = &self.queues[a.queue][cursors[a.queue]];
+                completed.insert(pending.id);
+                let p = &pending.profile;
+                self.records.push(KernelRecord {
+                    name: p.name.clone(),
+                    stream: pending.stream,
+                    start: a.start,
+                    end: self.time,
+                    dram_bytes: p.total_dram_bytes(),
+                    tb_count: p.tb_count(),
+                    theoretical_occupancy: theoretical_occupancy(&self.spec, &p.launch),
+                    achieved_over_theoretical: a.busy_at_share,
+                    bound: a.bound_at_share,
+                });
+                cursors[a.queue] += 1;
+            }
+        }
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.time
+    }
+
+    /// Convenience: run one kernel alone on the default stream and return
+    /// its record.
+    pub fn run_solo(&mut self, profile: KernelProfile) -> KernelRecord {
+        self.launch(DEFAULT_STREAM, profile);
+        self.synchronize();
+        self.records.last().expect("just ran").clone()
+    }
+
+    /// The simulated clock, seconds.
+    pub fn elapsed(&self) -> f64 {
+        self.time
+    }
+
+    /// Records of every kernel completed so far, in completion order.
+    pub fn records(&self) -> &[KernelRecord] {
+        &self.records
+    }
+
+    /// Total DRAM traffic across all completed kernels, bytes.
+    pub fn total_dram_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.dram_bytes).sum()
+    }
+
+    /// Clears the clock and records (streams survive).
+    pub fn reset(&mut self) {
+        self.time = 0.0;
+        self.records.clear();
+        for q in &mut self.queues {
+            q.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LaunchConfig, TbWork};
+
+    #[test]
+    fn bound_classification_matches_the_work_shape() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        // Pure tensor work, machine-filling grid -> tensor-pipe bound.
+        let rec = gpu.run_solo(KernelProfile::uniform(
+            "t",
+            LaunchConfig::default(),
+            108 * 32,
+            TbWork {
+                tensor_macs: 1 << 22,
+                ..TbWork::default()
+            },
+        ));
+        assert_eq!(rec.bound, BoundKind::TensorPipe);
+        gpu.reset();
+        // Pure DRAM streaming -> bandwidth bound.
+        let rec = gpu.run_solo(KernelProfile::uniform(
+            "m",
+            LaunchConfig::default(),
+            108 * 32,
+            TbWork {
+                dram_read: 1 << 22,
+                ..TbWork::default()
+            },
+        ));
+        assert_eq!(rec.bound, BoundKind::DramBandwidth);
+        gpu.reset();
+        // One huge straggler in a small grid -> schedule bound.
+        let mut tbs = vec![
+            TbWork {
+                cuda_flops: 1 << 12,
+                ..TbWork::default()
+            };
+            8
+        ];
+        tbs.push(TbWork {
+            cuda_flops: 1 << 28,
+            ..TbWork::default()
+        });
+        let rec = gpu.run_solo(KernelProfile {
+            name: "s".into(),
+            launch: LaunchConfig::default(),
+            tbs,
+            cache: None,
+        });
+        assert_eq!(rec.bound, BoundKind::Schedule);
+    }
+
+    #[test]
+    fn waterfill_lone_claimant_takes_everything() {
+        assert_eq!(waterfill(&[10], 108), vec![108]);
+    }
+
+    #[test]
+    fn waterfill_small_demands_fully_satisfied() {
+        let shares = waterfill(&[4, 200], 108);
+        assert_eq!(shares[0], 4, "small demand satisfied exactly");
+        assert_eq!(shares[1], 104, "surplus flows to the hungry claimant");
+    }
+
+    #[test]
+    fn waterfill_equal_demands_split_evenly() {
+        let shares = waterfill(&[500, 500], 108);
+        assert_eq!(shares[0] + shares[1], 108);
+        assert!((shares[0] as i64 - shares[1] as i64).abs() <= 1);
+    }
+
+    #[test]
+    fn waterfill_never_grants_zero() {
+        let shares = waterfill(&[1000, 1, 1000], 2);
+        assert!(shares.iter().all(|&s| s >= 1));
+    }
+
+    #[test]
+    fn waterfill_conserves_capacity_when_demand_exceeds_it() {
+        let shares = waterfill(&[300, 200, 100], 108);
+        assert_eq!(shares.iter().sum::<usize>(), 108);
+    }
+
+    fn compute_tb(flops: u64) -> TbWork {
+        TbWork {
+            cuda_flops: flops,
+            ..TbWork::default()
+        }
+    }
+
+    fn uniform(name: &str, n: usize, flops: u64) -> KernelProfile {
+        KernelProfile::uniform(name, LaunchConfig::default(), n, compute_tb(flops))
+    }
+
+    #[test]
+    fn more_work_takes_longer() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let small = gpu.run_solo(uniform("small", 108, 1 << 20)).duration();
+        gpu.reset();
+        let big = gpu.run_solo(uniform("big", 108, 1 << 24)).duration();
+        assert!(big > small);
+    }
+
+    #[test]
+    fn duration_scales_down_with_parallelism() {
+        // Same total work in 10x more blocks finishes faster when the few
+        // blocks underfill the machine.
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let few = gpu.run_solo(uniform("few", 8, 10 << 20)).duration();
+        gpu.reset();
+        let many = gpu.run_solo(uniform("many", 80, 1 << 20)).duration();
+        assert!(many < few, "many={many} few={few}");
+    }
+
+    #[test]
+    fn straggler_block_dominates() {
+        let mut tbs = vec![compute_tb(1 << 16); 1000];
+        tbs.push(compute_tb(1 << 28));
+        let profile = KernelProfile {
+            name: "skewed".into(),
+            launch: LaunchConfig::default(),
+            tbs,
+            cache: None,
+        };
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let rec = gpu.run_solo(profile);
+        assert!(
+            rec.achieved_over_theoretical < 0.5,
+            "imbalance visible: {}",
+            rec.achieved_over_theoretical
+        );
+    }
+
+    #[test]
+    fn balanced_grid_has_high_busy_fraction() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let rec = gpu.run_solo(uniform("balanced", 108 * 8 * 4, 1 << 22));
+        assert!(
+            rec.achieved_over_theoretical > 0.9,
+            "busy {}",
+            rec.achieved_over_theoretical
+        );
+    }
+
+    #[test]
+    fn memory_bound_kernel_hits_bandwidth_roofline() {
+        let spec = DeviceSpec::a100();
+        let bytes_total: u64 = 16 << 30; // 16 GiB
+        let n = 108 * 32;
+        let w = TbWork {
+            dram_read: bytes_total / n as u64,
+            ..TbWork::default()
+        };
+        let mut gpu = Gpu::new(spec.clone());
+        let d = gpu
+            .run_solo(KernelProfile::uniform("mem", LaunchConfig::default(), n, w))
+            .duration();
+        let roofline = bytes_total as f64 / spec.mem_bw_bytes_per_s;
+        assert!(d >= roofline, "cannot beat bandwidth: {d} vs {roofline}");
+        assert!(
+            d < roofline * 1.5,
+            "should be near the roofline: {d} vs {roofline}"
+        );
+    }
+
+    #[test]
+    fn two_streams_overlap() {
+        let mut serial = Gpu::new(DeviceSpec::a100());
+        serial.launch(DEFAULT_STREAM, uniform("a", 2000, 1 << 22));
+        serial.launch(DEFAULT_STREAM, uniform("b", 2000, 1 << 22));
+        let t_serial = serial.synchronize();
+
+        let mut par = Gpu::new(DeviceSpec::a100());
+        let s1 = par.create_stream();
+        par.launch(DEFAULT_STREAM, uniform("a", 2000, 1 << 22));
+        par.launch(s1, uniform("b", 2000, 1 << 22));
+        let t_par = par.synchronize();
+
+        assert!(t_par < t_serial, "overlap must help: {t_par} vs {t_serial}");
+        // But not below the single-kernel time (they share the machine).
+        let mut solo = Gpu::new(DeviceSpec::a100());
+        let t_solo = solo.run_solo(uniform("a", 2000, 1 << 22)).duration();
+        assert!(t_par >= t_solo * 0.99);
+    }
+
+    #[test]
+    fn stream_order_is_preserved() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        gpu.launch(DEFAULT_STREAM, uniform("first", 64, 1 << 20));
+        gpu.launch(DEFAULT_STREAM, uniform("second", 64, 1 << 20));
+        gpu.synchronize();
+        let names: Vec<&str> = gpu.records().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, vec!["first", "second"]);
+        assert!(gpu.records()[0].end <= gpu.records()[1].start + 1e-12);
+    }
+
+    #[test]
+    fn records_accumulate_dram_traffic() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let w = TbWork {
+            dram_read: 1000,
+            dram_write: 24,
+            ..TbWork::default()
+        };
+        gpu.run_solo(KernelProfile::uniform("m", LaunchConfig::default(), 10, w));
+        assert_eq!(gpu.total_dram_bytes(), 10240);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        gpu.run_solo(uniform("k", 16, 1 << 18));
+        gpu.reset();
+        assert_eq!(gpu.elapsed(), 0.0);
+        assert!(gpu.records().is_empty());
+    }
+
+    #[test]
+    fn cross_stream_dependency_orders_execution() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let s1 = gpu.create_stream();
+        let a = gpu.launch(DEFAULT_STREAM, uniform("a", 500, 1 << 22));
+        // b waits for a even though it sits on another stream.
+        gpu.launch_after(s1, uniform("b", 500, 1 << 22), &[a]);
+        gpu.synchronize();
+        let recs = gpu.records();
+        let ra = recs.iter().find(|r| r.name == "a").expect("a ran");
+        let rb = recs.iter().find(|r| r.name == "b").expect("b ran");
+        assert!(rb.start >= ra.end - 1e-12, "b must wait for a");
+    }
+
+    #[test]
+    fn independent_streams_still_overlap_with_dep_api() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let s1 = gpu.create_stream();
+        gpu.launch_after(DEFAULT_STREAM, uniform("a", 2000, 1 << 22), &[]);
+        gpu.launch_after(s1, uniform("b", 2000, 1 << 22), &[]);
+        gpu.synchronize();
+        let recs = gpu.records();
+        assert!(recs[0].start < recs[1].end && recs[1].start < recs[0].end);
+    }
+
+    #[test]
+    #[should_panic(expected = "dependency deadlock")]
+    fn waiting_on_a_never_launched_kernel_deadlocks() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let s1 = gpu.create_stream();
+        // Reserve an id by launching on s1 AFTER the dependent: the dep
+        // id used here is never completed first because it's behind.
+        let _first = gpu.launch(DEFAULT_STREAM, uniform("x", 4, 1 << 16));
+        let ghost = KernelId(999);
+        gpu.launch_after(s1, uniform("y", 4, 1 << 16), &[ghost]);
+        gpu.synchronize();
+    }
+
+    #[test]
+    fn empty_profiles_across_streams_complete() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let s1 = gpu.create_stream();
+        gpu.launch(
+            DEFAULT_STREAM,
+            KernelProfile {
+                name: "a".into(),
+                launch: LaunchConfig::default(),
+                tbs: vec![],
+                cache: None,
+            },
+        );
+        gpu.launch(
+            s1,
+            KernelProfile {
+                name: "b".into(),
+                launch: LaunchConfig::default(),
+                tbs: vec![],
+                cache: None,
+            },
+        );
+        let t = gpu.synchronize();
+        assert!(t > 0.0);
+        assert_eq!(gpu.records().len(), 2);
+    }
+
+    #[test]
+    fn launch_on_unknown_stream_panics() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            gpu.launch(
+                StreamId(99),
+                KernelProfile::uniform("k", LaunchConfig::default(), 1, TbWork::default()),
+            );
+        }));
+        assert!(result.is_err(), "unknown stream must be rejected");
+    }
+
+    #[test]
+    fn empty_kernel_costs_launch_overhead() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let d = gpu
+            .run_solo(KernelProfile {
+                name: "empty".into(),
+                launch: LaunchConfig::default(),
+                tbs: vec![],
+                cache: None,
+            })
+            .duration();
+        assert!((d - DeviceSpec::a100().launch_overhead_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tensor_pipe_beats_cuda_pipe_for_same_flops() {
+        let spec = DeviceSpec::a100();
+        let n = 108 * 8;
+        let tensor = KernelProfile::uniform(
+            "tensor",
+            LaunchConfig::default(),
+            n,
+            TbWork {
+                tensor_macs: 1 << 22,
+                ..TbWork::default()
+            }, // 2 FLOPs/MAC
+        );
+        let cuda = KernelProfile::uniform(
+            "cuda",
+            LaunchConfig::default(),
+            n,
+            TbWork {
+                cuda_flops: 1 << 23,
+                ..TbWork::default()
+            },
+        );
+        let mut gpu = Gpu::new(spec);
+        let t_tensor = gpu.run_solo(tensor).duration();
+        gpu.reset();
+        let t_cuda = gpu.run_solo(cuda).duration();
+        assert!(t_tensor < t_cuda, "tensor {t_tensor} vs cuda {t_cuda}");
+    }
+}

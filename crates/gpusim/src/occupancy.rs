@@ -1,0 +1,143 @@
+//! SM occupancy calculation (paper §2.1): how many thread blocks an SM
+//! can host given its shared-memory, register, warp-slot, and block-slot
+//! limits.
+
+use crate::{DeviceSpec, LaunchConfig};
+
+/// Maximum thread blocks resident on one SM for the given launch
+/// configuration. Always at least 1 (a kernel whose single block exceeds
+/// an SM's resources still runs, just serialized — we model it as one
+/// resident block).
+pub fn resident_tbs_per_sm(spec: &DeviceSpec, launch: &LaunchConfig) -> usize {
+    let by_warps = spec.max_warps_per_sm / launch.warps_per_tb();
+    let regs_per_tb = launch.regs_per_thread * launch.threads_per_tb;
+    let by_regs = spec
+        .regs_per_sm
+        .checked_div(regs_per_tb)
+        .unwrap_or(spec.max_tbs_per_sm);
+    let by_smem = spec
+        .smem_per_sm
+        .checked_div(launch.smem_per_tb)
+        .unwrap_or(spec.max_tbs_per_sm);
+    by_warps
+        .min(by_regs)
+        .min(by_smem)
+        .min(spec.max_tbs_per_sm)
+        .max(1)
+}
+
+/// Theoretical occupancy: resident warps over the SM's warp capacity.
+pub fn theoretical_occupancy(spec: &DeviceSpec, launch: &LaunchConfig) -> f64 {
+    let resident = resident_tbs_per_sm(spec, launch);
+    let warps = resident * launch.warps_per_tb();
+    (warps.min(spec.max_warps_per_sm)) as f64 / spec.max_warps_per_sm as f64
+}
+
+/// Which resource bounds the occupancy first — useful for kernel tuning
+/// and for reproducing the paper's remark that registers limit SpMM
+/// blocks more than shared memory (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OccupancyLimit {
+    /// Warp slots ran out first.
+    Warps,
+    /// Registers ran out first.
+    Registers,
+    /// Shared memory ran out first.
+    SharedMemory,
+    /// The SM's block-slot cap was hit.
+    BlockSlots,
+}
+
+/// Reports the binding occupancy constraint for a launch configuration.
+pub fn limiting_resource(spec: &DeviceSpec, launch: &LaunchConfig) -> OccupancyLimit {
+    let by_warps = spec.max_warps_per_sm / launch.warps_per_tb();
+    let regs_per_tb = launch.regs_per_thread * launch.threads_per_tb;
+    let by_regs = spec
+        .regs_per_sm
+        .checked_div(regs_per_tb)
+        .unwrap_or(usize::MAX);
+    let by_smem = spec
+        .smem_per_sm
+        .checked_div(launch.smem_per_tb)
+        .unwrap_or(usize::MAX);
+    let min = by_warps.min(by_regs).min(by_smem).min(spec.max_tbs_per_sm);
+    if min == by_regs {
+        OccupancyLimit::Registers
+    } else if min == by_smem {
+        OccupancyLimit::SharedMemory
+    } else if min == by_warps {
+        OccupancyLimit::Warps
+    } else {
+        OccupancyLimit::BlockSlots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn launch(threads: usize, regs: usize, smem: usize) -> LaunchConfig {
+        LaunchConfig {
+            threads_per_tb: threads,
+            regs_per_thread: regs,
+            smem_per_tb: smem,
+        }
+    }
+
+    #[test]
+    fn warp_limited() {
+        let spec = DeviceSpec::a100();
+        // 1024 threads = 32 warps; 64 warp slots -> 2 blocks.
+        let r = resident_tbs_per_sm(&spec, &launch(1024, 32, 0));
+        assert_eq!(r, 2);
+    }
+
+    #[test]
+    fn register_limited() {
+        let spec = DeviceSpec::a100();
+        // 256 threads x 255 regs = 65280 regs -> 1 block.
+        let r = resident_tbs_per_sm(&spec, &launch(256, 255, 0));
+        assert_eq!(r, 1);
+        assert_eq!(
+            limiting_resource(&spec, &launch(256, 255, 0)),
+            OccupancyLimit::Registers
+        );
+    }
+
+    #[test]
+    fn smem_limited() {
+        let spec = DeviceSpec::a100();
+        // 96 KB smem per block on a 164 KB SM -> 1 block.
+        let cfg = launch(128, 32, 96 * 1024);
+        assert_eq!(resident_tbs_per_sm(&spec, &cfg), 1);
+        assert_eq!(limiting_resource(&spec, &cfg), OccupancyLimit::SharedMemory);
+    }
+
+    #[test]
+    fn block_slot_cap_applies() {
+        let spec = DeviceSpec::a100();
+        // Tiny blocks would fit hundreds of times; capped at 32.
+        let cfg = launch(32, 16, 0);
+        assert_eq!(resident_tbs_per_sm(&spec, &cfg), 32);
+        assert_eq!(limiting_resource(&spec, &cfg), OccupancyLimit::BlockSlots);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_one() {
+        let spec = DeviceSpec::rtx3090();
+        for threads in [32, 64, 128, 256, 512, 1024] {
+            let occ = theoretical_occupancy(&spec, &launch(threads, 64, 8192));
+            assert!(
+                (0.0..=1.0).contains(&occ),
+                "occ {occ} for {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_block_still_resident_once() {
+        let spec = DeviceSpec::rtx3090();
+        let cfg = launch(1024, 255, 200 * 1024);
+        assert_eq!(resident_tbs_per_sm(&spec, &cfg), 1);
+    }
+}

@@ -1,0 +1,389 @@
+//! Coarse-grained (blocked) sparse GEMM kernels — paper §3.2.
+//!
+//! Two mappings are provided:
+//!
+//! * [`CoarseMapping::BlockRowPerTb`] — the paper's kernels: blocked
+//!   row-splitting for SDDMM (one thread block owns an output block row and
+//!   reuses the LHS row block from shared memory across all its non-zero
+//!   blocks) and blocked 1D tiling for SpMM (one thread block accumulates
+//!   one output tile in registers). Both use software pipelining, so only
+//!   the first tile load's latency is exposed.
+//! * [`CoarseMapping::BlockPerTb`] — the Triton-style baseline: one thread
+//!   block per non-zero block (BCOO), which balances load perfectly but
+//!   reloads the LHS block for every output block and exposes per-iteration
+//!   latency (no cross-block pipelining).
+
+use crate::cache::{apply_cache_model, apply_writeback_filter, CacheHints};
+use crate::{tuning, AttnDims};
+use mg_gpusim::{DeviceSpec, KernelProfile, LaunchConfig, TbWork};
+use mg_sparse::Bsr;
+use mg_tensor::{dot, Half, Matrix};
+
+/// Thread-block mapping for the coarse kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoarseMapping {
+    /// One block per output block row (ours): LHS reuse + pipelining.
+    BlockRowPerTb,
+    /// One block per non-zero block (Triton-style): balanced, no reuse.
+    BlockPerTb,
+}
+
+fn coarse_launch(block: usize, head_dim: usize) -> LaunchConfig {
+    LaunchConfig {
+        threads_per_tb: 128,
+        regs_per_thread: 96,
+        // LHS tile + double-buffered RHS tile staged in shared memory.
+        smem_per_tb: 3 * block * head_dim * 2,
+    }
+}
+
+/// Builds the timing profile of the coarse SDDMM `S_blk = Q × Kᵀ`
+/// restricted to the blocks of `structure`, replicated over
+/// `dims.instances()` heads.
+pub fn coarse_sddmm_profile(
+    spec: &DeviceSpec,
+    dims: &AttnDims,
+    structure: &Bsr<Half>,
+    mapping: CoarseMapping,
+    name: &str,
+) -> KernelProfile {
+    let b = structure.block_size();
+    let dh = dims.head_dim;
+    let launch = coarse_launch(b, dh);
+    let mut tbs = Vec::new();
+    let per_instance: Vec<TbWork> = match mapping {
+        CoarseMapping::BlockRowPerTb => (0..structure.block_rows())
+            .filter(|&br| structure.block_row_nnz(br) > 0)
+            .map(|br| {
+                let n = structure.block_row_nnz(br) as u64;
+                let (b, dh) = (b as u64, dh as u64);
+                TbWork {
+                    tensor_macs: n * b * b * dh,
+                    cuda_flops: n * b * b, // epilogue converts/stores
+                    sfu_ops: 0,
+                    // LHS row block once (shared-memory reuse), RHS per block.
+                    l2_read: b * dh * 2 + n * b * dh * 2 + (n + 2) * 4,
+                    dram_read: 0,
+                    dram_write: n * b * b * 2,
+                    stall_cycles: tuning::PIPELINED_STALL_CYCLES,
+                }
+            })
+            .collect(),
+        CoarseMapping::BlockPerTb => (0..structure.nnz_blocks())
+            .map(|_| {
+                let (b, dh) = (b as u64, dh as u64);
+                TbWork {
+                    tensor_macs: b * b * dh,
+                    cuda_flops: b * b,
+                    sfu_ops: 0,
+                    // Both operand blocks reloaded per output block (BCOO).
+                    l2_read: 2 * b * dh * 2 + 8,
+                    dram_read: 0,
+                    dram_write: b * b * 2,
+                    stall_cycles: tuning::PIPELINED_STALL_CYCLES,
+                }
+            })
+            .collect(),
+    };
+    for _ in 0..dims.instances() {
+        tbs.extend_from_slice(&per_instance);
+    }
+    let mut profile = KernelProfile {
+        name: name.to_owned(),
+        launch,
+        tbs,
+        cache: None,
+    };
+    let unique = 2 * dims.operand_bytes() * dims.instances() as u64
+        + structure.metadata_bytes() * dims.instances() as u64;
+    apply_cache_model(
+        spec,
+        &mut profile,
+        CacheHints {
+            unique_bytes: unique,
+            reuse_footprint: dims.operand_bytes(),
+        },
+    );
+    apply_writeback_filter(spec, &mut profile);
+    profile
+}
+
+/// Computes the coarse SDDMM functionally: every stored block of
+/// `structure` is filled with `Q_blockrow × K_blockcolᵀ` (FP16 inputs,
+/// FP32 accumulation, rounded to FP16) — including elements at invalid
+/// positions, which is exactly the coarse method's wasted work.
+///
+/// # Panics
+///
+/// Panics if `q`/`k` dimensions disagree with the structure.
+pub fn coarse_sddmm_compute(
+    q: &Matrix<Half>,
+    k: &Matrix<Half>,
+    structure: &Bsr<Half>,
+) -> Bsr<Half> {
+    assert_eq!(q.rows(), structure.rows(), "Q rows mismatch");
+    assert_eq!(k.rows(), structure.cols(), "K rows mismatch");
+    assert_eq!(q.cols(), k.cols(), "head dimension mismatch");
+    let b = structure.block_size();
+    let mut out = structure.clone();
+    for br in 0..structure.block_rows() {
+        for i in structure.block_row_range(br) {
+            let bc = structure.block_col_indices()[i];
+            let blk = out.block_mut(i);
+            for r in 0..b {
+                for c in 0..b {
+                    let v = dot(q.row(br * b + r), k.row(bc * b + c));
+                    blk[r * b + c] = Half::from_f32(v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Builds the timing profile of the coarse SpMM `C = P_blk × V`,
+/// replicated over `dims.instances()` heads.
+pub fn coarse_spmm_profile(
+    spec: &DeviceSpec,
+    dims: &AttnDims,
+    structure: &Bsr<Half>,
+    mapping: CoarseMapping,
+    name: &str,
+) -> KernelProfile {
+    let b = structure.block_size();
+    let dh = dims.head_dim;
+    let launch = coarse_launch(b, dh);
+    // One output tile (block-row × head_dim) per thread block; tiles along
+    // the head dimension when head_dim exceeds the block size.
+    let tiles_per_row = dh.div_ceil(b).max(1);
+    let per_instance: Vec<TbWork> = (0..structure.block_rows())
+        .filter(|&br| structure.block_row_nnz(br) > 0)
+        .flat_map(|br| {
+            let n = structure.block_row_nnz(br) as u64;
+            let (bu, dhu) = (b as u64, (dh / tiles_per_row) as u64);
+            let stall = match mapping {
+                CoarseMapping::BlockRowPerTb => tuning::PIPELINED_STALL_CYCLES,
+                CoarseMapping::BlockPerTb => {
+                    tuning::PIPELINED_STALL_CYCLES + n * tuning::UNPIPELINED_STALL_PER_ITER
+                }
+            };
+            let extra_meta = match mapping {
+                CoarseMapping::BlockRowPerTb => 0,
+                // Triton keeps BCOO (SDDMM) and BSR (SpMM) metadata both.
+                CoarseMapping::BlockPerTb => n * 8,
+            };
+            std::iter::repeat_with(move || TbWork {
+                tensor_macs: n * bu * bu * dhu,
+                cuda_flops: bu * dhu,
+                sfu_ops: 0,
+                // Each non-zero LHS block + the matching RHS rows.
+                l2_read: n * (bu * bu * 2 + bu * dhu * 2) + (n + 2) * 4 + extra_meta,
+                dram_read: 0,
+                dram_write: bu * dhu * 2,
+                stall_cycles: stall,
+            })
+            .take(tiles_per_row)
+        })
+        .collect();
+    let mut tbs = Vec::new();
+    for _ in 0..dims.instances() {
+        tbs.extend_from_slice(&per_instance);
+    }
+    let mut profile = KernelProfile {
+        name: name.to_owned(),
+        launch,
+        tbs,
+        cache: None,
+    };
+    let unique = (structure.value_bytes() + structure.metadata_bytes() + dims.operand_bytes())
+        * dims.instances() as u64;
+    apply_cache_model(
+        spec,
+        &mut profile,
+        CacheHints {
+            unique_bytes: unique,
+            reuse_footprint: dims.operand_bytes(),
+        },
+    );
+    apply_writeback_filter(spec, &mut profile);
+    profile
+}
+
+/// Computes the coarse SpMM functionally: `C = P × V` where `P` is the
+/// blocked sparse matrix (masked-out positions hold zero after softmax, so
+/// they contribute nothing).
+///
+/// # Panics
+///
+/// Panics if `v` dimensions disagree with the structure.
+pub fn coarse_spmm_compute(p: &Bsr<Half>, v: &Matrix<Half>) -> Matrix<Half> {
+    assert_eq!(v.rows(), p.cols(), "V rows mismatch");
+    let b = p.block_size();
+    let dh = v.cols();
+    let mut acc = Matrix::<f32>::zeros(p.rows(), dh);
+    for (br, bc, elems) in p.iter_blocks() {
+        for r in 0..b {
+            let out_row = acc.row_mut(br * b + r);
+            for c in 0..b {
+                let pv = elems[r * b + c].to_f32();
+                if pv == 0.0 {
+                    continue;
+                }
+                let v_row = v.row(bc * b + c);
+                for (d, out_val) in out_row.iter_mut().enumerate() {
+                    *out_val += pv * v_row[d].to_f32();
+                }
+            }
+        }
+    }
+    acc.cast()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_tensor::gemm_nt;
+
+    fn dims() -> AttnDims {
+        AttnDims {
+            seq_len: 16,
+            head_dim: 8,
+            batch: 1,
+            heads: 2,
+        }
+    }
+
+    fn diag_structure() -> Bsr<Half> {
+        Bsr::from_block_coords(16, 16, 4, &[(0, 0), (0, 3), (1, 1), (2, 2), (3, 3)]).expect("valid")
+    }
+
+    #[test]
+    fn sddmm_compute_matches_dense_reference() {
+        let q = Matrix::<Half>::random(16, 8, 1);
+        let k = Matrix::<Half>::random(16, 8, 2);
+        let s = coarse_sddmm_compute(&q, &k, &diag_structure());
+        let reference: Matrix<f32> = gemm_nt(&q, &k);
+        for (br, bc, elems) in s.iter_blocks() {
+            for r in 0..4 {
+                for c in 0..4 {
+                    let expect = Half::from_f32(reference.get(br * 4 + r, bc * 4 + c));
+                    assert_eq!(elems[r * 4 + c], expect, "block ({br},{bc}) elem ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_compute_matches_dense_reference() {
+        let structure = diag_structure();
+        let q = Matrix::<Half>::random(16, 8, 3);
+        let k = Matrix::<Half>::random(16, 8, 4);
+        let p = coarse_sddmm_compute(&q, &k, &structure);
+        let v = Matrix::<Half>::random(16, 8, 5);
+        let c = coarse_spmm_compute(&p, &v);
+        // Dense reference: P materialised densely times V.
+        let c_ref: Matrix<f32> = mg_tensor::gemm(&p.to_dense(), &v);
+        assert!(
+            c.max_abs_diff(&c_ref) < 0.05,
+            "diff {}",
+            c.max_abs_diff(&c_ref)
+        );
+    }
+
+    #[test]
+    fn row_split_profile_has_one_tb_per_block_row() {
+        let spec = DeviceSpec::a100();
+        let p = coarse_sddmm_profile(
+            &spec,
+            &dims(),
+            &diag_structure(),
+            CoarseMapping::BlockRowPerTb,
+            "sddmm",
+        );
+        // 4 non-empty block rows x 2 instances.
+        assert_eq!(p.tb_count(), 8);
+    }
+
+    #[test]
+    fn block_per_tb_profile_has_one_tb_per_block() {
+        let spec = DeviceSpec::a100();
+        let p = coarse_sddmm_profile(
+            &spec,
+            &dims(),
+            &diag_structure(),
+            CoarseMapping::BlockPerTb,
+            "sddmm",
+        );
+        assert_eq!(p.tb_count(), 10); // 5 blocks x 2 instances
+    }
+
+    #[test]
+    fn row_split_reads_less_than_block_per_tb() {
+        // LHS reuse: the row-split kernel pulls less through L2.
+        let spec = DeviceSpec::a100();
+        let ours = coarse_sddmm_profile(
+            &spec,
+            &dims(),
+            &diag_structure(),
+            CoarseMapping::BlockRowPerTb,
+            "ours",
+        );
+        let triton = coarse_sddmm_profile(
+            &spec,
+            &dims(),
+            &diag_structure(),
+            CoarseMapping::BlockPerTb,
+            "triton",
+        );
+        assert!(ours.total().l2_read < triton.total().l2_read);
+    }
+
+    #[test]
+    fn sddmm_flops_proportional_to_stored_blocks() {
+        let spec = DeviceSpec::a100();
+        let p = coarse_sddmm_profile(
+            &spec,
+            &dims(),
+            &diag_structure(),
+            CoarseMapping::BlockRowPerTb,
+            "sddmm",
+        );
+        // 5 blocks x 4x4x8 MACs x 2 instances.
+        assert_eq!(p.total().tensor_macs, 5 * 4 * 4 * 8 * 2);
+    }
+
+    #[test]
+    fn spmm_unpipelined_variant_stalls_more() {
+        let spec = DeviceSpec::a100();
+        let ours = coarse_spmm_profile(
+            &spec,
+            &dims(),
+            &diag_structure(),
+            CoarseMapping::BlockRowPerTb,
+            "ours",
+        );
+        let triton = coarse_spmm_profile(
+            &spec,
+            &dims(),
+            &diag_structure(),
+            CoarseMapping::BlockPerTb,
+            "triton",
+        );
+        assert!(ours.total().stall_cycles < triton.total().stall_cycles);
+    }
+
+    #[test]
+    fn spmm_writes_one_tile_per_block_row() {
+        let spec = DeviceSpec::a100();
+        let p = coarse_spmm_profile(
+            &spec,
+            &dims(),
+            &diag_structure(),
+            CoarseMapping::BlockRowPerTb,
+            "spmm",
+        );
+        // Output rows written exactly once per instance (16 x 8 x 2B x 2),
+        // with the L2 write-back filter keeping 25% as DRAM evictions.
+        assert_eq!(p.total().dram_write, 16 * 8 * 2 * 2 / 4);
+    }
+}

@@ -1,0 +1,80 @@
+//! Attention problem dimensions shared by every kernel.
+
+/// Shape of one sparse-attention problem: the per-head matrices are
+/// `seq_len × head_dim`, and `batch × heads` independent instances run in
+/// one batched kernel launch (paper §2.2's multi-head setting).
+///
+/// # Examples
+///
+/// ```
+/// use mg_kernels::AttnDims;
+///
+/// let dims = AttnDims { seq_len: 4096, head_dim: 64, batch: 1, heads: 4 };
+/// assert_eq!(dims.instances(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AttnDims {
+    /// Sequence length `L` (padded).
+    pub seq_len: usize,
+    /// Per-head hidden dimension `D_h`.
+    pub head_dim: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+}
+
+impl AttnDims {
+    /// Number of independent per-head instances in one batched launch.
+    pub fn instances(&self) -> usize {
+        self.batch * self.heads
+    }
+
+    /// The softmax scaling factor `1 / sqrt(D_h)` (paper §2.2).
+    pub fn scale(&self) -> f32 {
+        1.0 / (self.head_dim as f32).sqrt()
+    }
+
+    /// Bytes of one `seq_len × head_dim` FP16 operand.
+    pub fn operand_bytes(&self) -> u64 {
+        (self.seq_len * self.head_dim) as u64 * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instances_multiply() {
+        let d = AttnDims {
+            seq_len: 8,
+            head_dim: 4,
+            batch: 3,
+            heads: 5,
+        };
+        assert_eq!(d.instances(), 15);
+    }
+
+    #[test]
+    fn scale_is_inverse_sqrt() {
+        let d = AttnDims {
+            seq_len: 8,
+            head_dim: 64,
+            batch: 1,
+            heads: 1,
+        };
+        assert!((d.scale() - 0.125).abs() < 1e-7);
+    }
+
+    #[test]
+    fn operand_bytes_are_fp16() {
+        let d = AttnDims {
+            seq_len: 16,
+            head_dim: 8,
+            batch: 1,
+            heads: 1,
+        };
+        assert_eq!(d.operand_bytes(), 256);
+    }
+}

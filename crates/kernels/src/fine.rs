@@ -1,0 +1,415 @@
+//! Fine-grained (element-wise, CSR) sparse GEMM kernels — the Sputnik-
+//! style method (paper §2.4 and §4).
+//!
+//! The SDDMM comes in two schemes:
+//!
+//! * [`FineSddmmScheme::RowSplit`] — the paper's optimized Sputnik: one
+//!   thread block per output row, touching only the row's non-zeros.
+//! * [`FineSddmmScheme::OneDimTiling`] — the official Sputnik mapping the
+//!   paper replaces: fixed-size one-dimensional output tiles, so short
+//!   rows leave warps idle and spawn extra thread blocks (the 3.3×–6.2×
+//!   ablation of §4).
+//!
+//! The SpMM uses Sputnik's 1D tiling over the *dense* output, which is
+//! appropriate there (every output element exists).
+
+use crate::cache::{apply_cache_model, apply_writeback_filter, CacheHints};
+use crate::{tuning, AttnDims};
+use mg_gpusim::{DeviceSpec, KernelProfile, LaunchConfig, TbWork};
+use mg_sparse::Csr;
+use mg_tensor::{dot, Half, Matrix};
+
+/// Output mapping of the fine SDDMM kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FineSddmmScheme {
+    /// One thread block per output row (the paper's optimization).
+    RowSplit,
+    /// Fixed-size 1D output tiles (official Sputnik; wasteful on short
+    /// rows).
+    OneDimTiling,
+}
+
+/// Elements covered by one 1D tile in [`FineSddmmScheme::OneDimTiling`].
+pub const ONE_DIM_TILE: usize = 128;
+
+fn row_split_launch() -> LaunchConfig {
+    LaunchConfig {
+        threads_per_tb: 64,
+        regs_per_thread: 64,
+        smem_per_tb: 2 * 1024,
+    }
+}
+
+fn one_dim_launch() -> LaunchConfig {
+    // The official kernel's register pressure caps occupancy well below
+    // the row-split kernel's (the paper's "decreases the achieved active
+    // warps per SM" observation, §4).
+    LaunchConfig {
+        threads_per_tb: ONE_DIM_TILE,
+        regs_per_thread: 128,
+        smem_per_tb: 2 * 1024,
+    }
+}
+
+/// Estimates the reuse footprint of fine-kernel RHS accesses: the bytes of
+/// distinct RHS rows touched by a group of `group` consecutive output
+/// rows. Sliding-window patterns produce small footprints (L1-resident),
+/// scattered patterns produce operand-sized ones.
+pub fn fine_reuse_footprint(structure: &Csr<Half>, head_dim: usize, group: usize) -> u64 {
+    let rows = structure.rows();
+    if rows == 0 {
+        return 0;
+    }
+    let group = group.max(1);
+    // Co-resident thread blocks are handed out round-robin across SMs, so
+    // the rows sharing an SM's L1 are STRIDED through the matrix, not
+    // consecutive. Sample `group` rows at the typical dispatch stride.
+    let stride = 101.min(rows.max(1));
+    let mut samples = 0u64;
+    let mut total_distinct = 0u64;
+    let mut start = 0;
+    while start < rows && samples < 8 {
+        let mut cols: Vec<usize> = (0..group)
+            .map(|i| (start + i * stride) % rows)
+            .flat_map(|r| {
+                let range = structure.row_range(r);
+                structure.col_indices()[range].iter().copied()
+            })
+            .collect();
+        cols.sort_unstable();
+        cols.dedup();
+        total_distinct += cols.len() as u64;
+        samples += 1;
+        start += (rows / 8).max(1);
+    }
+    let avg_distinct = total_distinct / samples.max(1);
+    avg_distinct * head_dim as u64 * 2
+}
+
+/// Builds the timing profile of the fine SDDMM `s[i] = q_row · k_col` over
+/// the non-zeros of `structure`, replicated over `dims.instances()` heads.
+pub fn fine_sddmm_profile(
+    spec: &DeviceSpec,
+    dims: &AttnDims,
+    structure: &Csr<Half>,
+    scheme: FineSddmmScheme,
+    name: &str,
+) -> KernelProfile {
+    let dh = dims.head_dim as u64;
+    let per_instance: Vec<TbWork> = match scheme {
+        FineSddmmScheme::RowSplit => (0..structure.rows())
+            .map(|r| {
+                let n = structure.row_nnz(r) as u64;
+                TbWork {
+                    tensor_macs: 0,
+                    cuda_flops: n * dh * 2 + n * 4,
+                    sfu_ops: 0,
+                    // Q row once (registers), K row + column index per nnz.
+                    l2_read: dh * 2 + n * (dh * 2 + 4) + 8,
+                    dram_read: 0,
+                    dram_write: n * 2,
+                    stall_cycles: tuning::FINE_STALL_CYCLES,
+                }
+            })
+            .collect(),
+        FineSddmmScheme::OneDimTiling => (0..structure.rows())
+            .flat_map(|r| {
+                let n = structure.row_nnz(r);
+                let tiles = n.div_ceil(ONE_DIM_TILE).max(1);
+                (0..tiles).map(move |t| {
+                    let real = (n - t * ONE_DIM_TILE).min(ONE_DIM_TILE) as u64;
+                    TbWork {
+                        tensor_macs: 0,
+                        // Idle warps still occupy the block for the full
+                        // tile's duration: charge the padded tile.
+                        cuda_flops: ONE_DIM_TILE as u64 * dh * 2,
+                        sfu_ops: 0,
+                        l2_read: dh * 2 + real * (dh * 2 + 4) + 8,
+                        dram_read: 0,
+                        dram_write: real * 2,
+                        stall_cycles: tuning::FINE_STALL_CYCLES,
+                    }
+                })
+            })
+            .collect(),
+    };
+    let launch = match scheme {
+        FineSddmmScheme::RowSplit => row_split_launch(),
+        FineSddmmScheme::OneDimTiling => one_dim_launch(),
+    };
+    let mut tbs = Vec::new();
+    for _ in 0..dims.instances() {
+        tbs.extend_from_slice(&per_instance);
+    }
+    let mut profile = KernelProfile {
+        name: name.to_owned(),
+        launch,
+        tbs,
+        cache: None,
+    };
+    let unique = (2 * dims.operand_bytes() + structure.metadata_bytes()) * dims.instances() as u64;
+    apply_cache_model(
+        spec,
+        &mut profile,
+        CacheHints {
+            unique_bytes: unique,
+            reuse_footprint: fine_reuse_footprint(structure, dims.head_dim, 16),
+        },
+    );
+    apply_writeback_filter(spec, &mut profile);
+    profile
+}
+
+/// Computes the fine SDDMM functionally: fills the values of `structure`
+/// with `q[row] · k[col]` (FP32 accumulation, FP16 result) — only valid
+/// elements, no waste.
+///
+/// # Panics
+///
+/// Panics if `q`/`k` dimensions disagree with the structure.
+pub fn fine_sddmm_compute(q: &Matrix<Half>, k: &Matrix<Half>, structure: &Csr<Half>) -> Csr<Half> {
+    assert_eq!(q.rows(), structure.rows(), "Q rows mismatch");
+    assert_eq!(k.rows(), structure.cols(), "K rows mismatch");
+    assert_eq!(q.cols(), k.cols(), "head dimension mismatch");
+    let mut out = structure.clone();
+    for r in 0..structure.rows() {
+        let range = structure.row_range(r);
+        for i in range {
+            let c = structure.col_indices()[i];
+            out.values_mut()[i] = Half::from_f32(dot(q.row(r), k.row(c)));
+        }
+    }
+    out
+}
+
+/// Builds the timing profile of the fine SpMM `C = P_csr × V` (1D tiling
+/// over the dense output: one thread block per output row), replicated
+/// over `dims.instances()` heads.
+pub fn fine_spmm_profile(
+    spec: &DeviceSpec,
+    dims: &AttnDims,
+    structure: &Csr<Half>,
+    name: &str,
+) -> KernelProfile {
+    let dh = dims.head_dim as u64;
+    let per_instance: Vec<TbWork> = (0..structure.rows())
+        .map(|r| {
+            let n = structure.row_nnz(r) as u64;
+            TbWork {
+                tensor_macs: 0,
+                cuda_flops: n * dh * 2,
+                sfu_ops: 0,
+                // P value + column index + V row per non-zero.
+                l2_read: n * (2 + 4 + dh * 2) + 8,
+                dram_read: 0,
+                dram_write: dh * 2,
+                stall_cycles: tuning::FINE_STALL_CYCLES,
+            }
+        })
+        .collect();
+    let mut tbs = Vec::new();
+    for _ in 0..dims.instances() {
+        tbs.extend_from_slice(&per_instance);
+    }
+    let mut profile = KernelProfile {
+        name: name.to_owned(),
+        launch: row_split_launch(),
+        tbs,
+        cache: None,
+    };
+    let unique = (dims.operand_bytes() + structure.value_bytes() + structure.metadata_bytes())
+        * dims.instances() as u64;
+    apply_cache_model(
+        spec,
+        &mut profile,
+        CacheHints {
+            unique_bytes: unique,
+            reuse_footprint: fine_reuse_footprint(structure, dims.head_dim, 16),
+        },
+    );
+    apply_writeback_filter(spec, &mut profile);
+    profile
+}
+
+/// Computes the fine SpMM functionally: `C = P × V` over stored non-zeros
+/// only.
+///
+/// # Panics
+///
+/// Panics if `v` row count disagrees with the structure's columns.
+pub fn fine_spmm_compute(p: &Csr<Half>, v: &Matrix<Half>) -> Matrix<Half> {
+    assert_eq!(v.rows(), p.cols(), "V rows mismatch");
+    let dh = v.cols();
+    let mut acc = Matrix::<f32>::zeros(p.rows(), dh);
+    for r in 0..p.rows() {
+        let out_row = acc.row_mut(r);
+        for i in p.row_range(r) {
+            let c = p.col_indices()[i];
+            let pv = p.values()[i].to_f32();
+            if pv == 0.0 {
+                continue;
+            }
+            let v_row = v.row(c);
+            for (d, out_val) in out_row.iter_mut().enumerate() {
+                *out_val += pv * v_row[d].to_f32();
+            }
+        }
+    }
+    acc.cast()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_tensor::gemm_nt;
+
+    fn dims() -> AttnDims {
+        AttnDims {
+            seq_len: 16,
+            head_dim: 8,
+            batch: 1,
+            heads: 1,
+        }
+    }
+
+    fn structure() -> Csr<Half> {
+        Csr::from_coords(
+            16,
+            16,
+            &[(0, 0), (0, 5), (1, 2), (3, 3), (3, 9), (3, 15), (10, 1)],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn sddmm_compute_matches_dense_reference() {
+        let q = Matrix::<Half>::random(16, 8, 1);
+        let k = Matrix::<Half>::random(16, 8, 2);
+        let s = fine_sddmm_compute(&q, &k, &structure());
+        let reference: Matrix<f32> = gemm_nt(&q, &k);
+        for (r, c, v) in s.iter() {
+            assert_eq!(v, Half::from_f32(reference.get(r, c)), "element ({r},{c})");
+        }
+    }
+
+    #[test]
+    fn spmm_compute_matches_dense_reference() {
+        let q = Matrix::<Half>::random(16, 8, 3);
+        let k = Matrix::<Half>::random(16, 8, 4);
+        let p = fine_sddmm_compute(&q, &k, &structure());
+        let v = Matrix::<Half>::random(16, 8, 5);
+        let c = fine_spmm_compute(&p, &v);
+        let c_ref: Matrix<f32> = mg_tensor::gemm(&p.to_dense(), &v);
+        assert!(c.max_abs_diff(&c_ref) < 0.05);
+    }
+
+    #[test]
+    fn row_split_has_one_tb_per_row() {
+        let spec = DeviceSpec::a100();
+        let p = fine_sddmm_profile(
+            &spec,
+            &dims(),
+            &structure(),
+            FineSddmmScheme::RowSplit,
+            "sddmm",
+        );
+        assert_eq!(p.tb_count(), 16);
+    }
+
+    #[test]
+    fn one_dim_tiling_charges_padded_tiles() {
+        let spec = DeviceSpec::a100();
+        let rs = fine_sddmm_profile(
+            &spec,
+            &dims(),
+            &structure(),
+            FineSddmmScheme::RowSplit,
+            "rs",
+        );
+        let od = fine_sddmm_profile(
+            &spec,
+            &dims(),
+            &structure(),
+            FineSddmmScheme::OneDimTiling,
+            "od",
+        );
+        assert!(
+            od.total().cuda_flops > 10 * rs.total().cuda_flops,
+            "padded tiles waste compute: {} vs {}",
+            od.total().cuda_flops,
+            rs.total().cuda_flops
+        );
+    }
+
+    #[test]
+    fn flops_proportional_to_nnz_only() {
+        let spec = DeviceSpec::a100();
+        let p = fine_sddmm_profile(
+            &spec,
+            &dims(),
+            &structure(),
+            FineSddmmScheme::RowSplit,
+            "sddmm",
+        );
+        // 7 nnz x (8 MACs x 2 + epilogue 4).
+        assert_eq!(p.total().cuda_flops, 7 * (8 * 2 + 4));
+    }
+
+    #[test]
+    fn footprint_small_for_local_large_for_random() {
+        let local: Csr<Half> = {
+            let coords: Vec<(usize, usize)> = (0..64)
+                .flat_map(|r: usize| (r.saturating_sub(2)..=(r + 2).min(63)).map(move |c| (r, c)))
+                .collect();
+            Csr::from_coords(64, 64, &coords).expect("valid")
+        };
+        let scattered: Csr<Half> = {
+            let coords: Vec<(usize, usize)> = (0..64).map(|r: usize| (r, (r * 37) % 64)).collect();
+            let mut sorted = coords;
+            sorted.sort_unstable();
+            Csr::from_coords(64, 64, &sorted).expect("valid")
+        };
+        let f_local = fine_reuse_footprint(&local, 64, 16);
+        let f_scattered = fine_reuse_footprint(&scattered, 64, 16);
+        assert!(
+            f_local <= f_scattered * 6,
+            "local {f_local} vs scattered {f_scattered}"
+        );
+        assert!(f_local > 0 && f_scattered > 0);
+    }
+
+    #[test]
+    fn spmm_writes_each_output_row_once() {
+        let spec = DeviceSpec::a100();
+        let p = fine_spmm_profile(&spec, &dims(), &structure(), "spmm");
+        // One write per output element, 25% evicted to DRAM (write-back).
+        assert_eq!(p.total().dram_write, 16 * 8 * 2 / 4);
+    }
+
+    #[test]
+    fn global_row_dominates_row_split_blocks() {
+        // A dense row produces a far heavier thread block than the rest —
+        // the paper's §5.2.1 load-imbalance mechanism.
+        let mut coords: Vec<(usize, usize)> = (0..64).map(|c| (0, c)).collect();
+        coords.extend((1..64).map(|r| (r, r)));
+        coords.sort_unstable();
+        let csr = Csr::<Half>::from_coords(64, 64, &coords).expect("valid");
+        let spec = DeviceSpec::a100();
+        let p = fine_sddmm_profile(
+            &spec,
+            &AttnDims {
+                seq_len: 64,
+                head_dim: 8,
+                batch: 1,
+                heads: 1,
+            },
+            &csr,
+            FineSddmmScheme::RowSplit,
+            "sddmm",
+        );
+        let max = p.tbs.iter().map(|t| t.cuda_flops).max().expect("non-empty");
+        let sum: u64 = p.tbs.iter().map(|t| t.cuda_flops).sum();
+        let mean = sum / p.tb_count() as u64;
+        assert!(max > 20 * mean, "skew: max {max} mean {mean}");
+    }
+}

@@ -1,0 +1,206 @@
+//! Fused single-pass sparse attention (a post-paper extension): the whole
+//! SDDMM → softmax → SpMM chain in one kernel using an online softmax, so
+//! the attention map `S`/`P` never touches device memory.
+//!
+//! The paper's methods (and its baselines) all materialize `S` and `P`;
+//! fusing removes that traffic at the cost of recomputing scores and of a
+//! heavier, lower-occupancy kernel. Comparing the two quantifies how much
+//! of Multigrain's remaining time is attention-map traffic.
+
+use crate::cache::{apply_cache_model, apply_writeback_filter, CacheHints};
+use crate::fine::fine_reuse_footprint;
+use crate::{tuning, AttnDims};
+use mg_gpusim::{DeviceSpec, KernelProfile, LaunchConfig, TbWork};
+use mg_patterns::CompoundPattern;
+use mg_tensor::{dot, Half, Matrix};
+
+/// Functionally computes fused sparse attention with an online softmax:
+/// for each row, a single sweep over the pattern's columns maintains the
+/// running maximum, the rescaled exponential sum, and the rescaled output
+/// accumulator — mathematically identical to the three-step pipeline.
+///
+/// # Panics
+///
+/// Panics if the matrices disagree with the pattern's sequence length.
+pub fn fused_attention_compute(
+    q: &Matrix<Half>,
+    k: &Matrix<Half>,
+    v: &Matrix<Half>,
+    pattern: &CompoundPattern,
+    scale: f32,
+) -> Matrix<Half> {
+    let l = pattern.seq_len();
+    assert_eq!(q.rows(), l, "Q rows mismatch");
+    assert_eq!(k.rows(), l, "K rows mismatch");
+    assert_eq!(v.rows(), l, "V rows mismatch");
+    let dh = q.cols();
+    let mut out = Matrix::<Half>::zeros(l, dh);
+
+    for r in 0..l {
+        let cols = pattern.row_columns(r);
+        if cols.is_empty() {
+            continue;
+        }
+        let mut running_max = f32::NEG_INFINITY;
+        let mut running_sum = 0.0f32;
+        let mut acc = vec![0.0f32; dh];
+        for &c in &cols {
+            // Score in FP16 like the pipeline's stored S, then scaled.
+            let s = Half::from_f32(dot(q.row(r), k.row(c))).to_f32() * scale;
+            let new_max = running_max.max(s);
+            let correction = (running_max - new_max).exp();
+            let p = (s - new_max).exp();
+            running_sum = running_sum * correction + p;
+            let v_row = v.row(c);
+            for (d, slot) in acc.iter_mut().enumerate() {
+                *slot = *slot * correction + p * v_row[d].to_f32();
+            }
+            running_max = new_max;
+        }
+        let inv = 1.0 / running_sum;
+        let out_row = out.row_mut(r);
+        for (d, slot) in acc.iter().enumerate() {
+            out_row[d] = Half::from_f32(slot * inv);
+        }
+    }
+    out
+}
+
+/// Timing profile of the fused kernel: one thread block per row group,
+/// streaming K/V tiles through shared memory. No `S`/`P` reads or writes;
+/// scores cost tensor MACs, the online rescale costs CUDA flops and SFU
+/// ops, and only `Q`, `K`, `V`, and `C` move through the hierarchy.
+pub fn fused_attention_profile(
+    spec: &DeviceSpec,
+    dims: &AttnDims,
+    pattern: &CompoundPattern,
+    name: &str,
+) -> KernelProfile {
+    // Row-group per thread block (like the coarse kernels' block rows).
+    let group = 64usize.min(dims.seq_len).max(1);
+    let dh = dims.head_dim as u64;
+    let launch = LaunchConfig {
+        threads_per_tb: 256,
+        regs_per_thread: 160, // accumulators live in registers
+        smem_per_tb: 2 * group * dims.head_dim * 2,
+    };
+    let groups = dims.seq_len.div_ceil(group);
+    let per_instance: Vec<TbWork> = (0..groups)
+        .map(|g| {
+            let nnz: u64 = (g * group..((g + 1) * group).min(dims.seq_len))
+                .map(|r| pattern.row_columns(r).len() as u64)
+                .sum();
+            TbWork {
+                tensor_macs: nnz * dh,          // Q·K scores
+                cuda_flops: nnz * (dh * 2 + 8), // P·V accumulate + rescale
+                sfu_ops: nnz * 2,               // exp for score and correction
+                // Q group once; K and V rows per valid element.
+                l2_read: (group as u64) * dh * 2 + nnz * 2 * dh * 2 + nnz * 4,
+                dram_read: 0,
+                dram_write: (group as u64) * dh * 2, // only the context
+                stall_cycles: tuning::FINE_STALL_CYCLES,
+            }
+        })
+        .filter(|w| w.cuda_flops > 0)
+        .collect();
+    let mut tbs = Vec::new();
+    for _ in 0..dims.instances() {
+        tbs.extend_from_slice(&per_instance);
+    }
+    let mut profile = KernelProfile {
+        name: name.to_owned(),
+        launch,
+        tbs,
+        cache: None,
+    };
+    let unique = 3 * dims.operand_bytes() * dims.instances() as u64;
+    let footprint = fine_reuse_footprint(&pattern.to_csr::<Half>(), dims.head_dim, 16) * 2;
+    apply_cache_model(
+        spec,
+        &mut profile,
+        CacheHints {
+            unique_bytes: unique,
+            reuse_footprint: footprint,
+        },
+    );
+    apply_writeback_filter(spec, &mut profile);
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_patterns::AtomicPattern;
+    use mg_tensor::{gemm, gemm_nt, softmax_rows};
+
+    fn pattern() -> CompoundPattern {
+        CompoundPattern::new(64)
+            .with(AtomicPattern::Local { window: 8 })
+            .with(AtomicPattern::Random {
+                per_row: 4,
+                seed: 9,
+            })
+            .with(AtomicPattern::Global {
+                tokens: vec![0, 30],
+            })
+    }
+
+    #[test]
+    fn fused_matches_three_step_reference() {
+        let p = pattern();
+        let q = Matrix::<Half>::random(64, 16, 1);
+        let k = Matrix::<Half>::random(64, 16, 2);
+        let v = Matrix::<Half>::random(64, 16, 3);
+        let fused = fused_attention_compute(&q, &k, &v, &p, 0.25);
+        let s: Matrix<Half> = gemm_nt(&q, &k);
+        let probs: Matrix<Half> = softmax_rows(&s, 0.25, Some(&p.to_dense_mask()));
+        let reference: Matrix<Half> = gemm(&probs, &v);
+        let diff = fused.max_abs_diff(&reference);
+        assert!(diff < 0.02, "online softmax diverges: {diff}");
+    }
+
+    #[test]
+    fn fused_handles_padded_rows() {
+        let p = CompoundPattern::new(32)
+            .with(AtomicPattern::Dense)
+            .with_valid_len(20);
+        let q = Matrix::<Half>::random(32, 8, 4);
+        let out = fused_attention_compute(&q, &q.clone(), &q.clone(), &p, 1.0);
+        for r in 20..32 {
+            assert!(
+                out.row(r).iter().all(|v| v.to_f32() == 0.0),
+                "padded row {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_profile_writes_only_the_context() {
+        let spec = DeviceSpec::a100();
+        let dims = AttnDims {
+            seq_len: 64,
+            head_dim: 16,
+            batch: 1,
+            heads: 2,
+        };
+        let prof = fused_attention_profile(&spec, &dims, &pattern(), "fused");
+        // Writes = context only (25% eviction floor applies): the
+        // attention map's 2 bytes per non-zero never appear anywhere in
+        // the write stream.
+        let raw_context = (64 * 16 * 2 * 2) as u64;
+        assert_eq!(prof.total().dram_write, raw_context / 4);
+    }
+
+    #[test]
+    fn fused_profile_charges_double_exp() {
+        let spec = DeviceSpec::a100();
+        let dims = AttnDims {
+            seq_len: 64,
+            head_dim: 16,
+            batch: 1,
+            heads: 1,
+        };
+        let prof = fused_attention_profile(&spec, &dims, &pattern(), "fused");
+        assert_eq!(prof.total().sfu_ops, 2 * pattern().nnz() as u64);
+    }
+}

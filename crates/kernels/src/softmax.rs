@@ -1,0 +1,485 @@
+//! Sparse softmax kernels with fused scaling and masking — paper §3.3.
+//!
+//! Three sparse variants plus a dense one:
+//!
+//! * [`compound_softmax_profile`] / [`compound_softmax_compute`] — the
+//!   paper's kernel: a single kernel sweeps each row's non-zero blocks
+//!   (BSR) *and* non-zero elements (CSR) through the three safe-softmax
+//!   steps, so rows mixing coarse and fine elements normalize correctly.
+//! * [`element_softmax_profile`] — Sputnik-style: element-wise CSR
+//!   processing; exact, but per-element metadata and an extra
+//!   scale/mask pass cost memory requests (§5.2.2).
+//! * [`blocked_softmax_profile`] — Triton-style: blocked processing that
+//!   wastes work on every invalid element inside stored blocks.
+//! * [`dense_softmax_profile`] — TensorRT-style row softmax for the
+//!   global-pattern rows.
+
+use crate::cache::{apply_cache_model, apply_writeback_filter, CacheHints};
+use crate::AttnDims;
+use mg_gpusim::{DeviceSpec, KernelProfile, LaunchConfig, TbWork};
+use mg_patterns::BlockedPattern;
+use mg_sparse::{Bsr, Csr};
+use mg_tensor::{Half, Matrix};
+
+fn softmax_launch() -> LaunchConfig {
+    LaunchConfig {
+        threads_per_tb: 256,
+        regs_per_thread: 40,
+        smem_per_tb: 4 * 1024,
+    }
+}
+
+/// Per-valid-element costs of the compound kernel: the row is staged once,
+/// swept in registers, written once. Mask values ride with the coarse
+/// blocks (storage-aligned, coalesced).
+const COMPOUND_READ_B: u64 = 6; // one staging read + one L2-resident re-read
+const COMPOUND_FLOPS: u64 = 8;
+/// Sputnik-style costs: separate scale/mask pass (extra read+write) and a
+/// 4-byte column index per element to index the mask matrix.
+const ELEMENT_READ_B: u64 = 14;
+const ELEMENT_WRITE_B: u64 = 4;
+const ELEMENT_FLOPS: u64 = 10;
+
+/// Profile of the compound sparse softmax: one thread block per output
+/// block row sweeping that row group's BSR blocks and CSR elements.
+pub fn compound_softmax_profile(
+    spec: &DeviceSpec,
+    dims: &AttnDims,
+    coarse: Option<&BlockedPattern>,
+    fine: Option<&Csr<Half>>,
+    name: &str,
+) -> KernelProfile {
+    let block = coarse.map_or(64, |c| c.structure.block_size());
+    let block_rows = dims.seq_len.div_ceil(block);
+    let per_instance: Vec<TbWork> = (0..block_rows)
+        .map(|br| {
+            let coarse_elems: u64 = coarse.map_or(0, |c| {
+                if br < c.structure.block_rows() {
+                    (c.structure.block_row_nnz(br) * block * block) as u64
+                } else {
+                    0
+                }
+            });
+            let fine_elems: u64 = fine.map_or(0, |f| {
+                (br * block..((br + 1) * block).min(f.rows()))
+                    .map(|r| f.row_nnz(r) as u64)
+                    .sum()
+            });
+            let elems = coarse_elems + fine_elems;
+            TbWork {
+                tensor_macs: 0,
+                cuda_flops: elems * COMPOUND_FLOPS,
+                sfu_ops: elems,
+                // Values + coarse-aligned mask (2B) + per-block metadata.
+                l2_read: elems * COMPOUND_READ_B + coarse_elems * 2 + 64,
+                dram_read: 0,
+                dram_write: elems * 2,
+                stall_cycles: 0,
+            }
+        })
+        .filter(|w| w.cuda_flops > 0)
+        .collect();
+    finish_softmax_profile(spec, dims, per_instance, name)
+}
+
+/// Profile of the Sputnik-style element-wise sparse softmax over a CSR
+/// matrix (separate scale/mask pass, per-element metadata).
+pub fn element_softmax_profile(
+    spec: &DeviceSpec,
+    dims: &AttnDims,
+    structure: &Csr<Half>,
+    name: &str,
+) -> KernelProfile {
+    let per_instance: Vec<TbWork> = (0..structure.rows())
+        .map(|r| {
+            let n = structure.row_nnz(r) as u64;
+            TbWork {
+                tensor_macs: 0,
+                cuda_flops: n * ELEMENT_FLOPS,
+                sfu_ops: n,
+                l2_read: n * ELEMENT_READ_B + 8,
+                dram_read: 0,
+                dram_write: n * ELEMENT_WRITE_B,
+                stall_cycles: 0,
+            }
+        })
+        .collect();
+    finish_softmax_profile(spec, dims, per_instance, name)
+}
+
+/// Profile of the Triton-style blocked sparse softmax: every stored block
+/// element is processed, valid or not (the §5.2.2 waste).
+pub fn blocked_softmax_profile(
+    spec: &DeviceSpec,
+    dims: &AttnDims,
+    blocked: &BlockedPattern,
+    name: &str,
+) -> KernelProfile {
+    let block = blocked.structure.block_size();
+    let per_instance: Vec<TbWork> = (0..blocked.structure.block_rows())
+        .map(|br| {
+            let stored = (blocked.structure.block_row_nnz(br) * block * block) as u64;
+            TbWork {
+                tensor_macs: 0,
+                cuda_flops: stored * COMPOUND_FLOPS,
+                sfu_ops: stored, // exp(-inf) still occupies the SFU
+                // Values over the passes + mask per stored element.
+                l2_read: stored * (COMPOUND_READ_B + 2) + 64,
+                dram_read: 0,
+                dram_write: stored * 2,
+                stall_cycles: 0,
+            }
+        })
+        .filter(|w| w.cuda_flops > 0)
+        .collect();
+    finish_softmax_profile(spec, dims, per_instance, name)
+}
+
+/// Profile of the dense row softmax (TensorRT-style) used for the global
+/// rows: `rows` dense rows of `seq_len` elements each.
+pub fn dense_softmax_profile(
+    spec: &DeviceSpec,
+    dims: &AttnDims,
+    rows: usize,
+    name: &str,
+) -> KernelProfile {
+    let n = dims.seq_len as u64;
+    let per_instance: Vec<TbWork> = (0..rows)
+        .map(|_| TbWork {
+            tensor_macs: 0,
+            cuda_flops: n * COMPOUND_FLOPS,
+            sfu_ops: n,
+            l2_read: n * COMPOUND_READ_B,
+            dram_read: 0,
+            dram_write: n * 2,
+            stall_cycles: 0,
+        })
+        .collect();
+    finish_softmax_profile(spec, dims, per_instance, name)
+}
+
+fn finish_softmax_profile(
+    spec: &DeviceSpec,
+    dims: &AttnDims,
+    per_instance: Vec<TbWork>,
+    name: &str,
+) -> KernelProfile {
+    let mut tbs = Vec::new();
+    for _ in 0..dims.instances() {
+        tbs.extend_from_slice(&per_instance);
+    }
+    let mut profile = KernelProfile {
+        name: name.to_owned(),
+        launch: softmax_launch(),
+        tbs,
+        cache: None,
+    };
+    // Softmax streams its input once; raw touches are nearly unique.
+    let raw: u64 = profile.tbs.iter().map(|t| t.l2_read).sum();
+    apply_cache_model(
+        spec,
+        &mut profile,
+        CacheHints {
+            unique_bytes: raw,
+            reuse_footprint: raw,
+        },
+    );
+    apply_writeback_filter(spec, &mut profile);
+    profile
+}
+
+/// Functionally computes the compound sparse softmax over a row-aligned
+/// pair of parts: BSR blocks (with a storage-aligned validity mask) and
+/// CSR elements. Scaling is fused; masked block elements produce zero.
+///
+/// Both parts participate in the *same* row-wise normalization — the
+/// correctness property §3.3 is about.
+///
+/// # Panics
+///
+/// Panics if the parts' row counts disagree, or the mask length does not
+/// match the BSR storage.
+pub fn compound_softmax_compute(
+    coarse: Option<(&Bsr<Half>, &[f32])>,
+    fine: Option<&Csr<Half>>,
+    scale: f32,
+) -> (Option<Bsr<Half>>, Option<Csr<Half>>) {
+    let rows = coarse
+        .map(|(b, _)| b.rows())
+        .or_else(|| fine.map(Csr::rows))
+        .unwrap_or(0);
+    if let (Some((b, m)), Some(f)) = (coarse, fine) {
+        assert_eq!(b.rows(), f.rows(), "parts must cover the same rows");
+        assert_eq!(
+            m.len(),
+            b.stored_elements(),
+            "mask must align with BSR storage"
+        );
+    }
+    let mut coarse_out = coarse.map(|(b, _)| b.clone());
+    let mut fine_out = fine.cloned();
+
+    let block = coarse.map_or(1, |(b, _)| b.block_size());
+    for r in 0..rows {
+        // Pass 1: max over valid elements of the row.
+        let mut max = f32::NEG_INFINITY;
+        for_each_row_element(coarse, fine, r, block, |v, valid| {
+            if valid {
+                max = max.max(v * scale);
+            }
+        });
+        // Pass 2: exponential sum.
+        let mut sum = 0.0f32;
+        for_each_row_element(coarse, fine, r, block, |v, valid| {
+            if valid {
+                sum += (v * scale - max).exp();
+            }
+        });
+        let inv = if sum > 0.0 { 1.0 / sum } else { 0.0 };
+        // Pass 3: normalize and write back.
+        write_row_softmax(
+            coarse,
+            fine,
+            coarse_out.as_mut(),
+            fine_out.as_mut(),
+            r,
+            block,
+            scale,
+            max,
+            inv,
+        );
+    }
+    (coarse_out, fine_out)
+}
+
+/// Visits every stored element of row `r` across both parts.
+fn for_each_row_element(
+    coarse: Option<(&Bsr<Half>, &[f32])>,
+    fine: Option<&Csr<Half>>,
+    r: usize,
+    block: usize,
+    mut f: impl FnMut(f32, bool),
+) {
+    if let Some((bsr, mask)) = coarse {
+        let br = r / block;
+        let lr = r % block;
+        let sq = block * block;
+        for i in bsr.block_row_range(br) {
+            let blk = bsr.block(i);
+            for lc in 0..block {
+                let valid = mask[i * sq + lr * block + lc] == 0.0;
+                f(blk[lr * block + lc].to_f32(), valid);
+            }
+        }
+    }
+    if let Some(csr) = fine {
+        for i in csr.row_range(r) {
+            f(csr.values()[i].to_f32(), true);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_row_softmax(
+    coarse: Option<(&Bsr<Half>, &[f32])>,
+    fine: Option<&Csr<Half>>,
+    coarse_out: Option<&mut Bsr<Half>>,
+    fine_out: Option<&mut Csr<Half>>,
+    r: usize,
+    block: usize,
+    scale: f32,
+    max: f32,
+    inv: f32,
+) {
+    if let (Some((bsr, mask)), Some(out)) = (coarse, coarse_out) {
+        let br = r / block;
+        let lr = r % block;
+        let sq = block * block;
+        for i in bsr.block_row_range(br) {
+            let src = bsr.block(i);
+            let vals: Vec<Half> = (0..block)
+                .map(|lc| {
+                    let valid = mask[i * sq + lr * block + lc] == 0.0;
+                    if valid && inv > 0.0 {
+                        Half::from_f32((src[lr * block + lc].to_f32() * scale - max).exp() * inv)
+                    } else {
+                        Half::ZERO
+                    }
+                })
+                .collect();
+            let dst = out.block_mut(i);
+            for (lc, v) in vals.into_iter().enumerate() {
+                dst[lr * block + lc] = v;
+            }
+        }
+    }
+    if let (Some(csr), Some(out)) = (fine, fine_out) {
+        for i in csr.row_range(r) {
+            let v = csr.values()[i].to_f32();
+            out.values_mut()[i] = if inv > 0.0 {
+                Half::from_f32((v * scale - max).exp() * inv)
+            } else {
+                Half::ZERO
+            };
+        }
+    }
+}
+
+/// Functionally computes the dense row softmax used for global rows.
+pub fn dense_softmax_compute(rows: &Matrix<Half>, scale: f32) -> Matrix<Half> {
+    mg_tensor::softmax_rows(rows, scale, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_patterns::{AtomicPattern, CompoundPattern, SlicedPattern};
+    use mg_tensor::softmax_rows;
+
+    fn dims() -> AttnDims {
+        AttnDims {
+            seq_len: 32,
+            head_dim: 8,
+            batch: 1,
+            heads: 1,
+        }
+    }
+
+    /// Build a sliced pattern, fill both parts with SDDMM values, softmax
+    /// them with the compound kernel, and compare to the dense reference.
+    #[test]
+    fn compound_softmax_matches_dense_reference() {
+        let pattern = CompoundPattern::new(32)
+            .with(AtomicPattern::Local { window: 4 })
+            .with(AtomicPattern::Random {
+                per_row: 3,
+                seed: 2,
+            });
+        let sliced = SlicedPattern::from_compound(&pattern, 4).expect("aligned");
+        let q = Matrix::<Half>::random(32, 8, 1);
+        let k = Matrix::<Half>::random(32, 8, 2);
+
+        let coarse_s = sliced
+            .coarse()
+            .map(|c| crate::coarse_sddmm_compute(&q, &k, &c.structure));
+        let fine_s = sliced.fine().map(|f| crate::fine_sddmm_compute(&q, &k, f));
+
+        let scale = 0.25;
+        let (pc, pf) = compound_softmax_compute(
+            coarse_s
+                .as_ref()
+                .map(|s| (s, sliced.coarse().expect("coarse").mask.as_slice())),
+            fine_s.as_ref(),
+            scale,
+        );
+
+        // Dense reference over the same pattern.
+        let s_ref: Matrix<f32> = mg_tensor::gemm_nt(&q, &k);
+        let p_ref: Matrix<f32> = softmax_rows(&s_ref, scale, Some(&pattern.to_dense_mask()));
+
+        // Reassemble the sparse result densely.
+        let mut got = Matrix::<f32>::zeros(32, 32);
+        if let Some(pc) = &pc {
+            let mask = &sliced.coarse().expect("coarse").mask;
+            let b = pc.block_size();
+            let sq = b * b;
+            for (i, (br, bc, elems)) in pc.iter_blocks().enumerate() {
+                for e in 0..sq {
+                    if mask[i * sq + e] == 0.0 {
+                        got.set(br * b + e / b, bc * b + e % b, elems[e].to_f32());
+                    }
+                }
+            }
+        }
+        if let Some(pf) = &pf {
+            for (r, c, v) in pf.iter() {
+                got.set(r, c, v.to_f32());
+            }
+        }
+        assert!(
+            got.max_abs_diff(&p_ref) < 0.01,
+            "diff {}",
+            got.max_abs_diff(&p_ref)
+        );
+    }
+
+    #[test]
+    fn masked_block_elements_are_zero_and_rows_sum_to_one() {
+        let pattern = CompoundPattern::new(32).with(AtomicPattern::Local { window: 6 });
+        let sliced = SlicedPattern::from_compound(&pattern, 8).expect("aligned");
+        let q = Matrix::<Half>::random(32, 8, 3);
+        let k = Matrix::<Half>::random(32, 8, 4);
+        let coarse = sliced.coarse().expect("coarse");
+        let s = crate::coarse_sddmm_compute(&q, &k, &coarse.structure);
+        let (pc, _) = compound_softmax_compute(Some((&s, coarse.mask.as_slice())), None, 0.3);
+        let pc = pc.expect("coarse output");
+        // Sum each row of the dense rendering: must be ~1 (pattern rows are
+        // non-empty), and masked slots exactly zero.
+        let dense = pc.to_dense();
+        for r in 0..32 {
+            let sum: f32 = dense.row(r).iter().map(|v| v.to_f32()).sum();
+            assert!((sum - 1.0).abs() < 0.02, "row {r} sums to {sum}");
+        }
+        let sq = 64;
+        for (i, (_, _, elems)) in pc.iter_blocks().enumerate() {
+            for (e, elem) in elems.iter().enumerate().take(sq) {
+                if coarse.mask[i * sq + e] != 0.0 {
+                    assert_eq!(elem.to_f32(), 0.0, "masked slot non-zero");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_profile_charges_stored_not_valid_elements() {
+        let pattern = CompoundPattern::new(32).with(AtomicPattern::Random {
+            per_row: 2,
+            seed: 7,
+        });
+        let spec = DeviceSpec::a100();
+        let blocked = pattern.to_blocked(8).expect("aligned");
+        let csr = pattern.to_csr::<Half>();
+        let triton = blocked_softmax_profile(&spec, &dims(), &blocked, "triton");
+        let sputnik = element_softmax_profile(&spec, &dims(), &csr, "sputnik");
+        assert!(
+            triton.total().sfu_ops > 5 * sputnik.total().sfu_ops,
+            "rasterized random pattern wastes block work: {} vs {}",
+            triton.total().sfu_ops,
+            sputnik.total().sfu_ops
+        );
+    }
+
+    #[test]
+    fn element_softmax_reads_more_per_element_than_compound() {
+        // Fully-filled diagonal blocks: stored == valid, so the comparison
+        // isolates the per-element cost difference.
+        let pattern = CompoundPattern::new(32).with(AtomicPattern::BlockedLocal { block: 8 });
+        let spec = DeviceSpec::a100();
+        let sliced = SlicedPattern::from_compound(&pattern, 8).expect("aligned");
+        let csr = pattern.to_csr::<Half>();
+        let compound =
+            compound_softmax_profile(&spec, &dims(), sliced.coarse(), sliced.fine(), "mg");
+        let element = element_softmax_profile(&spec, &dims(), &csr, "sputnik");
+        // Same valid elements, more bytes per element for the element-wise
+        // kernel (extra pass + metadata).
+        assert!(element.total().l2_read > compound.total().l2_read);
+    }
+
+    #[test]
+    fn dense_softmax_scales_with_rows() {
+        let spec = DeviceSpec::a100();
+        let p2 = dense_softmax_profile(&spec, &dims(), 2, "d");
+        let p8 = dense_softmax_profile(&spec, &dims(), 8, "d");
+        assert_eq!(p8.total().sfu_ops, 4 * p2.total().sfu_ops);
+    }
+
+    #[test]
+    fn dense_softmax_compute_rows_sum_to_one() {
+        let m = Matrix::<Half>::random(4, 16, 9);
+        let p = dense_softmax_compute(&m, 0.5);
+        for r in 0..4 {
+            let sum: f32 = p.row(r).iter().map(|v| v.to_f32()).sum();
+            assert!((sum - 1.0).abs() < 0.02);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Model configurations of the two sparse transformers the paper
+//! evaluates (§4).
+
+/// Which compound pattern family the model uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternKind {
+    /// Longformer: local window + selected + global on special tokens.
+    LongformerStyle,
+    /// QDS-Transformer: local window + selected sentence-marker tokens.
+    QdsStyle,
+    /// BigBird-ETC: blocked local + blocked random + global on special
+    /// tokens (paper §2.3 cites it as another SOTA compound-SA model).
+    BigBirdStyle,
+    /// Poolingformer: a small first-level sliding window plus a dilated
+    /// second-level window that approximates its pooled attention.
+    PoolingformerStyle,
+}
+
+/// Architecture hyper-parameters of a sparse transformer encoder.
+///
+/// # Examples
+///
+/// ```
+/// use mg_models::ModelConfig;
+///
+/// let lf = ModelConfig::longformer_large();
+/// assert_eq!(lf.hidden, lf.heads * lf.head_dim);
+/// assert_eq!(lf.max_seq_len, 4096);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Model name used in reports.
+    pub name: &'static str,
+    /// Number of encoder layers.
+    pub layers: usize,
+    /// Attention heads per layer.
+    pub heads: usize,
+    /// Per-head dimension.
+    pub head_dim: usize,
+    /// Model hidden size (`heads × head_dim`).
+    pub hidden: usize,
+    /// FFN inner dimension (usually `4 × hidden`).
+    pub ffn_hidden: usize,
+    /// Maximum (padded) sequence length.
+    pub max_seq_len: usize,
+    /// Total local attention window width.
+    pub window: usize,
+    /// Block size used by the blocked (coarse) kernels.
+    pub block_size: usize,
+    /// Pattern family.
+    pub pattern: PatternKind,
+}
+
+impl ModelConfig {
+    /// Longformer-large (HuggingFace `longformer-large-4096`): 24 layers,
+    /// 16 heads × 64, window 512 — the paper's hotpotQA model.
+    pub fn longformer_large() -> ModelConfig {
+        ModelConfig {
+            name: "Longformer-large",
+            layers: 24,
+            heads: 16,
+            head_dim: 64,
+            hidden: 1024,
+            ffn_hidden: 4096,
+            max_seq_len: 4096,
+            window: 512,
+            block_size: 64,
+            pattern: PatternKind::LongformerStyle,
+        }
+    }
+
+    /// QDS-Transformer-base: 12 layers, 12 heads × 64, window 128 — the
+    /// paper's MSMARCO document-ranking model. The window/block ratio
+    /// gives the 2:1 sparse:dense block ratio the paper cites (§5.1).
+    pub fn qds_base() -> ModelConfig {
+        ModelConfig {
+            name: "QDS-Transformer",
+            layers: 12,
+            heads: 12,
+            head_dim: 64,
+            hidden: 768,
+            ffn_hidden: 3072,
+            max_seq_len: 2048,
+            window: 128,
+            block_size: 64,
+            pattern: PatternKind::QdsStyle,
+        }
+    }
+
+    /// BigBird-ETC base: 12 layers, 12 heads × 64, block 64 — the third
+    /// compound-sparse transformer the paper names (§2.3). Window is the
+    /// blocked-local band width.
+    pub fn bigbird_etc_base() -> ModelConfig {
+        ModelConfig {
+            name: "BigBird-ETC",
+            layers: 12,
+            heads: 12,
+            head_dim: 64,
+            hidden: 768,
+            ffn_hidden: 3072,
+            max_seq_len: 4096,
+            window: 192, // three 64-wide blocks
+            block_size: 64,
+            pattern: PatternKind::BigBirdStyle,
+        }
+    }
+
+    /// Poolingformer base: two-level window attention approximated as a
+    /// compound of a dense first-level window and a dilated second-level
+    /// window (the pooled level touches every 4th key over a 4× span).
+    pub fn poolingformer_base() -> ModelConfig {
+        ModelConfig {
+            name: "Poolingformer",
+            layers: 12,
+            heads: 12,
+            head_dim: 64,
+            hidden: 768,
+            ffn_hidden: 3072,
+            max_seq_len: 4096,
+            window: 128,
+            block_size: 64,
+            pattern: PatternKind::PoolingformerStyle,
+        }
+    }
+
+    /// BERT-large reconfigured for long sequences — the §1 motivation
+    /// example: with dense attention at L = 4096 its attention maps alone
+    /// need tens of gigabytes.
+    pub fn bert_large_4096() -> ModelConfig {
+        ModelConfig {
+            name: "BERT-large@4096",
+            layers: 24,
+            heads: 16,
+            head_dim: 64,
+            hidden: 1024,
+            ffn_hidden: 4096,
+            max_seq_len: 4096,
+            window: 4096, // dense: the "window" is the whole sequence
+            block_size: 64,
+            pattern: PatternKind::LongformerStyle,
+        }
+    }
+
+    /// Bytes of attention-map storage (S and P, FP16) one full forward
+    /// pass materializes with *dense* attention: `2 · L² · heads · layers
+    /// · 2 B`. The paper's §1 example: BERT-large at L = 4096 needs tens
+    /// of GB, which is why sparse attention exists.
+    pub fn dense_attention_map_bytes(&self) -> u64 {
+        2 * (self.max_seq_len as u64).pow(2) * self.heads as u64 * self.layers as u64 * 2
+    }
+
+    /// The same storage when only `density` of the map is kept (compound
+    /// sparse attention with element-wise formats).
+    pub fn sparse_attention_map_bytes(&self, density: f64) -> u64 {
+        (self.dense_attention_map_bytes() as f64 * density) as u64
+    }
+
+    /// A miniature configuration for numeric end-to-end tests.
+    pub fn tiny() -> ModelConfig {
+        ModelConfig {
+            name: "Tiny",
+            layers: 2,
+            heads: 2,
+            head_dim: 8,
+            hidden: 16,
+            ffn_hidden: 32,
+            max_seq_len: 64,
+            window: 8,
+            block_size: 8,
+            pattern: PatternKind::LongformerStyle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn published_configs_are_consistent() {
+        for cfg in [
+            ModelConfig::longformer_large(),
+            ModelConfig::qds_base(),
+            ModelConfig::bigbird_etc_base(),
+            ModelConfig::poolingformer_base(),
+        ] {
+            assert_eq!(cfg.hidden, cfg.heads * cfg.head_dim, "{}", cfg.name);
+            assert_eq!(cfg.ffn_hidden, 4 * cfg.hidden, "{}", cfg.name);
+            assert_eq!(cfg.max_seq_len % cfg.block_size, 0, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn bert_large_motivation_reaches_tens_of_gigabytes() {
+        // Paper §1: "For L = 4096, BERT-large requires a memory size of
+        // 64GB" (training footprint). The forward attention maps alone
+        // account for over 25 GB of that.
+        let bytes = ModelConfig::bert_large_4096().dense_attention_map_bytes();
+        assert!(
+            bytes > 20 * (1 << 30),
+            "attention maps: {} GiB",
+            bytes >> 30
+        );
+        // A 95%-sparse pattern shrinks that by 20x.
+        let sparse = ModelConfig::bert_large_4096().sparse_attention_map_bytes(0.05);
+        assert!(sparse * 19 < bytes);
+    }
+
+    #[test]
+    fn sparse_dense_block_ratio_matches_paper() {
+        // Paper §5.1: local pattern with block 64 gives 1:3 sparse:dense
+        // blocks in Longformer (w=512) and 2:1 in QDS (w=128). A block
+        // column is fully dense if it lies entirely within the window for
+        // every row of the block row.
+        let ratio = |window: usize, block: usize| -> (usize, usize) {
+            // For an interior block row, the window spans
+            // (window + block) columns; fully-dense block columns number
+            // (window - block) / block + 1.
+            let touched = (window + block) / block + 1;
+            let dense = (window / 2 * 2 - block) / block + 1;
+            (touched - dense, dense)
+        };
+        let (s_lf, d_lf) = ratio(512, 64);
+        let (s_qds, d_qds) = ratio(128, 64);
+        assert!(
+            d_lf >= 3 * s_lf - 3,
+            "Longformer mostly dense: {s_lf}:{d_lf}"
+        );
+        assert!(s_qds >= d_qds, "QDS mostly sparse: {s_qds}:{d_qds}");
+    }
+}

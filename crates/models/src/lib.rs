@@ -1,0 +1,33 @@
+//! # mg-models — sparse transformer models and workloads
+//!
+//! The two compound-sparse-attention transformers the paper evaluates —
+//! Longformer-large (hotpotQA) and QDS-Transformer-base (MSMARCO) — as
+//! full encoder stacks over the [`multigrain`] attention executors, plus
+//! synthetic workload generators reproducing each dataset's sequence-
+//! length and special-token distributions.
+//!
+//! # Examples
+//!
+//! ```
+//! use mg_gpusim::{DeviceSpec, Gpu};
+//! use mg_models::{workload, ModelConfig, SparseTransformer};
+//! use multigrain::Method;
+//!
+//! let model = SparseTransformer::new(ModelConfig::tiny());
+//! let samples = workload::hotpotqa_like(64, 4, 1);
+//! let mut gpu = Gpu::new(DeviceSpec::a100());
+//! let report = model.inference_report(&mut gpu, Method::Multigrain, &samples[0], 1)?;
+//! assert!(report.total() > 0.0);
+//! # Ok::<(), mg_sparse::SparseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod model;
+pub mod workload;
+
+pub use config::{ModelConfig, PatternKind};
+pub use model::{InferenceReport, SparseTransformer};
+pub use workload::WorkloadSample;

@@ -1,0 +1,207 @@
+//! Synthetic workload generators reproducing the input characteristics of
+//! the paper's two datasets.
+//!
+//! The datasets themselves are not redistributable, but the properties
+//! that matter for kernel timing are simple and documented: sequence
+//! lengths (which set the padding masked out by the kernels) and the
+//! positions of special tokens (which set the selected/global pattern
+//! parts). We generate samples matching those distributions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One model input: its real (unpadded) length and the special-token
+/// positions that parameterize the compound pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSample {
+    /// Number of real tokens (the rest up to the model's maximum is
+    /// zero padding).
+    pub valid_len: usize,
+    /// Special-token positions: question tokens (Longformer / hotpotQA,
+    /// contiguous at the start) or sentence markers (QDS / MSMARCO,
+    /// spread through the document).
+    pub special_tokens: Vec<usize>,
+}
+
+/// Generates `n` hotpotQA-like samples for a model with `max_seq_len`
+/// tokens: a 10–40-token question at the start (its tokens get global
+/// attention) followed by multi-paragraph context that nearly fills the
+/// window.
+pub fn hotpotqa_like(max_seq_len: usize, n: usize, seed: u64) -> Vec<WorkloadSample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let question = rng.gen_range(10..=40.min(max_seq_len / 4).max(11));
+            // Multi-hop contexts are long; most samples fill 70–100%.
+            let frac = rng.gen_range(0.70..=1.0);
+            let valid_len = ((max_seq_len as f64 * frac) as usize).clamp(question + 1, max_seq_len);
+            // Longformer's QA models put global attention on the question
+            // tokens AND on sentence/paragraph marker tokens spread through
+            // the context (multi-hop evidence markers).
+            let mut special: Vec<usize> = (0..question).collect();
+            let mut pos = question;
+            loop {
+                pos += rng.gen_range(80..=160);
+                if pos >= valid_len {
+                    break;
+                }
+                special.push(pos);
+            }
+            WorkloadSample {
+                valid_len,
+                special_tokens: special,
+            }
+        })
+        .collect()
+}
+
+/// Generates `n` MSMARCO-like document-ranking samples: documents of
+/// widely varying length with sentence-marker tokens every 20–45 tokens
+/// (QDS-Transformer attends these as selected tokens).
+pub fn msmarco_like(max_seq_len: usize, n: usize, seed: u64) -> Vec<WorkloadSample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let frac = rng.gen_range(0.4..=1.0);
+            let valid_len = ((max_seq_len as f64 * frac) as usize).max(32);
+            let mut special = vec![0usize];
+            let mut pos = 0usize;
+            loop {
+                pos += rng.gen_range(20..=45);
+                if pos >= valid_len {
+                    break;
+                }
+                special.push(pos);
+            }
+            WorkloadSample {
+                valid_len,
+                special_tokens: special,
+            }
+        })
+        .collect()
+}
+
+/// Generates `n` TriviaQA-like samples: a short question (6–20 tokens,
+/// global) over a single long evidence document that usually overflows
+/// the window (so most samples are unpadded).
+pub fn triviaqa_like(max_seq_len: usize, n: usize, seed: u64) -> Vec<WorkloadSample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let question = rng.gen_range(6..=20.min(max_seq_len / 8).max(7));
+            // Wikipedia evidence pages are long: 85–100% fill.
+            let frac = rng.gen_range(0.85..=1.0);
+            let valid_len = ((max_seq_len as f64 * frac) as usize).clamp(question + 1, max_seq_len);
+            WorkloadSample {
+                valid_len,
+                special_tokens: (0..question).collect(),
+            }
+        })
+        .collect()
+}
+
+/// Generates `n` WikiHop-like samples: a query plus many short candidate
+/// documents, each introduced by a marker token that receives global
+/// attention (multi-hop reasoning hops across the markers).
+pub fn wikihop_like(max_seq_len: usize, n: usize, seed: u64) -> Vec<WorkloadSample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let query = rng.gen_range(4..=12.min(max_seq_len / 8).max(5));
+            let frac = rng.gen_range(0.6..=1.0);
+            let valid_len = ((max_seq_len as f64 * frac) as usize).max(query + 32);
+            let mut special: Vec<usize> = (0..query).collect();
+            // Candidate documents average ~60 tokens each.
+            let mut pos = query;
+            loop {
+                pos += rng.gen_range(30..=90);
+                if pos >= valid_len.min(max_seq_len) {
+                    break;
+                }
+                special.push(pos);
+            }
+            WorkloadSample {
+                valid_len: valid_len.min(max_seq_len),
+                special_tokens: special,
+            }
+        })
+        .collect()
+}
+
+/// A deterministic "representative" sample (median-ish of the generator)
+/// used when one pattern must stand in for the batch.
+pub fn representative(samples: &[WorkloadSample]) -> WorkloadSample {
+    let mut sorted: Vec<&WorkloadSample> = samples.iter().collect();
+    sorted.sort_by_key(|s| s.valid_len);
+    sorted[sorted.len() / 2].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hotpotqa_questions_are_contiguous_prefixes() {
+        for s in hotpotqa_like(4096, 20, 1) {
+            assert!(!s.special_tokens.is_empty());
+            assert_eq!(s.special_tokens[0], 0, "question starts the sequence");
+            let spread = s.special_tokens.iter().filter(|&&t| t > 200).count();
+            assert!(spread > 0, "evidence markers spread through the context");
+            assert!(s.valid_len <= 4096 && s.valid_len > s.special_tokens.len());
+        }
+    }
+
+    #[test]
+    fn msmarco_markers_are_spread_and_increasing() {
+        for s in msmarco_like(2048, 20, 2) {
+            assert!(s.special_tokens.len() >= 2, "documents have sentences");
+            for w in s.special_tokens.windows(2) {
+                assert!(w[1] > w[0] && w[1] - w[0] <= 45);
+            }
+            assert!(*s.special_tokens.last().expect("non-empty") < s.valid_len);
+        }
+    }
+
+    #[test]
+    fn triviaqa_documents_are_long() {
+        let samples = triviaqa_like(4096, 20, 5);
+        let avg: usize = samples.iter().map(|s| s.valid_len).sum::<usize>() / samples.len();
+        assert!(
+            avg > 4096 * 8 / 10,
+            "evidence pages nearly fill the window: {avg}"
+        );
+        for s in &samples {
+            assert!(s.special_tokens.len() <= 20, "questions are short");
+        }
+    }
+
+    #[test]
+    fn wikihop_has_many_document_markers() {
+        let samples = wikihop_like(4096, 20, 6);
+        for s in &samples {
+            assert!(
+                s.special_tokens.len() > 10,
+                "multi-hop needs many candidate markers: {}",
+                s.special_tokens.len()
+            );
+            assert!(s.special_tokens.iter().all(|&t| t < s.valid_len));
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(hotpotqa_like(4096, 5, 9), hotpotqa_like(4096, 5, 9));
+        assert_ne!(msmarco_like(2048, 5, 1), msmarco_like(2048, 5, 2));
+    }
+
+    #[test]
+    fn representative_is_median_by_length() {
+        let samples = msmarco_like(2048, 9, 3);
+        let rep = representative(&samples);
+        let shorter = samples
+            .iter()
+            .filter(|s| s.valid_len <= rep.valid_len)
+            .count();
+        assert!(shorter >= samples.len() / 2);
+    }
+}

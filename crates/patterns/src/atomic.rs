@@ -1,0 +1,435 @@
+//! Atomic sparsity patterns (paper §2.3, Fig. 3).
+//!
+//! Compound sparse attention composes these building blocks. Each pattern
+//! can enumerate the key columns a given query row attends to; everything
+//! else (dense masks, sparse metadata, grain slicing) derives from that.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// How much spatial locality a pattern exhibits, which decides the kernel
+/// family that should process it (paper §3.1).
+///
+/// * `Coarse` — block-structured patterns with high locality; processed by
+///   the blocked (BSR) kernels on tensor cores.
+/// * `Fine` — scattered patterns with low locality; processed by the
+///   element-wise (CSR) kernels.
+/// * `Special` — patterns whose rows are entirely dense (the global
+///   pattern); processed by dense GEMM/softmax kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Grain {
+    /// High spatial locality: blocked kernels + tensor cores.
+    Coarse,
+    /// Low spatial locality: element-wise kernels.
+    Fine,
+    /// Dense rows: routed to dense kernels (CUTLASS / TensorRT in the paper).
+    Special,
+}
+
+/// One atomic sparsity pattern.
+///
+/// All patterns are defined over a square `seq_len × seq_len` attention
+/// map; the sequence length is supplied at evaluation time so the same
+/// pattern description can be reused across problem sizes.
+///
+/// # Examples
+///
+/// ```
+/// use mg_patterns::AtomicPattern;
+///
+/// let local = AtomicPattern::Local { window: 4 };
+/// // Row 10 attends to columns 8..=12 (two on each side).
+/// assert_eq!(local.row_columns(64, 10), vec![8, 9, 10, 11, 12]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum AtomicPattern {
+    /// Sliding-window attention: row `r` attends to columns within
+    /// `window / 2` positions on each side (total width `window + 1`
+    /// including the diagonal). This is Longformer's local pattern.
+    Local {
+        /// Total window width; `window / 2` tokens attended on each side.
+        window: usize,
+    },
+    /// Strided sliding window: like `Local` but only every `stride`-th
+    /// column inside the window is attended.
+    Dilated {
+        /// Total window width before dilation.
+        window: usize,
+        /// Distance between attended columns (`1` degenerates to `Local`).
+        stride: usize,
+    },
+    /// One-to-all: the listed token rows attend to every column. Dense
+    /// rows — the paper's "special" pattern routed to dense kernels.
+    Global {
+        /// Row indices that become fully dense.
+        tokens: Vec<usize>,
+    },
+    /// All-to-one: every row attends to the listed token columns. Dense
+    /// columns — processed by the fine-grained kernel (paper §3.1).
+    Selected {
+        /// Column indices every row attends to.
+        tokens: Vec<usize>,
+    },
+    /// Each row attends to `per_row` uniformly-sampled columns
+    /// (deterministic in `seed`).
+    Random {
+        /// Number of random columns per row.
+        per_row: usize,
+        /// RNG seed; the same seed reproduces the same pattern.
+        seed: u64,
+    },
+    /// Column-vector random: rows in the same group of `group` consecutive
+    /// rows share `per_row` random key columns. This is how block-layout
+    /// frameworks (DeepSpeed/Triton configs, BigBird) define random
+    /// attention — randomness at block-row granularity, element-width
+    /// columns.
+    VectorRandom {
+        /// Number of shared random columns per row group.
+        per_row: usize,
+        /// Rows per group sharing the same columns.
+        group: usize,
+        /// RNG seed; the same seed reproduces the same pattern.
+        seed: u64,
+    },
+    /// Non-overlapping `block × block` diagonal blocks: tokens are
+    /// all-to-all connected within their block (BigBird's blocked local).
+    BlockedLocal {
+        /// Edge length of the diagonal blocks.
+        block: usize,
+    },
+    /// Each block row attends to a random number of uniformly-sampled
+    /// block columns — on average `blocks_per_row`, varying per block row
+    /// between 1 and `2·blocks_per_row − 1` (the paper notes the
+    /// per-row variation is what makes this pattern load-imbalanced for
+    /// row-mapped kernels, §5.3).
+    BlockedRandom {
+        /// Edge length of the square blocks.
+        block: usize,
+        /// Average number of random blocks per block row.
+        blocks_per_row: usize,
+        /// RNG seed; the same seed reproduces the same pattern.
+        seed: u64,
+    },
+    /// Full all-to-all attention (no sparsity).
+    Dense,
+}
+
+impl AtomicPattern {
+    /// The sorted, deduplicated key columns row `row` attends to under
+    /// this pattern for a sequence of `seq_len` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= seq_len`.
+    pub fn row_columns(&self, seq_len: usize, row: usize) -> Vec<usize> {
+        assert!(row < seq_len, "row out of bounds");
+        match self {
+            AtomicPattern::Local { window } => {
+                let half = window / 2;
+                let lo = row.saturating_sub(half);
+                let hi = (row + half).min(seq_len - 1);
+                (lo..=hi).collect()
+            }
+            AtomicPattern::Dilated { window, stride } => {
+                let stride = (*stride).max(1);
+                let half = window / 2;
+                let lo = row.saturating_sub(half);
+                let hi = (row + half).min(seq_len - 1);
+                (lo..=hi)
+                    .filter(|c| {
+                        (row as isize - *c as isize)
+                            .unsigned_abs()
+                            .is_multiple_of(stride)
+                    })
+                    .collect()
+            }
+            AtomicPattern::Global { tokens } => {
+                if tokens.contains(&row) {
+                    (0..seq_len).collect()
+                } else {
+                    Vec::new()
+                }
+            }
+            AtomicPattern::Selected { tokens } => {
+                let mut cols: Vec<usize> =
+                    tokens.iter().copied().filter(|&c| c < seq_len).collect();
+                cols.sort_unstable();
+                cols.dedup();
+                cols
+            }
+            AtomicPattern::Random { per_row, seed } => {
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (row as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let k = (*per_row).min(seq_len);
+                let mut all: Vec<usize> = (0..seq_len).collect();
+                let (sampled, _) = all.partial_shuffle(&mut rng, k);
+                let mut cols = sampled.to_vec();
+                cols.sort_unstable();
+                cols
+            }
+            AtomicPattern::VectorRandom {
+                per_row,
+                group,
+                seed,
+            } => {
+                let group = (*group).max(1);
+                let g = row / group;
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (g as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+                let k = (*per_row).min(seq_len);
+                let mut all: Vec<usize> = (0..seq_len).collect();
+                let (sampled, _) = all.partial_shuffle(&mut rng, k);
+                let mut cols = sampled.to_vec();
+                cols.sort_unstable();
+                cols
+            }
+            AtomicPattern::BlockedLocal { block } => {
+                let block = (*block).max(1);
+                let start = (row / block) * block;
+                let end = (start + block).min(seq_len);
+                (start..end).collect()
+            }
+            AtomicPattern::BlockedRandom {
+                block,
+                blocks_per_row,
+                seed,
+            } => {
+                let block = (*block).max(1);
+                let block_cols = seq_len.div_ceil(block);
+                let br = row / block;
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (br as u64).wrapping_mul(0xD134_2543_DE82_EF95));
+                // Per-block-row-variable count with mean `blocks_per_row`.
+                let bpr = (*blocks_per_row).max(1);
+                let k = rng.gen_range(1..=2 * bpr - 1).min(block_cols);
+                let mut all: Vec<usize> = (0..block_cols).collect();
+                let (sampled, _) = all.partial_shuffle(&mut rng, k);
+                let mut bcols = sampled.to_vec();
+                bcols.sort_unstable();
+                bcols
+                    .into_iter()
+                    .flat_map(|bc| bc * block..((bc + 1) * block).min(seq_len))
+                    .collect()
+            }
+            AtomicPattern::Dense => (0..seq_len).collect(),
+        }
+    }
+
+    /// The grain class this pattern belongs to (paper §3.1's slicing rule).
+    pub fn grain(&self) -> Grain {
+        match self {
+            AtomicPattern::Local { .. }
+            | AtomicPattern::BlockedLocal { .. }
+            | AtomicPattern::BlockedRandom { .. } => Grain::Coarse,
+            AtomicPattern::Dilated { .. }
+            | AtomicPattern::Selected { .. }
+            | AtomicPattern::Random { .. }
+            | AtomicPattern::VectorRandom { .. } => Grain::Fine,
+            AtomicPattern::Global { .. } | AtomicPattern::Dense => Grain::Special,
+        }
+    }
+
+    /// Canonicalizes degenerate parameterizations so they land in the
+    /// most efficient grain: a dilation of stride 1 *is* a local window,
+    /// and a blocked-random pattern spanning every block column *is* a
+    /// blocked-local row. Everything else is returned unchanged.
+    pub fn normalized(self, seq_len: usize) -> AtomicPattern {
+        match self {
+            AtomicPattern::Dilated { window, stride } if stride <= 1 => {
+                AtomicPattern::Local { window }
+            }
+            AtomicPattern::BlockedRandom {
+                block,
+                blocks_per_row,
+                ..
+            } if block > 0 && blocks_per_row >= seq_len.div_ceil(block) * 2 => {
+                // Mean count >= 2x the block columns: effectively dense
+                // block rows.
+                AtomicPattern::Dense
+            }
+            other => other,
+        }
+    }
+
+    /// Short display name used in figures and logs ("L", "S", "G", ...).
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            AtomicPattern::Local { .. } => "L",
+            AtomicPattern::Dilated { .. } => "D",
+            AtomicPattern::Global { .. } => "G",
+            AtomicPattern::Selected { .. } => "S",
+            AtomicPattern::Random { .. } => "R",
+            AtomicPattern::VectorRandom { .. } => "R",
+            AtomicPattern::BlockedLocal { .. } => "LB",
+            AtomicPattern::BlockedRandom { .. } => "RB",
+            AtomicPattern::Dense => "DENSE",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_window_clips_at_edges() {
+        let p = AtomicPattern::Local { window: 4 };
+        assert_eq!(p.row_columns(8, 0), vec![0, 1, 2]);
+        assert_eq!(p.row_columns(8, 7), vec![5, 6, 7]);
+        assert_eq!(p.row_columns(8, 4), vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn dilated_respects_stride() {
+        let p = AtomicPattern::Dilated {
+            window: 8,
+            stride: 2,
+        };
+        assert_eq!(p.row_columns(16, 8), vec![4, 6, 8, 10, 12]);
+    }
+
+    #[test]
+    fn global_rows_are_dense_others_empty() {
+        let p = AtomicPattern::Global { tokens: vec![1] };
+        assert_eq!(p.row_columns(4, 1), vec![0, 1, 2, 3]);
+        assert!(p.row_columns(4, 0).is_empty());
+    }
+
+    #[test]
+    fn selected_columns_same_for_every_row() {
+        let p = AtomicPattern::Selected {
+            tokens: vec![3, 1, 3, 9],
+        };
+        assert_eq!(p.row_columns(8, 0), vec![1, 3]);
+        assert_eq!(p.row_columns(8, 7), vec![1, 3]);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_distinct() {
+        let p = AtomicPattern::Random {
+            per_row: 5,
+            seed: 7,
+        };
+        let a = p.row_columns(64, 10);
+        let b = p.row_columns(64, 10);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        let mut dedup = a.clone();
+        dedup.dedup();
+        assert_eq!(dedup, a, "columns must be distinct and sorted");
+        assert_ne!(p.row_columns(64, 11), a, "rows sample independently");
+    }
+
+    #[test]
+    fn blocked_local_is_diagonal_blocks() {
+        let p = AtomicPattern::BlockedLocal { block: 4 };
+        assert_eq!(p.row_columns(16, 5), vec![4, 5, 6, 7]);
+        assert_eq!(p.row_columns(16, 0), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn blocked_random_shares_blocks_within_block_row() {
+        let p = AtomicPattern::BlockedRandom {
+            block: 4,
+            blocks_per_row: 2,
+            seed: 3,
+        };
+        let a = p.row_columns(32, 0);
+        let b = p.row_columns(32, 3);
+        assert_eq!(a, b, "rows in the same block row attend the same blocks");
+        assert!(a.len().is_multiple_of(4) && !a.is_empty(), "whole blocks");
+    }
+
+    #[test]
+    fn blocked_random_count_varies_across_block_rows() {
+        let p = AtomicPattern::BlockedRandom {
+            block: 4,
+            blocks_per_row: 4,
+            seed: 3,
+        };
+        let counts: Vec<usize> = (0..16)
+            .map(|br| p.row_columns(256, br * 4).len() / 4)
+            .collect();
+        let min = counts.iter().min().expect("non-empty");
+        let max = counts.iter().max().expect("non-empty");
+        assert!(max > min, "block counts vary per block row: {counts:?}");
+        assert!(counts.iter().all(|&c| (1..=7).contains(&c)));
+    }
+
+    #[test]
+    fn dense_attends_everything() {
+        assert_eq!(AtomicPattern::Dense.row_columns(4, 2), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn grains_match_paper_classification() {
+        assert_eq!(AtomicPattern::Local { window: 2 }.grain(), Grain::Coarse);
+        assert_eq!(
+            AtomicPattern::BlockedLocal { block: 2 }.grain(),
+            Grain::Coarse
+        );
+        assert_eq!(
+            AtomicPattern::BlockedRandom {
+                block: 2,
+                blocks_per_row: 1,
+                seed: 0
+            }
+            .grain(),
+            Grain::Coarse
+        );
+        assert_eq!(
+            AtomicPattern::Selected { tokens: vec![] }.grain(),
+            Grain::Fine
+        );
+        assert_eq!(
+            AtomicPattern::Random {
+                per_row: 1,
+                seed: 0
+            }
+            .grain(),
+            Grain::Fine
+        );
+        assert_eq!(
+            AtomicPattern::Global { tokens: vec![] }.grain(),
+            Grain::Special
+        );
+    }
+
+    #[test]
+    fn normalization_fixes_degenerate_grains() {
+        let d = AtomicPattern::Dilated {
+            window: 8,
+            stride: 1,
+        }
+        .normalized(64);
+        assert_eq!(d, AtomicPattern::Local { window: 8 });
+        assert_eq!(
+            d.grain(),
+            Grain::Coarse,
+            "stride-1 dilation earns the coarse kernels"
+        );
+        let untouched = AtomicPattern::Dilated {
+            window: 8,
+            stride: 2,
+        }
+        .normalized(64);
+        assert_eq!(untouched.grain(), Grain::Fine);
+        let saturated = AtomicPattern::BlockedRandom {
+            block: 8,
+            blocks_per_row: 64,
+            seed: 1,
+        }
+        .normalized(64);
+        assert_eq!(saturated, AtomicPattern::Dense);
+    }
+
+    #[test]
+    fn random_per_row_clamped_to_seq_len() {
+        let p = AtomicPattern::Random {
+            per_row: 100,
+            seed: 1,
+        };
+        assert_eq!(p.row_columns(8, 0).len(), 8);
+    }
+}

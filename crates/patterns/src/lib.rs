@@ -1,0 +1,37 @@
+//! # mg-patterns — attention sparsity patterns and grain slicing
+//!
+//! The compound sparse patterns of the latest sparse transformers
+//! (Longformer, QDS-Transformer, BigBird) and the "slice" step of the
+//! paper's method: classifying each atomic pattern by spatial locality
+//! ([`Grain`]) and decomposing a [`CompoundPattern`] into the coarse
+//! (blocked), fine (element-wise), and special (dense-row) parts that the
+//! corresponding kernels process ([`SlicedPattern`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use mg_patterns::{AtomicPattern, CompoundPattern, SlicedPattern};
+//!
+//! // Longformer-style pattern at toy scale.
+//! let pattern = CompoundPattern::new(128)
+//!     .with(AtomicPattern::Local { window: 16 })
+//!     .with(AtomicPattern::Selected { tokens: vec![0, 1] })
+//!     .with(AtomicPattern::Global { tokens: vec![0, 1] });
+//! let sliced = SlicedPattern::from_compound(&pattern, 16)?;
+//! assert_eq!(sliced.global_rows(), &[0, 1]);
+//! # Ok::<(), mg_sparse::SparseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod atomic;
+mod compound;
+mod parse;
+pub mod presets;
+mod slicing;
+
+pub use atomic::{AtomicPattern, Grain};
+pub use compound::{BlockedPattern, CompoundPattern};
+pub use parse::{parse_pattern, PatternParseError};
+pub use slicing::{SliceStats, SlicedPattern};

@@ -1,0 +1,305 @@
+//! A small text syntax for compound patterns, so benchmarks and CLI tools
+//! can take patterns as arguments.
+//!
+//! Grammar — atomic parts joined with `+`:
+//!
+//! | Syntax | Pattern |
+//! |---|---|
+//! | `L<window>` | local, e.g. `L512` |
+//! | `D<window>x<stride>` | dilated, e.g. `D1024x4` |
+//! | `S(<tokens>)` | selected, e.g. `S(0..32)` or `S(0,7,100)` |
+//! | `G(<tokens>)` | global, same token syntax |
+//! | `R<per_row>[@seed]` | random, e.g. `R24@7` |
+//! | `VR<per_row>/<group>[@seed]` | vector random, e.g. `VR24/64` |
+//! | `LB<block>` | blocked local, e.g. `LB128` |
+//! | `RB<block>x<bpr>[@seed]` | blocked random, e.g. `RB64x3` |
+//! | `DENSE` | full attention |
+//!
+//! # Examples
+//!
+//! ```
+//! use mg_patterns::parse_pattern;
+//!
+//! let p = parse_pattern(4096, "L512+S(0..16)+G(0..16)")?;
+//! assert_eq!(p.name(), "L+S+G");
+//! # Ok::<(), mg_patterns::PatternParseError>(())
+//! ```
+
+use crate::{AtomicPattern, CompoundPattern};
+use std::error::Error;
+use std::fmt;
+
+/// Failure to parse a pattern specification string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternParseError {
+    /// The part that failed to parse.
+    pub part: String,
+    /// Why it failed.
+    pub reason: String,
+}
+
+impl fmt::Display for PatternParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot parse pattern part '{}': {}",
+            self.part, self.reason
+        )
+    }
+}
+
+impl Error for PatternParseError {}
+
+fn err(part: &str, reason: impl Into<String>) -> PatternParseError {
+    PatternParseError {
+        part: part.to_owned(),
+        reason: reason.into(),
+    }
+}
+
+/// Parses a token list: either a range `a..b` (half-open) or a comma list
+/// `a,b,c`.
+fn parse_tokens(part: &str, body: &str) -> Result<Vec<usize>, PatternParseError> {
+    if let Some((a, b)) = body.split_once("..") {
+        let lo: usize = a.trim().parse().map_err(|_| err(part, "bad range start"))?;
+        let hi: usize = b.trim().parse().map_err(|_| err(part, "bad range end"))?;
+        if hi < lo {
+            return Err(err(part, "range end before start"));
+        }
+        Ok((lo..hi).collect())
+    } else {
+        body.split(',')
+            .map(|t| t.trim().parse().map_err(|_| err(part, "bad token index")))
+            .collect()
+    }
+}
+
+/// Parses `<num>[@seed]`, returning `(num, seed)`.
+fn parse_with_seed(part: &str, body: &str) -> Result<(usize, u64), PatternParseError> {
+    if let Some((n, seed)) = body.split_once('@') {
+        Ok((
+            n.parse().map_err(|_| err(part, "bad count"))?,
+            seed.parse().map_err(|_| err(part, "bad seed"))?,
+        ))
+    } else {
+        Ok((body.parse().map_err(|_| err(part, "bad count"))?, 0))
+    }
+}
+
+fn parse_part(part: &str) -> Result<AtomicPattern, PatternParseError> {
+    let part = part.trim();
+    if part == "DENSE" {
+        return Ok(AtomicPattern::Dense);
+    }
+    if let Some(body) = part.strip_prefix("VR") {
+        let (head, seed) = match body.split_once('@') {
+            Some((h, s)) => (h, s.parse().map_err(|_| err(part, "bad seed"))?),
+            None => (body, 0u64),
+        };
+        let (per_row, group) = head
+            .split_once('/')
+            .ok_or_else(|| err(part, "expected VR<per_row>/<group>"))?;
+        return Ok(AtomicPattern::VectorRandom {
+            per_row: per_row
+                .parse()
+                .map_err(|_| err(part, "bad per-row count"))?,
+            group: group.parse().map_err(|_| err(part, "bad group"))?,
+            seed,
+        });
+    }
+    if let Some(body) = part.strip_prefix("LB") {
+        return Ok(AtomicPattern::BlockedLocal {
+            block: body.parse().map_err(|_| err(part, "bad block size"))?,
+        });
+    }
+    if let Some(body) = part.strip_prefix("RB") {
+        let (head, seed) = match body.split_once('@') {
+            Some((h, s)) => (h, s.parse().map_err(|_| err(part, "bad seed"))?),
+            None => (body, 0u64),
+        };
+        let (block, bpr) = head
+            .split_once('x')
+            .ok_or_else(|| err(part, "expected RB<block>x<blocks_per_row>"))?;
+        return Ok(AtomicPattern::BlockedRandom {
+            block: block.parse().map_err(|_| err(part, "bad block size"))?,
+            blocks_per_row: bpr.parse().map_err(|_| err(part, "bad blocks per row"))?,
+            seed,
+        });
+    }
+    if let Some(body) = part.strip_prefix('L') {
+        return Ok(AtomicPattern::Local {
+            window: body.parse().map_err(|_| err(part, "bad window"))?,
+        });
+    }
+    if let Some(body) = part.strip_prefix('D') {
+        let (w, s) = body
+            .split_once('x')
+            .ok_or_else(|| err(part, "expected D<window>x<stride>"))?;
+        return Ok(AtomicPattern::Dilated {
+            window: w.parse().map_err(|_| err(part, "bad window"))?,
+            stride: s.parse().map_err(|_| err(part, "bad stride"))?,
+        });
+    }
+    if let Some(body) = part.strip_prefix('S') {
+        let inner = body
+            .strip_prefix('(')
+            .and_then(|b| b.strip_suffix(')'))
+            .ok_or_else(|| err(part, "expected S(<tokens>)"))?;
+        return Ok(AtomicPattern::Selected {
+            tokens: parse_tokens(part, inner)?,
+        });
+    }
+    if let Some(body) = part.strip_prefix('G') {
+        let inner = body
+            .strip_prefix('(')
+            .and_then(|b| b.strip_suffix(')'))
+            .ok_or_else(|| err(part, "expected G(<tokens>)"))?;
+        return Ok(AtomicPattern::Global {
+            tokens: parse_tokens(part, inner)?,
+        });
+    }
+    if let Some(body) = part.strip_prefix('R') {
+        let (per_row, seed) = parse_with_seed(part, body)?;
+        return Ok(AtomicPattern::Random { per_row, seed });
+    }
+    Err(err(part, "unknown pattern kind"))
+}
+
+/// Parses a compound pattern specification over `seq_len` tokens.
+///
+/// # Errors
+///
+/// Returns [`PatternParseError`] describing the offending part.
+pub fn parse_pattern(seq_len: usize, spec: &str) -> Result<CompoundPattern, PatternParseError> {
+    let spec = spec.trim();
+    if spec.is_empty() {
+        return Err(err(spec, "empty specification"));
+    }
+    let mut pattern = CompoundPattern::new(seq_len);
+    for part in spec.split('+') {
+        pattern = pattern.with(parse_part(part)?);
+    }
+    Ok(pattern)
+}
+
+#[cfg(test)]
+mod fuzz {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The parser never panics, whatever the input.
+        #[test]
+        fn parser_never_panics(spec in "\\PC{0,40}") {
+            let _ = parse_pattern(64, &spec);
+        }
+
+        /// Valid local specs always round-trip.
+        #[test]
+        fn local_specs_parse(window in 0usize..1000) {
+            let p = parse_pattern(1024, &format!("L{window}")).expect("valid");
+            prop_assert_eq!(p.parts()[0].clone(), AtomicPattern::Local { window });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_kind() {
+        let p = parse_pattern(
+            256,
+            "L16+D32x4+S(0..4)+G(0,100)+R8@3+VR8/16@4+LB32+RB16x2@5+DENSE",
+        )
+        .expect("valid spec");
+        assert_eq!(p.parts().len(), 9);
+        assert_eq!(p.parts()[0], AtomicPattern::Local { window: 16 });
+        assert_eq!(
+            p.parts()[1],
+            AtomicPattern::Dilated {
+                window: 32,
+                stride: 4
+            }
+        );
+        assert_eq!(
+            p.parts()[2],
+            AtomicPattern::Selected {
+                tokens: vec![0, 1, 2, 3]
+            }
+        );
+        assert_eq!(
+            p.parts()[3],
+            AtomicPattern::Global {
+                tokens: vec![0, 100]
+            }
+        );
+        assert_eq!(
+            p.parts()[4],
+            AtomicPattern::Random {
+                per_row: 8,
+                seed: 3
+            }
+        );
+        assert_eq!(
+            p.parts()[5],
+            AtomicPattern::VectorRandom {
+                per_row: 8,
+                group: 16,
+                seed: 4
+            }
+        );
+        assert_eq!(p.parts()[6], AtomicPattern::BlockedLocal { block: 32 });
+        assert_eq!(
+            p.parts()[7],
+            AtomicPattern::BlockedRandom {
+                block: 16,
+                blocks_per_row: 2,
+                seed: 5
+            }
+        );
+        assert_eq!(p.parts()[8], AtomicPattern::Dense);
+    }
+
+    #[test]
+    fn seeds_default_to_zero() {
+        let p = parse_pattern(64, "R4").expect("valid");
+        assert_eq!(
+            p.parts()[0],
+            AtomicPattern::Random {
+                per_row: 4,
+                seed: 0
+            }
+        );
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let p = parse_pattern(64, " L8 + G(0..2) ").expect("valid");
+        assert_eq!(p.parts().len(), 2);
+    }
+
+    #[test]
+    fn errors_identify_the_offending_part() {
+        let e = parse_pattern(64, "L8+X99").expect_err("invalid");
+        assert_eq!(e.part, "X99");
+        let e = parse_pattern(64, "S(5..2)").expect_err("invalid");
+        assert!(e.reason.contains("range"));
+        let e = parse_pattern(64, "D8").expect_err("invalid");
+        assert!(e.reason.contains("stride"));
+        assert!(parse_pattern(64, "").is_err());
+    }
+
+    #[test]
+    fn parsed_pattern_behaves_like_built_pattern() {
+        let parsed = parse_pattern(128, "L16+G(0..4)").expect("valid");
+        let built = CompoundPattern::new(128)
+            .with(AtomicPattern::Local { window: 16 })
+            .with(AtomicPattern::Global {
+                tokens: (0..4).collect(),
+            });
+        assert_eq!(parsed, built);
+        assert_eq!(parsed.nnz(), built.nnz());
+    }
+}

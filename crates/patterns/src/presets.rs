@@ -1,0 +1,195 @@
+//! Preset compound patterns: the six Fig. 9/10 evaluation patterns and the
+//! model patterns of Longformer and QDS-Transformer.
+
+use crate::{AtomicPattern, CompoundPattern};
+
+/// The six compound patterns evaluated in the paper's Fig. 9 and Fig. 10,
+/// sized so that each row keeps roughly 95 % sparsity (5 % of `seq_len`
+/// valid elements per row), matching the paper's setup.
+///
+/// Order matches the figures: `L+S`, `L+R`, `LB+R`, `RB+R`, `L+S+G`,
+/// `LB+S+G` — the last two contain a global pattern.
+pub fn figure9_patterns(seq_len: usize, block: usize, seed: u64) -> Vec<CompoundPattern> {
+    // Per-row element budget: ~5% of the sequence length (95% sparsity),
+    // split across the atomic parts of each compound pattern. Selected
+    // tokens model sentence boundaries: spread through the sequence at a
+    // fixed stride (QDS-Transformer's design); global tokens model
+    // question/special tokens: contiguous at the start (Longformer's QA
+    // setting).
+    let window = (seq_len / 32).max(2 * block);
+    let n_sel = (seq_len / 170).max(4);
+    let n_rand = (seq_len / 170).max(4);
+    let n_glob = (seq_len / 64).max(2);
+    let spread: Vec<usize> = (0..n_sel).map(|i| i * seq_len / n_sel + 7).collect();
+    let lead: Vec<usize> = (0..n_glob).collect();
+    vec![
+        CompoundPattern::new(seq_len)
+            .with(AtomicPattern::Local { window })
+            .with(AtomicPattern::Selected {
+                tokens: spread.clone(),
+            }),
+        CompoundPattern::new(seq_len)
+            .with(AtomicPattern::Local { window })
+            .with(AtomicPattern::VectorRandom {
+                per_row: n_rand,
+                group: block,
+                seed,
+            }),
+        CompoundPattern::new(seq_len)
+            .with(AtomicPattern::BlockedLocal { block: window })
+            .with(AtomicPattern::VectorRandom {
+                per_row: n_rand,
+                group: block,
+                seed,
+            }),
+        CompoundPattern::new(seq_len)
+            .with(AtomicPattern::BlockedRandom {
+                block,
+                blocks_per_row: (window / block).max(1),
+                seed,
+            })
+            .with(AtomicPattern::VectorRandom {
+                per_row: n_rand,
+                group: block,
+                seed: seed ^ 1,
+            }),
+        CompoundPattern::new(seq_len)
+            .with(AtomicPattern::Local { window })
+            .with(AtomicPattern::Selected {
+                tokens: spread.clone(),
+            })
+            .with(AtomicPattern::Global {
+                tokens: lead.clone(),
+            }),
+        CompoundPattern::new(seq_len)
+            .with(AtomicPattern::BlockedLocal { block: window })
+            .with(AtomicPattern::Selected { tokens: spread })
+            .with(AtomicPattern::Global { tokens: lead }),
+    ]
+}
+
+/// Longformer's compound pattern: sliding-window local attention plus
+/// global attention on special tokens (question tokens in QA tasks), which
+/// also act as selected columns for every other token.
+///
+/// `window` is the total local window width (Longformer-large uses 512).
+pub fn longformer(seq_len: usize, window: usize, global_tokens: &[usize]) -> CompoundPattern {
+    CompoundPattern::new(seq_len)
+        .with(AtomicPattern::Local { window })
+        .with(AtomicPattern::Selected {
+            tokens: global_tokens.to_vec(),
+        })
+        .with(AtomicPattern::Global {
+            tokens: global_tokens.to_vec(),
+        })
+}
+
+/// QDS-Transformer's compound pattern: sliding-window local attention plus
+/// selected (all-to-one) attention on sentence-delimiter tokens.
+pub fn qds_transformer(
+    seq_len: usize,
+    window: usize,
+    selected_tokens: &[usize],
+) -> CompoundPattern {
+    CompoundPattern::new(seq_len)
+        .with(AtomicPattern::Local { window })
+        .with(AtomicPattern::Selected {
+            tokens: selected_tokens.to_vec(),
+        })
+}
+
+/// BigBird-ETC's compound pattern: non-overlapping blocked-local bands
+/// (three blocks wide), blocked random attention, and global attention on
+/// the special (ETC) tokens.
+pub fn bigbird_etc(seq_len: usize, block: usize, global_tokens: &[usize]) -> CompoundPattern {
+    CompoundPattern::new(seq_len)
+        .with(AtomicPattern::BlockedLocal { block: 3 * block })
+        .with(AtomicPattern::BlockedRandom {
+            block,
+            blocks_per_row: 3,
+            seed: 0xB16_B12D,
+        })
+        .with(AtomicPattern::Selected {
+            tokens: global_tokens.to_vec(),
+        })
+        .with(AtomicPattern::Global {
+            tokens: global_tokens.to_vec(),
+        })
+}
+
+/// Poolingformer's two-level window, approximated as a compound pattern:
+/// a dense first-level sliding window plus a dilated (stride-4) second
+/// level spanning four times the window — the pooled keys each stand for
+/// a stride-sized group.
+pub fn poolingformer(seq_len: usize, window: usize) -> CompoundPattern {
+    CompoundPattern::new(seq_len)
+        .with(AtomicPattern::Local { window })
+        .with(AtomicPattern::Dilated {
+            window: 4 * window,
+            stride: 4,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure9_has_six_patterns_in_paper_order() {
+        let ps = figure9_patterns(1024, 32, 7);
+        let names: Vec<String> = ps.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["L+S", "L+R", "LB+R", "RB+R", "L+S+G", "LB+S+G"]);
+    }
+
+    #[test]
+    fn figure9_row_density_is_about_five_percent() {
+        for p in figure9_patterns(1024, 32, 7) {
+            let d = p.density();
+            assert!(
+                d > 0.02 && d < 0.12,
+                "{} density {d} out of the ~5% band",
+                p.name()
+            );
+        }
+    }
+
+    #[test]
+    fn longformer_pattern_contains_expected_parts() {
+        let p = longformer(512, 64, &[0, 1, 2]);
+        assert_eq!(p.name(), "L+S+G");
+        assert_eq!(p.global_rows(), vec![0, 1, 2]);
+        // Non-global row attends its window and the selected columns.
+        let cols = p.row_columns(300);
+        assert!(cols.contains(&0) && cols.contains(&300));
+    }
+
+    #[test]
+    fn bigbird_pattern_has_all_three_grains() {
+        use crate::Grain;
+        let p = bigbird_etc(512, 32, &[0, 1]);
+        assert!(!p.parts_of_grain(Grain::Coarse).is_empty());
+        assert!(!p.parts_of_grain(Grain::Fine).is_empty());
+        assert!(!p.parts_of_grain(Grain::Special).is_empty());
+        assert_eq!(p.global_rows(), vec![0, 1]);
+    }
+
+    #[test]
+    fn poolingformer_second_level_is_dilated() {
+        let p = poolingformer(512, 32);
+        let cols = p.row_columns(256);
+        // First level contiguous around the diagonal, second level strided.
+        assert!(cols.contains(&256) && cols.contains(&255));
+        assert!(
+            cols.contains(&(256 - 64)) || cols.contains(&(256 + 64)),
+            "strided reach"
+        );
+        assert!(p.density() < 0.15);
+    }
+
+    #[test]
+    fn qds_pattern_has_no_global_rows() {
+        let p = qds_transformer(512, 64, &[10, 100]);
+        assert_eq!(p.name(), "L+S");
+        assert!(p.global_rows().is_empty());
+    }
+}

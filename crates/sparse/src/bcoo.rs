@@ -1,0 +1,236 @@
+//! Blocked COO — the blocked sparse format Triton's SDDMM uses.
+//!
+//! The paper points out (§3.2) that Triton uses BCOO for SDDMM but BSR for
+//! SpMM, so the coarse baseline must keep *two* metadata copies; we provide
+//! both formats so that inconsistency (and its memory cost) is reproducible.
+
+use crate::{Bsr, SparseError};
+use mg_tensor::{Matrix, Scalar};
+
+/// A blocked sparse matrix as an explicit list of `(block_row, block_col)`
+/// coordinates plus dense block storage.
+///
+/// # Examples
+///
+/// ```
+/// use mg_sparse::{Bcoo, Bsr};
+///
+/// let bsr = Bsr::<f32>::from_block_coords(4, 4, 2, &[(0, 1), (1, 0)])?;
+/// let bcoo = Bcoo::from_bsr(&bsr);
+/// assert_eq!(bcoo.nnz_blocks(), 2);
+/// # Ok::<(), mg_sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bcoo<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    block_size: usize,
+    block_coords: Vec<(usize, usize)>,
+    blocks: Vec<T>,
+}
+
+impl<T: Scalar> Bcoo<T> {
+    /// Builds a BCOO matrix after validating coordinates are sorted
+    /// row-major, unique, and in bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError`] on misaligned dimensions, invalid
+    /// coordinates, or a mis-sized block buffer.
+    pub fn try_new(
+        rows: usize,
+        cols: usize,
+        block_size: usize,
+        block_coords: Vec<(usize, usize)>,
+        blocks: Vec<T>,
+    ) -> Result<Bcoo<T>, SparseError> {
+        if block_size == 0 || !rows.is_multiple_of(block_size) {
+            return Err(SparseError::BlockMisaligned {
+                dim: rows,
+                block_size,
+            });
+        }
+        if !cols.is_multiple_of(block_size) {
+            return Err(SparseError::BlockMisaligned {
+                dim: cols,
+                block_size,
+            });
+        }
+        if blocks.len() != block_coords.len() * block_size * block_size {
+            return Err(SparseError::ShapeMismatch {
+                detail: format!(
+                    "{} block values for {} blocks of {}x{}",
+                    blocks.len(),
+                    block_coords.len(),
+                    block_size,
+                    block_size
+                ),
+            });
+        }
+        let (block_rows, block_cols) = (rows / block_size, cols / block_size);
+        let mut prev: Option<(usize, usize)> = None;
+        for &(br, bc) in &block_coords {
+            if br >= block_rows {
+                return Err(SparseError::IndexOutOfBounds {
+                    index: br,
+                    bound: block_rows,
+                });
+            }
+            if bc >= block_cols {
+                return Err(SparseError::IndexOutOfBounds {
+                    index: bc,
+                    bound: block_cols,
+                });
+            }
+            if let Some(p) = prev {
+                if (br, bc) == p {
+                    return Err(SparseError::DuplicateEntry { row: br, col: bc });
+                }
+                if (br, bc) < p {
+                    return Err(SparseError::UnsortedIndices { lane: br });
+                }
+            }
+            prev = Some((br, bc));
+        }
+        Ok(Bcoo {
+            rows,
+            cols,
+            block_size,
+            block_coords,
+            blocks,
+        })
+    }
+
+    /// Converts from BSR (same blocks, explicit coordinates).
+    pub fn from_bsr(bsr: &Bsr<T>) -> Bcoo<T> {
+        let mut block_coords = Vec::with_capacity(bsr.nnz_blocks());
+        let mut blocks = Vec::with_capacity(bsr.stored_elements());
+        for (br, bc, elems) in bsr.iter_blocks() {
+            block_coords.push((br, bc));
+            blocks.extend_from_slice(elems);
+        }
+        Bcoo {
+            rows: bsr.rows(),
+            cols: bsr.cols(),
+            block_size: bsr.block_size(),
+            block_coords,
+            blocks,
+        }
+    }
+
+    /// Converts to BSR.
+    pub fn to_bsr(&self) -> Bsr<T> {
+        Bsr::try_new(
+            self.rows,
+            self.cols,
+            self.block_size,
+            {
+                let block_rows = self.rows / self.block_size;
+                let mut offsets = vec![0usize; block_rows + 1];
+                for &(br, _) in &self.block_coords {
+                    offsets[br + 1] += 1;
+                }
+                for br in 0..block_rows {
+                    offsets[br + 1] += offsets[br];
+                }
+                offsets
+            },
+            self.block_coords.iter().map(|&(_, bc)| bc).collect(),
+            self.blocks.clone(),
+        )
+        .expect("BCOO invariants imply valid BSR")
+    }
+
+    /// Materialises the matrix densely.
+    pub fn to_dense(&self) -> Matrix<T> {
+        self.to_bsr().to_dense()
+    }
+
+    /// Number of rows (elements).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (elements).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Edge length of the square blocks.
+    #[inline]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Number of stored blocks.
+    #[inline]
+    pub fn nnz_blocks(&self) -> usize {
+        self.block_coords.len()
+    }
+
+    /// The sorted `(block_row, block_col)` coordinates.
+    #[inline]
+    pub fn block_coords(&self) -> &[(usize, usize)] {
+        &self.block_coords
+    }
+
+    /// The elements of the `i`-th stored block, row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.nnz_blocks()`.
+    #[inline]
+    pub fn block(&self, i: usize) -> &[T] {
+        assert!(i < self.nnz_blocks(), "block index out of bounds");
+        let sq = self.block_size * self.block_size;
+        &self.blocks[i * sq..(i + 1) * sq]
+    }
+
+    /// Bytes of metadata (4-byte block row + block col per block) — twice
+    /// BSR's per-block cost, which is the paper's point about Triton
+    /// keeping both formats.
+    pub fn metadata_bytes(&self) -> u64 {
+        self.block_coords.len() as u64 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bsr_round_trip() {
+        let bsr = Bsr::<f32>::from_block_coords(8, 8, 2, &[(0, 0), (1, 2), (3, 3)]).expect("valid");
+        let bcoo = Bcoo::from_bsr(&bsr);
+        assert_eq!(bcoo.to_bsr(), bsr);
+    }
+
+    #[test]
+    fn rejects_unsorted_coords() {
+        let err = Bcoo::<f32>::try_new(4, 4, 2, vec![(1, 0), (0, 0)], vec![0.0; 8]);
+        assert!(matches!(err, Err(SparseError::UnsortedIndices { .. })));
+    }
+
+    #[test]
+    fn rejects_duplicate_coords() {
+        let err = Bcoo::<f32>::try_new(4, 4, 2, vec![(0, 0), (0, 0)], vec![0.0; 8]);
+        assert!(matches!(err, Err(SparseError::DuplicateEntry { .. })));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_block() {
+        let err = Bcoo::<f32>::try_new(4, 4, 2, vec![(2, 0)], vec![0.0; 4]);
+        assert!(matches!(err, Err(SparseError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn metadata_doubles_bsr_per_block_cost() {
+        let bsr =
+            Bsr::<f32>::from_block_coords(64, 64, 16, &[(0, 0), (1, 1), (2, 2)]).expect("valid");
+        let bcoo = Bcoo::from_bsr(&bsr);
+        assert_eq!(bcoo.metadata_bytes(), 3 * 8);
+        assert_eq!(bsr.metadata_bytes(), (5 + 3) * 4);
+    }
+}

@@ -1,0 +1,135 @@
+//! Cross-format conversions beyond the inherent `to_*`/`from_*` methods.
+
+use crate::{Bsr, Csr, SparseError};
+use mg_tensor::Scalar;
+
+/// Converts a CSR matrix to BSR with the given block size.
+///
+/// Every element lands in the block containing its coordinate; blocks with
+/// at least one element are stored densely (explicit zeros elsewhere),
+/// exactly what the coarse-grained method does to an element-wise pattern.
+///
+/// # Errors
+///
+/// Returns [`SparseError::BlockMisaligned`] if the dimensions are not
+/// divisible by `block_size`.
+///
+/// # Examples
+///
+/// ```
+/// use mg_sparse::{csr_to_bsr, Csr};
+///
+/// let csr = Csr::<f32>::from_coords(4, 4, &[(0, 0), (3, 3)])?;
+/// let bsr = csr_to_bsr(&csr, 2)?;
+/// assert_eq!(bsr.nnz_blocks(), 2);
+/// # Ok::<(), mg_sparse::SparseError>(())
+/// ```
+pub fn csr_to_bsr<T: Scalar>(csr: &Csr<T>, block_size: usize) -> Result<Bsr<T>, SparseError> {
+    if block_size == 0 || !csr.rows().is_multiple_of(block_size) {
+        return Err(SparseError::BlockMisaligned {
+            dim: csr.rows(),
+            block_size,
+        });
+    }
+    if !csr.cols().is_multiple_of(block_size) {
+        return Err(SparseError::BlockMisaligned {
+            dim: csr.cols(),
+            block_size,
+        });
+    }
+    // Collect the distinct block coordinates, sorted row-major.
+    let mut coords: Vec<(usize, usize)> = Vec::new();
+    for (r, c, _) in csr.iter() {
+        let key = (r / block_size, c / block_size);
+        if coords.last() != Some(&key) {
+            coords.push(key);
+        }
+    }
+    coords.sort_unstable();
+    coords.dedup();
+    let mut bsr = Bsr::from_block_coords(csr.rows(), csr.cols(), block_size, &coords)?;
+
+    // Scatter values into blocks. Precompute the storage index of every
+    // block coordinate (coords are sorted, matching BSR storage order).
+    let index_of: std::collections::HashMap<(usize, usize), usize> = coords
+        .iter()
+        .enumerate()
+        .map(|(i, &coord)| (coord, i))
+        .collect();
+    for (r, c, v) in csr.iter() {
+        let key = (r / block_size, c / block_size);
+        let i = index_of[&key];
+        let (lr, lc) = (r % block_size, c % block_size);
+        bsr.block_mut(i)[lr * block_size + lc] = v;
+    }
+    Ok(bsr)
+}
+
+/// Converts a BSR matrix to CSR, keeping only elements that are non-zero
+/// (explicit zeros inside blocks are dropped).
+pub fn bsr_to_csr<T: Scalar>(bsr: &Bsr<T>) -> Csr<T> {
+    Csr::from_dense(&bsr.to_dense())
+}
+
+/// Fraction of stored block elements that are actually non-zero — the
+/// "block fill ratio" that determines how much work the coarse-grained
+/// method wastes on a pattern (paper §2.4).
+pub fn block_fill_ratio<T: Scalar>(bsr: &Bsr<T>) -> f64 {
+    if bsr.stored_elements() == 0 {
+        return 1.0;
+    }
+    let nnz = bsr
+        .iter_blocks()
+        .flat_map(|(_, _, elems)| elems.iter())
+        .filter(|v| v.to_f32() != 0.0)
+        .count();
+    nnz as f64 / bsr.stored_elements() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_tensor::Matrix;
+
+    #[test]
+    fn csr_bsr_round_trip() {
+        let dense = Matrix::<f32>::from_fn(8, 8, |r, c| {
+            if (r + 2 * c) % 5 == 0 {
+                (r * 8 + c + 1) as f32
+            } else {
+                0.0
+            }
+        });
+        let csr = Csr::from_dense(&dense);
+        let bsr = csr_to_bsr(&csr, 4).expect("aligned");
+        assert_eq!(bsr.to_dense(), dense);
+        assert_eq!(bsr_to_csr(&bsr), csr);
+    }
+
+    #[test]
+    fn misaligned_conversion_errors() {
+        let csr = Csr::<f32>::from_coords(6, 6, &[]).expect("valid");
+        assert!(csr_to_bsr(&csr, 4).is_err());
+    }
+
+    #[test]
+    fn fill_ratio_full_block() {
+        let dense = Matrix::<f32>::from_fn(2, 2, |_, _| 1.0);
+        let bsr = Bsr::from_dense(&dense, 2);
+        assert_eq!(block_fill_ratio(&bsr), 1.0);
+    }
+
+    #[test]
+    fn fill_ratio_quarter_block() {
+        let mut dense = Matrix::<f32>::zeros(2, 2);
+        dense.set(0, 0, 1.0);
+        let bsr = Bsr::from_dense(&dense, 2);
+        assert_eq!(block_fill_ratio(&bsr), 0.25);
+    }
+
+    #[test]
+    fn fill_ratio_empty_is_one() {
+        let bsr = Bsr::<f32>::from_block_coords(4, 4, 2, &[]).expect("valid");
+        assert_eq!(block_fill_ratio(&bsr), 1.0);
+    }
+}

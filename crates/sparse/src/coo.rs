@@ -1,0 +1,201 @@
+//! Coordinate format — the simplest element-wise representation, used as an
+//! interchange format between the others.
+
+use crate::{Csr, SparseError};
+use mg_tensor::{Matrix, Scalar};
+
+/// A sparse matrix as a row-major-sorted list of `(row, col, value)`
+/// entries.
+///
+/// # Examples
+///
+/// ```
+/// use mg_sparse::Coo;
+///
+/// let coo = Coo::try_new(2, 2, vec![(0, 1, 5.0f32), (1, 0, 7.0)])?;
+/// assert_eq!(coo.nnz(), 2);
+/// # Ok::<(), mg_sparse::SparseError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coo<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, T)>,
+}
+
+impl<T: Scalar> Coo<T> {
+    /// Builds a COO matrix after validating the entries are sorted
+    /// row-major, unique, and in bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError`] for out-of-bounds, unsorted, or duplicate
+    /// coordinates.
+    pub fn try_new(
+        rows: usize,
+        cols: usize,
+        entries: Vec<(usize, usize, T)>,
+    ) -> Result<Coo<T>, SparseError> {
+        let mut prev: Option<(usize, usize)> = None;
+        for &(r, c, _) in &entries {
+            if r >= rows {
+                return Err(SparseError::IndexOutOfBounds {
+                    index: r,
+                    bound: rows,
+                });
+            }
+            if c >= cols {
+                return Err(SparseError::IndexOutOfBounds {
+                    index: c,
+                    bound: cols,
+                });
+            }
+            if let Some(p) = prev {
+                if (r, c) == p {
+                    return Err(SparseError::DuplicateEntry { row: r, col: c });
+                }
+                if (r, c) < p {
+                    return Err(SparseError::UnsortedIndices { lane: r });
+                }
+            }
+            prev = Some((r, c));
+        }
+        Ok(Coo {
+            rows,
+            cols,
+            entries,
+        })
+    }
+
+    /// Builds from unsorted entries by sorting them row-major first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError`] for out-of-bounds or duplicate coordinates.
+    pub fn from_unsorted(
+        rows: usize,
+        cols: usize,
+        mut entries: Vec<(usize, usize, T)>,
+    ) -> Result<Coo<T>, SparseError> {
+        entries.sort_by_key(|&(r, c, _)| (r, c));
+        Coo::try_new(rows, cols, entries)
+    }
+
+    /// Extracts the non-zeros of a dense matrix.
+    pub fn from_dense(dense: &Matrix<T>) -> Coo<T> {
+        let mut entries = Vec::new();
+        for r in 0..dense.rows() {
+            for (c, &v) in dense.row(r).iter().enumerate() {
+                if v.to_f32() != 0.0 {
+                    entries.push((r, c, v));
+                }
+            }
+        }
+        Coo {
+            rows: dense.rows(),
+            cols: dense.cols(),
+            entries,
+        }
+    }
+
+    /// Materialises the matrix densely.
+    pub fn to_dense(&self) -> Matrix<T> {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for &(r, c, v) in &self.entries {
+            out.set(r, c, v);
+        }
+        out
+    }
+
+    /// Converts to CSR (cheap: entries are already row-major sorted).
+    pub fn to_csr(&self) -> Csr<T> {
+        let mut row_offsets = vec![0usize; self.rows + 1];
+        let mut col_indices = Vec::with_capacity(self.entries.len());
+        let mut values = Vec::with_capacity(self.entries.len());
+        for &(r, c, v) in &self.entries {
+            row_offsets[r + 1] += 1;
+            col_indices.push(c);
+            values.push(v);
+        }
+        for r in 0..self.rows {
+            row_offsets[r + 1] += row_offsets[r];
+        }
+        Csr::try_new(self.rows, self.cols, row_offsets, col_indices, values)
+            .expect("COO invariants imply valid CSR")
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The sorted `(row, col, value)` entries.
+    #[inline]
+    pub fn entries(&self) -> &[(usize, usize, T)] {
+        &self.entries
+    }
+
+    /// Bytes of metadata (4-byte row + column index per entry).
+    pub fn metadata_bytes(&self) -> u64 {
+        self.entries.len() as u64 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_round_trip() {
+        let dense = Matrix::<f32>::from_vec(2, 3, vec![0.0, 1.0, 0.0, 2.0, 0.0, 3.0]);
+        let coo = Coo::from_dense(&dense);
+        assert_eq!(coo.nnz(), 3);
+        assert_eq!(coo.to_dense(), dense);
+    }
+
+    #[test]
+    fn csr_conversion_preserves_structure() {
+        let dense = Matrix::<f32>::random(6, 6, 1);
+        let coo = Coo::from_dense(&dense);
+        assert_eq!(coo.to_csr().to_dense(), dense);
+    }
+
+    #[test]
+    fn from_unsorted_sorts() {
+        let coo = Coo::from_unsorted(2, 2, vec![(1, 1, 2.0f32), (0, 0, 1.0)]).expect("valid");
+        assert_eq!(coo.entries()[0], (0, 0, 1.0));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_out_of_bounds() {
+        assert!(matches!(
+            Coo::try_new(2, 2, vec![(0, 0, 1.0f32), (0, 0, 2.0)]),
+            Err(SparseError::DuplicateEntry { .. })
+        ));
+        assert!(matches!(
+            Coo::try_new(2, 2, vec![(0, 5, 1.0f32)]),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unsorted() {
+        assert!(matches!(
+            Coo::try_new(2, 2, vec![(1, 0, 1.0f32), (0, 0, 2.0)]),
+            Err(SparseError::UnsortedIndices { .. })
+        ));
+    }
+}

@@ -1,0 +1,166 @@
+//! Compressed Sparse Column — column-wise sibling of CSR, provided because
+//! the fine-grained libraries the paper discusses (Sputnik, cuSPARSE)
+//! expose it for transposed operands.
+
+use crate::{Csr, SparseError};
+use mg_tensor::{Matrix, Scalar};
+
+/// A sparse matrix in Compressed Sparse Column format.
+///
+/// `col_offsets` has `cols + 1` entries; the non-zeros of column `c` live at
+/// positions `col_offsets[c]..col_offsets[c+1]` of `row_indices`/`values`,
+/// with strictly increasing row indices within each column.
+///
+/// # Examples
+///
+/// ```
+/// use mg_sparse::{Csc, Csr};
+/// use mg_tensor::Matrix;
+///
+/// let dense = Matrix::<f32>::from_vec(2, 2, vec![1.0, 0.0, 2.0, 3.0]);
+/// let csc = Csc::from_dense(&dense);
+/// assert_eq!(csc.nnz(), 3);
+/// assert_eq!(csc.to_dense(), dense);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc<T: Scalar> {
+    rows: usize,
+    cols: usize,
+    col_offsets: Vec<usize>,
+    row_indices: Vec<usize>,
+    values: Vec<T>,
+}
+
+impl<T: Scalar> Csc<T> {
+    /// Builds a CSC matrix after validating all metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError`] if offsets are malformed, indices are out of
+    /// bounds or unsorted, or array lengths disagree.
+    pub fn try_new(
+        rows: usize,
+        cols: usize,
+        col_offsets: Vec<usize>,
+        row_indices: Vec<usize>,
+        values: Vec<T>,
+    ) -> Result<Csc<T>, SparseError> {
+        // A CSC of A is exactly a CSR of A^T; reuse that validator.
+        let csr = Csr::try_new(cols, rows, col_offsets, row_indices, values)?;
+        let (offsets, indices, values) = csr.into_raw();
+        Ok(Csc {
+            rows,
+            cols,
+            col_offsets: offsets,
+            row_indices: indices,
+            values,
+        })
+    }
+
+    /// Extracts the non-zeros of a dense matrix, column-major.
+    pub fn from_dense(dense: &Matrix<T>) -> Csc<T> {
+        let t = dense.transpose();
+        let csr = Csr::from_dense(&t);
+        let (offsets, indices, values) = csr.into_raw();
+        Csc {
+            rows: dense.rows(),
+            cols: dense.cols(),
+            col_offsets: offsets,
+            row_indices: indices,
+            values,
+        }
+    }
+
+    /// Materialises the matrix densely.
+    pub fn to_dense(&self) -> Matrix<T> {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for c in 0..self.cols {
+            for i in self.col_offsets[c]..self.col_offsets[c + 1] {
+                out.set(self.row_indices[i], c, self.values[i]);
+            }
+        }
+        out
+    }
+
+    /// Reinterprets as the CSR of the transposed matrix (zero copy).
+    pub fn into_transposed_csr(self) -> Csr<T> {
+        Csr::try_new(
+            self.cols,
+            self.rows,
+            self.col_offsets,
+            self.row_indices,
+            self.values,
+        )
+        .expect("CSC invariants imply valid transposed CSR")
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zero elements.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.row_indices.len()
+    }
+
+    /// The `cols + 1` column-offset array.
+    #[inline]
+    pub fn col_offsets(&self) -> &[usize] {
+        &self.col_offsets
+    }
+
+    /// The row index of every stored element, column-major.
+    #[inline]
+    pub fn row_indices(&self) -> &[usize] {
+        &self.row_indices
+    }
+
+    /// The stored values, column-major.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_round_trip() {
+        let dense = Matrix::<f32>::random(5, 7, 3);
+        let csc = Csc::from_dense(&dense);
+        assert_eq!(csc.to_dense(), dense);
+    }
+
+    #[test]
+    fn transposed_csr_view() {
+        let dense = Matrix::<f32>::random(4, 6, 9);
+        let csc = Csc::from_dense(&dense);
+        let csr_t = csc.into_transposed_csr();
+        assert_eq!(csr_t.to_dense(), dense.transpose());
+    }
+
+    #[test]
+    fn validation_rejects_unsorted_rows() {
+        let err = Csc::<f32>::try_new(3, 1, vec![0, 2], vec![2, 1], vec![1.0, 2.0]);
+        assert!(matches!(err, Err(SparseError::UnsortedIndices { .. })));
+    }
+
+    #[test]
+    fn nnz_matches_dense_count() {
+        let mut dense = Matrix::<f32>::zeros(3, 3);
+        dense.set(0, 0, 1.0);
+        dense.set(2, 1, 2.0);
+        assert_eq!(Csc::from_dense(&dense).nnz(), 2);
+    }
+}

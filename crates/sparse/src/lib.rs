@@ -1,0 +1,45 @@
+//! # mg-sparse — sparse matrix formats
+//!
+//! Every sparse representation the paper's methods touch: element-wise
+//! formats ([`Csr`], [`Coo`], [`Csc`]) used by the fine-grained method, and
+//! blocked formats ([`Bsr`], [`Bcoo`], [`BlockedEll`]) used by the
+//! coarse-grained method, plus conversions between them.
+//!
+//! All constructors validate metadata and return [`SparseError`] on
+//! malformed input. Structure is immutable after construction; values can
+//! be updated in place (the SDDMM kernels fill value buffers whose
+//! structure was generated ahead of time, as §3.1 of the paper describes).
+//!
+//! # Examples
+//!
+//! ```
+//! use mg_sparse::{csr_to_bsr, Csr};
+//! use mg_tensor::Matrix;
+//!
+//! let dense = Matrix::<f32>::from_fn(8, 8, |r, c| if r == c { 1.0 } else { 0.0 });
+//! let csr = Csr::from_dense(&dense);
+//! let bsr = csr_to_bsr(&csr, 4)?;
+//! assert_eq!(bsr.nnz_blocks(), 2);
+//! # Ok::<(), mg_sparse::SparseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bcoo;
+mod blocked_ell;
+mod bsr;
+mod convert;
+mod coo;
+mod csc;
+mod csr;
+mod error;
+
+pub use bcoo::Bcoo;
+pub use blocked_ell::{BlockedEll, ELL_PAD};
+pub use bsr::Bsr;
+pub use convert::{block_fill_ratio, bsr_to_csr, csr_to_bsr};
+pub use coo::Coo;
+pub use csc::Csc;
+pub use csr::{Csr, RowStats};
+pub use error::SparseError;

@@ -1,0 +1,96 @@
+//! Property-based tests over sparse format invariants and conversions.
+
+use mg_sparse::{block_fill_ratio, bsr_to_csr, csr_to_bsr, Bcoo, BlockedEll, Coo, Csc, Csr};
+use mg_tensor::Matrix;
+use proptest::prelude::*;
+
+/// Strategy: a random dense matrix whose dimensions are multiples of 4,
+/// with roughly the requested density of non-zeros.
+fn dense_matrix(max_blocks: usize) -> impl Strategy<Value = Matrix<f32>> {
+    (1..=max_blocks, 1..=max_blocks, any::<u64>(), 1u32..100).prop_map(
+        |(brows, bcols, seed, density_pct)| {
+            let (rows, cols) = (brows * 4, bcols * 4);
+            let mut state = seed;
+            let mut next = move || {
+                // xorshift64
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            Matrix::from_fn(rows, cols, |_, _| {
+                let roll = next() % 100;
+                if (roll as u32) < density_pct {
+                    ((next() % 1000) as f32 / 100.0) - 5.0
+                } else {
+                    0.0
+                }
+            })
+        },
+    )
+}
+
+proptest! {
+    /// CSR round trips through dense exactly.
+    #[test]
+    fn csr_dense_round_trip(dense in dense_matrix(6)) {
+        let csr = Csr::from_dense(&dense);
+        prop_assert_eq!(csr.to_dense(), dense);
+    }
+
+    /// COO -> CSR agrees with direct CSR extraction.
+    #[test]
+    fn coo_to_csr_agrees(dense in dense_matrix(6)) {
+        let coo = Coo::from_dense(&dense);
+        let csr = Csr::from_dense(&dense);
+        prop_assert_eq!(coo.to_csr(), csr);
+    }
+
+    /// CSC of A equals CSR of A^T up to representation.
+    #[test]
+    fn csc_is_transposed_csr(dense in dense_matrix(5)) {
+        let csc = Csc::from_dense(&dense);
+        let csr_t = Csr::from_dense(&dense.transpose());
+        prop_assert_eq!(csc.into_transposed_csr(), csr_t);
+    }
+
+    /// CSR -> BSR -> dense preserves every element, and the BSR stores at
+    /// least as many elements as the CSR (block padding only adds).
+    #[test]
+    fn csr_bsr_conversion_is_lossless(dense in dense_matrix(5)) {
+        let csr = Csr::from_dense(&dense);
+        let bsr = csr_to_bsr(&csr, 4).expect("dimensions are multiples of 4");
+        prop_assert_eq!(bsr.to_dense(), dense);
+        prop_assert!(bsr.stored_elements() >= csr.nnz());
+        prop_assert_eq!(bsr_to_csr(&bsr), csr);
+    }
+
+    /// Block fill ratio equals nnz / stored elements.
+    #[test]
+    fn fill_ratio_definition(dense in dense_matrix(5)) {
+        let csr = Csr::from_dense(&dense);
+        let bsr = csr_to_bsr(&csr, 4).expect("aligned");
+        let ratio = block_fill_ratio(&bsr);
+        if bsr.stored_elements() > 0 {
+            let expect = csr.nnz() as f64 / bsr.stored_elements() as f64;
+            prop_assert!((ratio - expect).abs() < 1e-12);
+        }
+        prop_assert!((0.0..=1.0).contains(&ratio));
+    }
+
+    /// BCOO and Blocked-ELL both reproduce the BSR contents.
+    #[test]
+    fn blocked_formats_agree(dense in dense_matrix(4)) {
+        let bsr = mg_sparse::Bsr::from_dense(&dense, 4);
+        prop_assert_eq!(Bcoo::from_bsr(&bsr).to_dense(), dense.clone());
+        prop_assert_eq!(BlockedEll::from_bsr(&bsr).to_dense(), dense);
+    }
+
+    /// Per-row nnz sums to total nnz.
+    #[test]
+    fn row_nnz_sums_to_total(dense in dense_matrix(6)) {
+        let csr = Csr::from_dense(&dense);
+        let sum: usize = (0..csr.rows()).map(|r| csr.row_nnz(r)).sum();
+        prop_assert_eq!(sum, csr.nnz());
+    }
+}

@@ -1,0 +1,160 @@
+//! Dense matrix multiplication with FP32 accumulation.
+//!
+//! These routines are the numeric ground truth for every sparse kernel in
+//! the workspace: the functional SDDMM/SpMM kernels must agree with a dense
+//! GEMM restricted to the pattern's non-zero positions. Accumulation happens
+//! in `f32` regardless of the storage type, matching the tensor-core
+//! `HMMA.16816.F32` semantics the paper relies on.
+
+use crate::{Matrix, Scalar};
+
+/// Computes `A × B` where `A` is `m×k` and `B` is `k×n`.
+///
+/// Inputs may be `Half` or `f32`; products are accumulated in `f32` and the
+/// result is rounded to the output scalar type `O`.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions do not match.
+///
+/// # Examples
+///
+/// ```
+/// use mg_tensor::{gemm, Matrix};
+///
+/// let a = Matrix::<f32>::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+/// let b = Matrix::<f32>::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+/// let c: Matrix<f32> = gemm(&a, &b);
+/// assert_eq!(c.get(0, 0), 19.0);
+/// ```
+pub fn gemm<A: Scalar, B: Scalar, O: Scalar>(a: &Matrix<A>, b: &Matrix<B>) -> Matrix<O> {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "inner dimension mismatch: {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::<O>::zeros(m, n);
+    // i-k-j loop order for row-major locality.
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        let mut acc = vec![0.0f32; n];
+        for (kk, &a_ik) in a_row.iter().enumerate().take(k) {
+            let a_val = a_ik.to_f32();
+            if a_val == 0.0 {
+                continue;
+            }
+            let b_row = b.row(kk);
+            for (j, &b_kj) in b_row.iter().enumerate() {
+                acc[j] += a_val * b_kj.to_f32();
+            }
+        }
+        for (j, &v) in acc.iter().enumerate() {
+            out_row[j] = O::from_f32(v);
+        }
+    }
+    out
+}
+
+/// Computes `A × Bᵀ` where `A` is `m×k` and `B` is `n×k`.
+///
+/// This is the shape of the attention-score computation `Q × Kᵀ`, provided
+/// directly so callers do not materialise the transpose.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.cols()`.
+pub fn gemm_nt<A: Scalar, B: Scalar, O: Scalar>(a: &Matrix<A>, b: &Matrix<B>) -> Matrix<O> {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "inner dimension mismatch for A*B^T: {}x{} * ({}x{})^T",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    Matrix::from_fn(m, n, |i, j| {
+        let mut acc = 0.0f32;
+        let a_row = a.row(i);
+        let b_row = b.row(j);
+        for kk in 0..k {
+            acc += a_row[kk].to_f32() * b_row[kk].to_f32();
+        }
+        O::from_f32(acc)
+    })
+}
+
+/// Computes the dot product of two equal-length slices, accumulating in
+/// `f32`. This is the inner primitive every fine-grained kernel uses.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot<A: Scalar, B: Scalar>(a: &[A], b: &[B]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| x.to_f32() * y.to_f32())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Half;
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::<f32>::random(4, 4, 3);
+        let id = Matrix::<f32>::from_fn(4, 4, |r, c| if r == c { 1.0 } else { 0.0 });
+        let c: Matrix<f32> = gemm(&a, &id);
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Matrix::<f32>::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::<f32>::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c: Matrix<f32> = gemm(&a, &b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn gemm_nt_matches_gemm_with_transpose() {
+        let a = Matrix::<f32>::random(5, 8, 1);
+        let b = Matrix::<f32>::random(6, 8, 2);
+        let via_nt: Matrix<f32> = gemm_nt(&a, &b);
+        let via_t: Matrix<f32> = gemm(&a, &b.transpose());
+        assert!(via_nt.max_abs_diff(&via_t) < 1e-5);
+    }
+
+    #[test]
+    fn f16_inputs_accumulate_in_f32() {
+        // Sum of 1024 copies of 1.0 overflows nothing in f32 accumulation,
+        // and 1024 is exactly representable in Half.
+        let a = Matrix::<Half>::from_fn(1, 1024, |_, _| Half::ONE);
+        let b = Matrix::<Half>::from_fn(1024, 1, |_, _| Half::ONE);
+        let c: Matrix<Half> = gemm(&a, &b);
+        assert_eq!(c.get(0, 0).to_f32(), 1024.0);
+    }
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0f32, 2.0, 3.0], &[4.0f32, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::<f32>::zeros(2, 3);
+        let b = Matrix::<f32>::zeros(2, 3);
+        let _: Matrix<f32> = gemm(&a, &b);
+    }
+}

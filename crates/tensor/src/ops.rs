@@ -1,0 +1,129 @@
+//! Element-wise matrix operations used by attention pipelines.
+
+use crate::{Matrix, Scalar};
+
+/// Returns `a + b` element-wise, accumulating in `f32`.
+///
+/// Used to merge the partial contexts produced by the coarse-grained and
+/// fine-grained SpMM kernels.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn add<A: Scalar, B: Scalar, O: Scalar>(a: &Matrix<A>, b: &Matrix<B>) -> Matrix<O> {
+    assert_eq!(a.rows(), b.rows(), "row mismatch");
+    assert_eq!(a.cols(), b.cols(), "col mismatch");
+    Matrix::from_fn(a.rows(), a.cols(), |r, c| {
+        O::from_f32(a.get(r, c).to_f32() + b.get(r, c).to_f32())
+    })
+}
+
+/// Returns `scale * x` element-wise.
+pub fn scale<T: Scalar, O: Scalar>(x: &Matrix<T>, scale: f32) -> Matrix<O> {
+    Matrix::from_fn(x.rows(), x.cols(), |r, c| {
+        O::from_f32(x.get(r, c).to_f32() * scale)
+    })
+}
+
+/// Returns `x + mask` element-wise; `-inf` mask entries invalidate elements.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn apply_mask<T: Scalar, O: Scalar>(x: &Matrix<T>, mask: &Matrix<f32>) -> Matrix<O> {
+    assert_eq!(x.rows(), mask.rows(), "row mismatch");
+    assert_eq!(x.cols(), mask.cols(), "col mismatch");
+    Matrix::from_fn(x.rows(), x.cols(), |r, c| {
+        O::from_f32(x.get(r, c).to_f32() + mask.get(r, c))
+    })
+}
+
+/// GELU activation (tanh approximation), used by transformer FFN blocks.
+pub fn gelu<T: Scalar, O: Scalar>(x: &Matrix<T>) -> Matrix<O> {
+    Matrix::from_fn(x.rows(), x.cols(), |r, c| {
+        let v = x.get(r, c).to_f32();
+        let inner = 0.797_884_6 * (v + 0.044_715 * v * v * v);
+        O::from_f32(0.5 * v * (1.0 + inner.tanh()))
+    })
+}
+
+/// Row-wise layer normalization with learned `gamma` and `beta`.
+///
+/// # Panics
+///
+/// Panics if `gamma` or `beta` length differs from `x.cols()`.
+pub fn layer_norm<T: Scalar, O: Scalar>(x: &Matrix<T>, gamma: &[f32], beta: &[f32]) -> Matrix<O> {
+    assert_eq!(gamma.len(), x.cols(), "gamma length mismatch");
+    assert_eq!(beta.len(), x.cols(), "beta length mismatch");
+    let cols = x.cols();
+    let mut out = Matrix::<O>::zeros(x.rows(), cols);
+    for r in 0..x.rows() {
+        let row: Vec<f32> = x.row(r).iter().map(|v| v.to_f32()).collect();
+        let mean = row.iter().sum::<f32>() / cols as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+        let inv_std = 1.0 / (var + 1e-5).sqrt();
+        let out_row = out.row_mut(r);
+        for c in 0..cols {
+            out_row[c] = O::from_f32((row[c] - mean) * inv_std * gamma[c] + beta[c]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_elementwise() {
+        let a = Matrix::<f32>::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::<f32>::from_vec(1, 2, vec![10.0, 20.0]);
+        let c: Matrix<f32> = add(&a, &b);
+        assert_eq!(c.as_slice(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn scale_multiplies() {
+        let a = Matrix::<f32>::from_vec(1, 2, vec![2.0, -4.0]);
+        let c: Matrix<f32> = scale(&a, 0.5);
+        assert_eq!(c.as_slice(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn mask_invalidates_with_neg_infinity() {
+        let a = Matrix::<f32>::from_vec(1, 2, vec![2.0, 3.0]);
+        let mut m = Matrix::<f32>::zeros(1, 2);
+        m.set(0, 1, f32::NEG_INFINITY);
+        let c: Matrix<f32> = apply_mask(&a, &m);
+        assert_eq!(c.get(0, 0), 2.0);
+        assert_eq!(c.get(0, 1), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn gelu_fixed_points() {
+        let x = Matrix::<f32>::from_vec(1, 3, vec![0.0, 100.0, -100.0]);
+        let y: Matrix<f32> = gelu(&x);
+        assert_eq!(y.get(0, 0), 0.0);
+        assert!((y.get(0, 1) - 100.0).abs() < 1e-3);
+        assert!(y.get(0, 2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layer_norm_normalizes_rows() {
+        let x = Matrix::<f32>::random(3, 16, 9);
+        let gamma = vec![1.0; 16];
+        let beta = vec![0.0; 16];
+        let y: Matrix<f32> = layer_norm(&x, &gamma, &beta);
+        for r in 0..3 {
+            let mean: f32 = y.row(r).iter().sum::<f32>() / 16.0;
+            let var: f32 = y
+                .row(r)
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 16.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+}

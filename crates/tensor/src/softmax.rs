@@ -1,0 +1,150 @@
+//! Dense row-wise "safe" softmax with scaling and masking.
+//!
+//! This is the numeric reference for every sparse-softmax kernel, following
+//! the three-step safe softmax the paper describes (§3.3): max-finding,
+//! exponential sum, normalization. Scaling and masking are fused in front,
+//! exactly as the compound sparse-softmax kernel does.
+
+use crate::{Matrix, Scalar};
+
+/// Applies `softmax(scale * x + mask)` row by row, in `f32`, rounding the
+/// result to the output scalar type.
+///
+/// Mask entries of `-inf` remove an element from the row's distribution. A
+/// row whose elements are all masked out produces all zeros (the convention
+/// sparse kernels use for fully-padded rows).
+///
+/// # Panics
+///
+/// Panics if `mask` is `Some` and has a different shape than `x`.
+///
+/// # Examples
+///
+/// ```
+/// use mg_tensor::{softmax_rows, Matrix};
+///
+/// let x = Matrix::<f32>::from_vec(1, 2, vec![0.0, 0.0]);
+/// let p: Matrix<f32> = softmax_rows(&x, 1.0, None);
+/// assert!((p.get(0, 0) - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax_rows<T: Scalar, O: Scalar>(
+    x: &Matrix<T>,
+    scale: f32,
+    mask: Option<&Matrix<f32>>,
+) -> Matrix<O> {
+    if let Some(m) = mask {
+        assert_eq!(m.rows(), x.rows(), "mask row mismatch");
+        assert_eq!(m.cols(), x.cols(), "mask col mismatch");
+    }
+    let (rows, cols) = (x.rows(), x.cols());
+    let mut out = Matrix::<O>::zeros(rows, cols);
+    let mut scratch = vec![0.0f32; cols];
+    for r in 0..rows {
+        for (c, slot) in scratch.iter_mut().enumerate() {
+            let mut v = x.get(r, c).to_f32() * scale;
+            if let Some(m) = mask {
+                v += m.get(r, c);
+            }
+            *slot = v;
+        }
+        softmax_row_in_place(&mut scratch);
+        let out_row = out.row_mut(r);
+        for (c, &v) in scratch.iter().enumerate() {
+            out_row[c] = O::from_f32(v);
+        }
+    }
+    out
+}
+
+/// Performs the three-step safe softmax on a single row in place.
+///
+/// Elements equal to `-inf` are treated as masked and produce `0`. If every
+/// element is masked the row becomes all zeros.
+pub fn softmax_row_in_place(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        row.fill(0.0);
+        return;
+    }
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Half;
+
+    #[test]
+    fn uniform_row_gives_uniform_distribution() {
+        let x = Matrix::<f32>::zeros(1, 4);
+        let p: Matrix<f32> = softmax_rows(&x, 1.0, None);
+        for c in 0..4 {
+            assert!((p.get(0, c) - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rows_sum_to_one() {
+        let x = Matrix::<f32>::random(6, 10, 11);
+        let p: Matrix<f32> = softmax_rows(&x, 0.125, None);
+        for r in 0..6 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn masked_elements_are_zero() {
+        let x = Matrix::<f32>::zeros(1, 3);
+        let mut mask = Matrix::<f32>::zeros(1, 3);
+        mask.set(0, 2, f32::NEG_INFINITY);
+        let p: Matrix<f32> = softmax_rows(&x, 1.0, Some(&mask));
+        assert_eq!(p.get(0, 2), 0.0);
+        assert!((p.get(0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fully_masked_row_is_all_zero() {
+        let x = Matrix::<f32>::zeros(1, 3);
+        let mask = Matrix::<f32>::from_fn(1, 3, |_, _| f32::NEG_INFINITY);
+        let p: Matrix<f32> = softmax_rows(&x, 1.0, Some(&mask));
+        assert!(p.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn scale_shifts_distribution() {
+        let x = Matrix::<f32>::from_vec(1, 2, vec![1.0, 0.0]);
+        let p_sharp: Matrix<f32> = softmax_rows(&x, 10.0, None);
+        let p_soft: Matrix<f32> = softmax_rows(&x, 0.1, None);
+        assert!(p_sharp.get(0, 0) > p_soft.get(0, 0));
+    }
+
+    #[test]
+    fn large_magnitudes_do_not_overflow() {
+        // Without the max subtraction exp(1000) would overflow.
+        let x = Matrix::<f32>::from_vec(1, 2, vec![1000.0, 999.0]);
+        let p: Matrix<f32> = softmax_rows(&x, 1.0, None);
+        assert!(p.get(0, 0).is_finite());
+        assert!((p.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn f16_output_is_rounded_f32_result() {
+        let x = Matrix::<f32>::random(2, 8, 5);
+        let pf: Matrix<f32> = softmax_rows(&x, 1.0, None);
+        let ph: Matrix<Half> = softmax_rows(&x, 1.0, None);
+        for r in 0..2 {
+            for c in 0..8 {
+                assert_eq!(ph.get(r, c), Half::from_f32(pf.get(r, c)));
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Property-based tests pinning the software `Half` implementation.
+
+use mg_tensor::Half;
+use proptest::prelude::*;
+
+proptest! {
+    /// Every Half bit pattern (except NaNs) survives a round trip through f32.
+    #[test]
+    fn bits_round_trip_through_f32(bits in any::<u16>()) {
+        let h = Half::from_bits(bits);
+        prop_assume!(!h.is_nan());
+        let back = Half::from_f32(h.to_f32());
+        prop_assert_eq!(back.to_bits(), bits);
+    }
+
+    /// Conversion from f32 never increases magnitude by more than half a ULP
+    /// of the Half grid (checked via relative error for normal values).
+    #[test]
+    fn from_f32_relative_error_bounded(v in -60000.0f32..60000.0) {
+        prop_assume!(v.abs() >= Half::MIN_POSITIVE.to_f32());
+        let h = Half::from_f32(v);
+        let err = (h.to_f32() - v).abs() / v.abs();
+        // Half ULP for binary16 normals is 2^-11.
+        prop_assert!(err <= 1.0 / 2048.0, "v={v} h={} err={err}", h.to_f32());
+    }
+
+    /// from_f32 is monotone: a <= b implies Half(a) <= Half(b).
+    #[test]
+    fn conversion_is_monotone(a in -70000.0f32..70000.0, b in -70000.0f32..70000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(Half::from_f32(lo) <= Half::from_f32(hi));
+    }
+
+    /// Negation is exact and involutive.
+    #[test]
+    fn negation_involution(bits in any::<u16>()) {
+        let h = Half::from_bits(bits);
+        prop_assume!(!h.is_nan());
+        prop_assert_eq!(-(-h), h);
+        prop_assert_eq!((-h).to_f32(), -h.to_f32());
+    }
+
+    /// Addition commutes (it is f32 addition followed by rounding).
+    #[test]
+    fn addition_commutes(a in -1000.0f32..1000.0, b in -1000.0f32..1000.0) {
+        let (x, y) = (Half::from_f32(a), Half::from_f32(b));
+        prop_assert_eq!(x + y, y + x);
+    }
+
+    /// to_f32 is exact: converting back to Half is the identity, and the f32
+    /// value compares equal to itself through the Half ordering.
+    #[test]
+    fn ordering_consistent_with_f32(a in any::<u16>(), b in any::<u16>()) {
+        let (x, y) = (Half::from_bits(a), Half::from_bits(b));
+        prop_assume!(!x.is_nan() && !y.is_nan());
+        prop_assert_eq!(
+            x.partial_cmp(&y),
+            x.to_f32().partial_cmp(&y.to_f32())
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Visualizes compound sparse patterns and how Multigrain slices them
+//! into coarse / fine / global parts.
+//!
+//! Run with: `cargo run --release -p mg-models --example pattern_explorer`
+
+use mg_patterns::{presets, AtomicPattern, CompoundPattern, SlicedPattern};
+
+/// Renders the top-left corner of the pattern, marking each element with
+/// the grain that owns it: `#` coarse, `.` fine, `G` global row, ` ` empty.
+fn render(pattern: &CompoundPattern, block: usize, view: usize) -> String {
+    let sliced = SlicedPattern::from_compound(pattern, block).expect("aligned");
+    let mut grid = vec![vec![' '; view]; view];
+    if let Some(coarse) = sliced.coarse() {
+        let b = coarse.structure.block_size();
+        let sq = b * b;
+        for (i, (br, bc, _)) in coarse.structure.iter_blocks().enumerate() {
+            for e in 0..sq {
+                let (r, c) = (br * b + e / b, bc * b + e % b);
+                if r < view && c < view && coarse.mask[i * sq + e] == 0.0 {
+                    grid[r][c] = '#';
+                }
+            }
+        }
+    }
+    if let Some(fine) = sliced.fine() {
+        for (r, c, _) in fine.iter() {
+            if r < view && c < view {
+                grid[r][c] = '.';
+            }
+        }
+    }
+    for &r in sliced.global_rows() {
+        if r < view {
+            let span = view.min(pattern.valid_len());
+            for cell in grid[r].iter_mut().take(span) {
+                *cell = 'G';
+            }
+        }
+    }
+    grid.into_iter()
+        .map(|row| row.into_iter().collect::<String>())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn main() {
+    let seq_len = 128;
+    let block = 8;
+    println!("legend: '#' coarse (blocked/tensor-core), '.' fine (CSR), 'G' global (dense row)\n");
+
+    let custom = CompoundPattern::new(seq_len)
+        .with(AtomicPattern::Local { window: 12 })
+        .with(AtomicPattern::Selected {
+            tokens: vec![40, 90],
+        })
+        .with(AtomicPattern::Global { tokens: vec![2] });
+    println!("== custom {} (top-left 48x48) ==", custom.name());
+    println!("{}\n", render(&custom, block, 48));
+
+    for pattern in presets::figure9_patterns(seq_len, block, 9) {
+        let sliced = SlicedPattern::from_compound(&pattern, block).expect("aligned");
+        let stats = sliced.stats();
+        println!(
+            "== preset {:7} | density {:5.2}% | {} coarse blocks (fill {:4.1}%), {} fine elems, {} global rows",
+            pattern.name(),
+            pattern.density() * 100.0,
+            stats.coarse_blocks,
+            if stats.coarse_stored_elements > 0 {
+                100.0 * stats.coarse_valid_elements as f64 / stats.coarse_stored_elements as f64
+            } else {
+                100.0
+            },
+            stats.fine_elements,
+            stats.global_rows,
+        );
+        println!("{}\n", render(&pattern, block, 40));
+    }
+}

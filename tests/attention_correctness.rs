@@ -1,0 +1,199 @@
+//! Integration: every execution method matches the dense reference on a
+//! broad sweep of compound patterns, sizes, and padding configurations.
+
+use mg_patterns::{AtomicPattern, CompoundPattern};
+use mg_tensor::{Half, Matrix};
+use multigrain::{reference_attention, Attention, AttentionProblem, Method};
+
+fn check_all_methods(pattern: CompoundPattern, head_dim: usize, block: usize, tol: f32) {
+    let l = pattern.seq_len();
+    let q = Matrix::<Half>::random(l, head_dim, 101);
+    let k = Matrix::<Half>::random(l, head_dim, 102);
+    let v = Matrix::<Half>::random(l, head_dim, 103);
+    let problem = AttentionProblem::new(pattern.clone(), head_dim, 1, 1, block);
+    let reference = reference_attention(&q, &k, &v, &pattern, problem.dims().scale());
+    for method in Method::ALL {
+        let attn = Attention::plan(method, problem.clone()).expect("plan succeeds");
+        let got = attn.execute_numeric(&q, &k, &v);
+        let diff = got.max_abs_diff(&reference);
+        assert!(
+            diff < tol,
+            "{} diverges on {}: {diff}",
+            method.name(),
+            pattern.name()
+        );
+    }
+}
+
+#[test]
+fn local_pattern() {
+    check_all_methods(
+        CompoundPattern::new(64).with(AtomicPattern::Local { window: 8 }),
+        16,
+        8,
+        0.02,
+    );
+}
+
+#[test]
+fn local_plus_selected() {
+    check_all_methods(
+        CompoundPattern::new(64)
+            .with(AtomicPattern::Local { window: 8 })
+            .with(AtomicPattern::Selected {
+                tokens: vec![3, 17, 40],
+            }),
+        16,
+        8,
+        0.02,
+    );
+}
+
+#[test]
+fn local_plus_random() {
+    check_all_methods(
+        CompoundPattern::new(64)
+            .with(AtomicPattern::Local { window: 8 })
+            .with(AtomicPattern::Random {
+                per_row: 4,
+                seed: 5,
+            }),
+        16,
+        8,
+        0.02,
+    );
+}
+
+#[test]
+fn blocked_local_plus_vector_random() {
+    check_all_methods(
+        CompoundPattern::new(64)
+            .with(AtomicPattern::BlockedLocal { block: 8 })
+            .with(AtomicPattern::VectorRandom {
+                per_row: 4,
+                group: 8,
+                seed: 5,
+            }),
+        16,
+        8,
+        0.02,
+    );
+}
+
+#[test]
+fn blocked_random_plus_random() {
+    check_all_methods(
+        CompoundPattern::new(64)
+            .with(AtomicPattern::BlockedRandom {
+                block: 8,
+                blocks_per_row: 2,
+                seed: 1,
+            })
+            .with(AtomicPattern::Random {
+                per_row: 3,
+                seed: 2,
+            }),
+        16,
+        8,
+        0.02,
+    );
+}
+
+#[test]
+fn full_longformer_style_with_globals() {
+    check_all_methods(
+        CompoundPattern::new(64)
+            .with(AtomicPattern::Local { window: 8 })
+            .with(AtomicPattern::Selected {
+                tokens: vec![0, 1, 2, 30],
+            })
+            .with(AtomicPattern::Global {
+                tokens: vec![0, 1, 2, 30],
+            }),
+        16,
+        8,
+        0.02,
+    );
+}
+
+#[test]
+fn dilated_pattern_goes_fine_grained() {
+    let pattern = CompoundPattern::new(64).with(AtomicPattern::Dilated {
+        window: 16,
+        stride: 2,
+    });
+    let attn = Attention::plan(
+        Method::Multigrain,
+        AttentionProblem::new(pattern.clone(), 16, 1, 1, 8),
+    )
+    .expect("plans");
+    let sliced = attn.sliced().expect("multigrain plan");
+    assert!(sliced.coarse().is_none(), "dilated is a fine pattern");
+    check_all_methods(pattern, 16, 8, 0.02);
+}
+
+#[test]
+fn padded_sequences_mask_out_tail() {
+    check_all_methods(
+        CompoundPattern::new(64)
+            .with(AtomicPattern::Local { window: 8 })
+            .with(AtomicPattern::Global { tokens: vec![0] })
+            .with_valid_len(41),
+        16,
+        8,
+        0.02,
+    );
+}
+
+#[test]
+fn dense_pattern_degenerates_to_full_attention() {
+    check_all_methods(
+        CompoundPattern::new(32).with(AtomicPattern::Dense),
+        8,
+        8,
+        0.02,
+    );
+}
+
+#[test]
+fn larger_head_dimension() {
+    check_all_methods(
+        CompoundPattern::new(64)
+            .with(AtomicPattern::Local { window: 16 })
+            .with(AtomicPattern::Selected {
+                tokens: vec![9, 33],
+            }),
+        64,
+        16,
+        0.05,
+    );
+}
+
+#[test]
+fn window_not_multiple_of_block() {
+    check_all_methods(
+        CompoundPattern::new(96).with(AtomicPattern::Local { window: 10 }),
+        16,
+        16,
+        0.02,
+    );
+}
+
+#[test]
+fn single_token_rows_return_v() {
+    // Window 0: each row attends only itself; context equals V.
+    let pattern = CompoundPattern::new(32).with(AtomicPattern::Local { window: 0 });
+    let v = Matrix::<Half>::random(32, 8, 7);
+    let q = Matrix::<Half>::random(32, 8, 8);
+    let k = Matrix::<Half>::random(32, 8, 9);
+    for method in Method::ALL {
+        let attn = Attention::plan(method, AttentionProblem::new(pattern.clone(), 8, 1, 1, 8))
+            .expect("plans");
+        let c = attn.execute_numeric(&q, &k, &v);
+        assert!(
+            c.max_abs_diff(&v) < 1e-3,
+            "{}: self-attention must return V",
+            method.name()
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Calibration lock: the reproduction's headline numbers, pinned.
+//!
+//! The cost model has a handful of shared constants (`mg_kernels::tuning`
+//! plus the cache-model hit rates). This test freezes the shape-level
+//! results they were calibrated to, so an innocent-looking change to the
+//! model cannot silently break the reproduction. Tolerances are loose
+//! (±20–25%) — the point is the shape, not the digit.
+
+use mg_bench::runners;
+
+fn within(value: f64, expect: f64, tol: f64) -> bool {
+    (value - expect).abs() <= expect * tol
+}
+
+#[test]
+fn fig7_headline_speedups_hold() {
+    let fig7 = runners::figure7();
+    // A100 Longformer vs Triton ~2.0x, vs Sputnik ~2.6x.
+    assert!(
+        within(fig7[0].vs_triton(), 2.04, 0.25),
+        "{}",
+        fig7[0].vs_triton()
+    );
+    assert!(
+        within(fig7[0].vs_sputnik(), 2.58, 0.25),
+        "{}",
+        fig7[0].vs_sputnik()
+    );
+    // A100 QDS vs Triton ~1.6x, vs Sputnik ~1.13x.
+    assert!(
+        within(fig7[1].vs_triton(), 1.60, 0.25),
+        "{}",
+        fig7[1].vs_triton()
+    );
+    assert!(
+        within(fig7[1].vs_sputnik(), 1.13, 0.25),
+        "{}",
+        fig7[1].vs_sputnik()
+    );
+}
+
+#[test]
+fn fig9_geomeans_hold() {
+    let (sddmm, spmm) = runners::figure9();
+    let gm = |rows: &[runners::OpComparison], f: fn(&runners::OpComparison) -> f64| {
+        mg_bench::geomean(&rows.iter().map(f).collect::<Vec<_>>())
+    };
+    assert!(within(
+        gm(&sddmm, runners::OpComparison::vs_sputnik),
+        2.51,
+        0.2
+    ));
+    assert!(within(
+        gm(&sddmm, runners::OpComparison::vs_triton),
+        2.73,
+        0.2
+    ));
+    assert!(within(
+        gm(&spmm, runners::OpComparison::vs_sputnik),
+        1.77,
+        0.2
+    ));
+    assert!(within(
+        gm(&spmm, runners::OpComparison::vs_triton),
+        2.44,
+        0.2
+    ));
+}
+
+#[test]
+fn fig10_softmax_geomeans_hold() {
+    let softmax = runners::figure10();
+    let vs_sput = mg_bench::geomean(&softmax.iter().map(|r| r.vs_sputnik()).collect::<Vec<_>>());
+    let vs_triton = mg_bench::geomean(&softmax.iter().map(|r| r.vs_triton()).collect::<Vec<_>>());
+    assert!(within(vs_sput, 1.65, 0.2), "{vs_sput}");
+    assert!(within(vs_triton, 8.85, 0.25), "{vs_triton}");
+}
+
+#[test]
+fn fig11_blocked_random_inversion_holds() {
+    let (sddmm, _) = runners::figure11();
+    let br = sddmm
+        .iter()
+        .find(|r| r.pattern == "blocked random")
+        .expect("present");
+    assert!(
+        br.speedup() < 0.95,
+        "ours must lose at batch 1: {}",
+        br.speedup()
+    );
+}
+
+#[test]
+fn occupancy_study_holds() {
+    let (ls, lsg) = runners::occupancy_study();
+    assert!(within(ls, 0.945, 0.1), "{ls}");
+    assert!(within(lsg, 0.526, 0.2), "{lsg}");
+}

@@ -1,0 +1,161 @@
+//! Integration: the experiment runners themselves — the deliverable that
+//! regenerates the paper's tables and figures — run and satisfy the
+//! qualitative shape checks that EXPERIMENTS.md reports.
+
+use mg_bench::runners;
+use mg_bench::{geomean, Band};
+
+#[test]
+fn fig9_multigrain_wins_everywhere() {
+    let (sddmm, spmm) = runners::figure9();
+    for r in sddmm.iter().chain(spmm.iter()) {
+        assert!(r.vs_sputnik() > 1.0, "{}: must beat Sputnik", r.pattern);
+        assert!(r.vs_triton() > 1.0, "{}: must beat Triton", r.pattern);
+    }
+}
+
+#[test]
+fn fig9_global_patterns_hurt_sputnik_most() {
+    let (sddmm, _) = runners::figure9();
+    let no_global = geomean(
+        &sddmm[..4]
+            .iter()
+            .map(|r| r.vs_sputnik())
+            .collect::<Vec<_>>(),
+    );
+    let with_global = geomean(
+        &sddmm[4..]
+            .iter()
+            .map(|r| r.vs_sputnik())
+            .collect::<Vec<_>>(),
+    );
+    assert!(
+        with_global > no_global,
+        "global patterns must widen the Sputnik gap: {no_global:.2} vs {with_global:.2}"
+    );
+}
+
+#[test]
+fn fig10_triton_softmax_loses_by_an_order_of_magnitude() {
+    let rows = runners::figure10();
+    for r in &rows {
+        assert!(
+            r.vs_triton() > 5.0,
+            "{}: blocked softmax must be far slower, got {:.2}",
+            r.pattern,
+            r.vs_triton()
+        );
+        assert!(
+            r.vs_sputnik() > 1.0 && r.vs_sputnik() < 4.0,
+            "{}: element softmax is only modestly slower, got {:.2}",
+            r.pattern,
+            r.vs_sputnik()
+        );
+    }
+}
+
+#[test]
+fn fig11_blocked_random_favors_triton_at_batch_one() {
+    let (sddmm, _) = runners::figure11();
+    let blocked_random = sddmm
+        .iter()
+        .find(|r| r.pattern == "blocked random")
+        .expect("pattern present");
+    assert!(
+        blocked_random.speedup() < 1.0,
+        "paper's signature: row-splitting loses on blocked random at batch 1, got {:.2}",
+        blocked_random.speedup()
+    );
+    let local = sddmm
+        .iter()
+        .find(|r| r.pattern == "local")
+        .expect("present");
+    assert!(
+        local.speedup() > 1.0,
+        "but wins on local: {:.2}",
+        local.speedup()
+    );
+}
+
+#[test]
+fn fig12_blocked_random_recovers_with_batch() {
+    let (sddmm, _) = runners::figure12();
+    let at = |batch: usize| {
+        sddmm
+            .iter()
+            .find(|r| r.pattern == "blocked random" && r.batch == batch)
+            .expect("present")
+            .speedup()
+    };
+    assert!(
+        at(4) > at(1),
+        "batching must amortize the imbalance: {} -> {}",
+        at(1),
+        at(4)
+    );
+}
+
+#[test]
+fn ablation_rowsplit_always_wins() {
+    for (pattern, speedup) in runners::ablation_rowsplit() {
+        assert!(
+            speedup > 1.0,
+            "{pattern}: row-splitting must win, got {speedup:.2}"
+        );
+    }
+}
+
+#[test]
+fn occupancy_drops_with_global_pattern() {
+    let (ls, lsg) = runners::occupancy_study();
+    assert!(ls > 0.8, "balanced pattern keeps slots busy: {ls:.2}");
+    assert!(
+        lsg < ls - 0.15,
+        "global rows cost at least 15 points: {ls:.2} -> {lsg:.2}"
+    );
+}
+
+#[test]
+fn fig9_results_are_seed_robust() {
+    // The pattern generator's seed must not move the story: geomean
+    // speedups across two seeds agree within 20%.
+    use mg_gpusim::DeviceSpec;
+    use multigrain::Op;
+    let spec = DeviceSpec::a100();
+    let gm_for_seed = |seed: u64| -> f64 {
+        let speedups: Vec<f64> = mg_patterns::presets::figure9_patterns(2048, 64, seed)
+            .iter()
+            .map(|p| {
+                let c = runners::compare_op(&spec, p, Op::Sddmm, 1);
+                c.vs_sputnik()
+            })
+            .collect();
+        geomean(&speedups)
+    };
+    let (a, b) = (gm_for_seed(42), gm_for_seed(1234));
+    assert!(
+        (a / b - 1.0).abs() < 0.2,
+        "seed sensitivity too high: {a:.2} vs {b:.2}"
+    );
+}
+
+#[test]
+fn bands_match_their_verdict_logic() {
+    let b = Band::new(1.73, 2.34);
+    assert_eq!(b.verdict(2.0), "IN BAND");
+    assert_eq!(b.verdict(2.8), "NEAR");
+    assert!(b.same_winner(2.8));
+}
+
+#[test]
+fn table1_is_faithful_to_the_paper() {
+    let rendered = runners::table1().render();
+    for needle in [
+        "1555.0", "936.2", "42.3", "169", "29.3", "58", "192", "128", "40", "6",
+    ] {
+        assert!(
+            rendered.contains(needle),
+            "missing {needle} in:\n{rendered}"
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Integration: the transformer models run end to end — numerically at
+//! tiny scale, and through the simulator at the paper's full scale.
+
+use mg_gpusim::{DeviceSpec, Gpu};
+use mg_models::{workload, ModelConfig, SparseTransformer, WorkloadSample};
+use multigrain::Method;
+
+#[test]
+fn tiny_model_numeric_forward_is_finite() {
+    let model = SparseTransformer::new(ModelConfig::tiny());
+    let sample = WorkloadSample {
+        valid_len: 60,
+        special_tokens: vec![0, 1],
+    };
+    let out = model
+        .forward_numeric(Method::Multigrain, &sample, 3)
+        .expect("runs");
+    assert_eq!(out.rows(), 64);
+    assert!(out.as_slice().iter().all(|v| v.to_f32().is_finite()));
+}
+
+#[test]
+fn longformer_full_scale_report() {
+    let model = SparseTransformer::new(ModelConfig::longformer_large());
+    let sample = workload::representative(&workload::hotpotqa_like(4096, 8, 1));
+    let mut gpu = Gpu::new(DeviceSpec::a100());
+    let report = model
+        .inference_report(&mut gpu, Method::Multigrain, &sample, 1)
+        .expect("plans");
+    // Sanity: tens of milliseconds, attention a visible share, nonzero traffic.
+    assert!(
+        report.total() > 1e-3 && report.total() < 1.0,
+        "total {}",
+        report.total()
+    );
+    assert!(report.attention.total() > 0.1 * report.dense_s);
+    assert!(report.total_dram() > 1 << 30);
+}
+
+#[test]
+fn qds_full_scale_all_methods_ranked() {
+    let model = SparseTransformer::new(ModelConfig::qds_base());
+    let sample = workload::representative(&workload::msmarco_like(2048, 8, 2));
+    let mut totals = Vec::new();
+    for method in Method::ALL {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let r = model
+            .inference_report(&mut gpu, method, &sample, 1)
+            .expect("plans");
+        totals.push((method.name(), r.total()));
+    }
+    let mg = totals[0].1;
+    assert!(
+        totals.iter().all(|&(_, t)| mg <= t * 1.001),
+        "Multigrain must lead on QDS: {totals:?}"
+    );
+}
+
+#[test]
+fn longer_documents_cost_more() {
+    let model = SparseTransformer::new(ModelConfig::qds_base());
+    let short = WorkloadSample {
+        valid_len: 512,
+        special_tokens: vec![0, 30],
+    };
+    let long = WorkloadSample {
+        valid_len: 2048,
+        special_tokens: vec![0, 30],
+    };
+    let time_of = |s: &WorkloadSample| {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        model
+            .inference_report(&mut gpu, Method::Multigrain, s, 1)
+            .expect("plans")
+            .attention
+            .total()
+    };
+    assert!(
+        time_of(&long) > time_of(&short),
+        "padding is masked, work scales with content"
+    );
+}
+
+#[test]
+fn batching_amortizes_fixed_costs() {
+    let model = SparseTransformer::new(ModelConfig::qds_base());
+    let sample = workload::representative(&workload::msmarco_like(2048, 8, 3));
+    let per_seq = |batch: usize| {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        model
+            .inference_report(&mut gpu, Method::Multigrain, &sample, batch)
+            .expect("plans")
+            .total()
+            / batch as f64
+    };
+    // At full scale the device is already roofline-bound at batch 1, so
+    // per-sequence time holds steady rather than improving; it must never
+    // degrade (fixed costs are amortized, aggregate work scales linearly).
+    assert!(
+        per_seq(8) <= per_seq(1) * 1.15,
+        "batching must not badly hurt throughput"
+    );
+    // At a scale that underfills the machine, batching must actively help.
+    let tiny = SparseTransformer::new(ModelConfig::tiny());
+    let tiny_sample = WorkloadSample {
+        valid_len: 64,
+        special_tokens: vec![0],
+    };
+    let tiny_per_seq = |batch: usize| {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        tiny.inference_report(&mut gpu, Method::Multigrain, &tiny_sample, batch)
+            .expect("plans")
+            .total()
+            / batch as f64
+    };
+    assert!(
+        tiny_per_seq(8) < tiny_per_seq(1),
+        "small problems must amortize"
+    );
+}

@@ -1,0 +1,136 @@
+//! Integration: property-based tests on the pattern substrate and the
+//! slice invariants the whole method rests on.
+
+use mg_patterns::{AtomicPattern, CompoundPattern, Grain, SlicedPattern};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Strategy for arbitrary compound patterns over block-aligned lengths.
+fn compound_pattern() -> impl Strategy<Value = CompoundPattern> {
+    let seq_choices = prop_oneof![Just(32usize), Just(64), Just(96)];
+    let atomic = prop_oneof![
+        (1usize..16).prop_map(|w| AtomicPattern::Local { window: w }),
+        (2usize..16, 1usize..4).prop_map(|(w, s)| AtomicPattern::Dilated {
+            window: w,
+            stride: s
+        }),
+        proptest::collection::vec(0usize..32, 0..4)
+            .prop_map(|tokens| AtomicPattern::Global { tokens }),
+        proptest::collection::vec(0usize..32, 0..6)
+            .prop_map(|tokens| AtomicPattern::Selected { tokens }),
+        (1usize..6, any::<u64>()).prop_map(|(n, seed)| AtomicPattern::Random { per_row: n, seed }),
+        (1usize..6, any::<u64>()).prop_map(|(n, seed)| AtomicPattern::VectorRandom {
+            per_row: n,
+            group: 8,
+            seed
+        }),
+        (2usize..9).prop_map(|b| AtomicPattern::BlockedLocal { block: b }),
+        (1usize..4, any::<u64>()).prop_map(|(n, seed)| AtomicPattern::BlockedRandom {
+            block: 8,
+            blocks_per_row: n,
+            seed
+        }),
+    ];
+    (
+        seq_choices,
+        proptest::collection::vec(atomic, 1..4),
+        any::<bool>(),
+    )
+        .prop_map(|(seq_len, parts, pad)| {
+            let mut p = CompoundPattern::new(seq_len);
+            for part in parts {
+                p = p.with(part);
+            }
+            if pad {
+                p = p.with_valid_len(seq_len * 3 / 4);
+            }
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The slicing partition is exact: every valid element is owned by
+    /// exactly one grain, and nothing else is owned.
+    #[test]
+    fn slicing_partitions_pattern_exactly(pattern in compound_pattern()) {
+        let sliced = SlicedPattern::from_compound(&pattern, 8).expect("aligned");
+        let mut owned: HashSet<(usize, usize)> = HashSet::new();
+        if let Some(coarse) = sliced.coarse() {
+            let b = coarse.structure.block_size();
+            let sq = b * b;
+            for (i, (br, bc, _)) in coarse.structure.iter_blocks().enumerate() {
+                for e in 0..sq {
+                    if coarse.mask[i * sq + e] == 0.0 {
+                        prop_assert!(
+                            owned.insert((br * b + e / b, bc * b + e % b)),
+                            "coarse duplicates an element"
+                        );
+                    }
+                }
+            }
+        }
+        if let Some(fine) = sliced.fine() {
+            for (r, c, _) in fine.iter() {
+                prop_assert!(owned.insert((r, c)), "fine duplicates ({r},{c})");
+            }
+        }
+        for &r in sliced.global_rows() {
+            for c in 0..pattern.valid_len() {
+                prop_assert!(owned.insert((r, c)), "global duplicates ({r},{c})");
+            }
+        }
+        let expected: HashSet<(usize, usize)> = pattern.coords().into_iter().collect();
+        prop_assert_eq!(owned, expected);
+    }
+
+    /// Row columns are always sorted, unique, and inside the valid range.
+    #[test]
+    fn row_columns_sorted_unique_valid(pattern in compound_pattern(), row_sel in 0usize..96) {
+        let row = row_sel % pattern.seq_len();
+        let cols = pattern.row_columns(row);
+        for w in cols.windows(2) {
+            prop_assert!(w[0] < w[1], "not strictly increasing");
+        }
+        for &c in &cols {
+            prop_assert!(c < pattern.valid_len());
+        }
+        if row >= pattern.valid_len() {
+            prop_assert!(cols.is_empty(), "padded rows attend nothing");
+        }
+    }
+
+    /// nnz equals the dense-mask count and the CSR rendering's count.
+    #[test]
+    fn nnz_is_consistent_across_renderings(pattern in compound_pattern()) {
+        let nnz = pattern.nnz();
+        let mask = pattern.to_dense_mask();
+        let mask_count = mask.as_slice().iter().filter(|&&v| v == 0.0).count();
+        prop_assert_eq!(nnz, mask_count);
+        let csr = pattern.to_csr::<f32>();
+        prop_assert_eq!(nnz, csr.nnz());
+    }
+
+    /// The blocked rendering stores a superset of the pattern and masks
+    /// exactly the difference.
+    #[test]
+    fn blocked_rendering_masks_exactly_the_padding(pattern in compound_pattern()) {
+        let blocked = pattern.to_blocked(8).expect("aligned");
+        prop_assert_eq!(blocked.valid_elements(), pattern.nnz());
+        let stored = blocked.structure.stored_elements();
+        prop_assert!(stored >= pattern.nnz());
+        prop_assert_eq!(blocked.mask.len(), stored);
+    }
+
+    /// Grain classification is stable and covers every variant.
+    #[test]
+    fn grains_partition_parts(pattern in compound_pattern()) {
+        let total = pattern.parts().len();
+        let by_grain: usize = [Grain::Coarse, Grain::Fine, Grain::Special]
+            .iter()
+            .map(|&g| pattern.parts_of_grain(g).len())
+            .sum();
+        prop_assert_eq!(total, by_grain);
+    }
+}

@@ -1,0 +1,138 @@
+//! Integration: the three methods agree with each other numerically, and
+//! their timed pipelines satisfy basic sanity relations (Multigrain never
+//! loses; multi-stream never beats the sum of its parts done ideally).
+
+use mg_gpusim::{DeviceSpec, Gpu};
+use mg_patterns::{presets, AtomicPattern, CompoundPattern};
+use mg_tensor::{Half, Matrix};
+use multigrain::{Attention, AttentionProblem, Method, Op};
+
+fn toy_problem() -> AttentionProblem {
+    let pattern = CompoundPattern::new(128)
+        .with(AtomicPattern::Local { window: 16 })
+        .with(AtomicPattern::Selected {
+            tokens: vec![5, 60, 100],
+        })
+        .with(AtomicPattern::Global { tokens: vec![0, 1] });
+    AttentionProblem::new(pattern, 16, 1, 2, 16)
+}
+
+#[test]
+fn methods_agree_pairwise() {
+    let prob = toy_problem();
+    let q = Matrix::<Half>::random(128, 16, 1);
+    let k = Matrix::<Half>::random(128, 16, 2);
+    let v = Matrix::<Half>::random(128, 16, 3);
+    let results: Vec<Matrix<Half>> = Method::ALL
+        .iter()
+        .map(|&m| {
+            Attention::plan(m, prob.clone())
+                .expect("plans")
+                .execute_numeric(&q, &k, &v)
+        })
+        .collect();
+    for i in 0..3 {
+        for j in (i + 1)..3 {
+            let d = results[i].max_abs_diff(&results[j]);
+            assert!(d < 0.02, "methods {i} and {j} diverge: {d}");
+        }
+    }
+}
+
+#[test]
+fn multigrain_wins_on_paper_patterns() {
+    // At the paper's scale (L = 4096), Multigrain must beat both
+    // baselines on every compound pattern's full pipeline. (At much
+    // smaller sequence lengths the extra kernel launches can outweigh
+    // the gains — the paper's regime of interest is long sequences.)
+    let spec = DeviceSpec::a100();
+    for pattern in presets::figure9_patterns(4096, 64, 7) {
+        let mut totals = Vec::new();
+        for method in Method::ALL {
+            let prob = AttentionProblem::new(pattern.clone(), 64, 1, 4, 64);
+            let attn = Attention::plan(method, prob).expect("plans");
+            let mut gpu = Gpu::new(spec.clone());
+            totals.push(attn.run_timed(&mut gpu).total());
+        }
+        assert!(
+            totals[0] <= totals[1] && totals[0] <= totals[2],
+            "Multigrain must win on {}: MG {:.1}us, Triton {:.1}us, Sputnik {:.1}us",
+            pattern.name(),
+            totals[0] * 1e6,
+            totals[1] * 1e6,
+            totals[2] * 1e6
+        );
+    }
+}
+
+#[test]
+fn phase_times_sum_to_total() {
+    let mut gpu = Gpu::new(DeviceSpec::a100());
+    let attn = Attention::plan(Method::Multigrain, toy_problem()).expect("plans");
+    let report = attn.run_timed(&mut gpu);
+    let sum = report.sddmm + report.softmax + report.spmm + report.merge;
+    assert!((report.total() - sum).abs() < 1e-12);
+}
+
+#[test]
+fn op_timing_is_deterministic() {
+    let attn = Attention::plan(Method::Multigrain, toy_problem()).expect("plans");
+    let t1 = attn.time_op(&mut Gpu::new(DeviceSpec::a100()), Op::Sddmm);
+    let t2 = attn.time_op(&mut Gpu::new(DeviceSpec::a100()), Op::Sddmm);
+    assert_eq!(t1, t2, "simulation must be deterministic");
+}
+
+#[test]
+fn rtx3090_is_slower_than_a100() {
+    let attn = Attention::plan(Method::Multigrain, toy_problem()).expect("plans");
+    let a100 = attn.run_timed(&mut Gpu::new(DeviceSpec::a100())).total();
+    let r3090 = attn.run_timed(&mut Gpu::new(DeviceSpec::rtx3090())).total();
+    assert!(
+        r3090 > a100,
+        "A100 outclasses the RTX3090: {a100} vs {r3090}"
+    );
+}
+
+#[test]
+fn tensor_core_gap_narrows_on_rtx3090() {
+    // Paper §5.1: the coarse (tensor-core) method loses more ground than
+    // the fine (CUDA-core) method when moving A100 -> RTX3090.
+    let prob = toy_problem().with_batch(4);
+    let run = |method: Method, spec: DeviceSpec| -> f64 {
+        let attn = Attention::plan(method, prob.clone()).expect("plans");
+        attn.run_timed(&mut Gpu::new(spec)).total()
+    };
+    let triton_ratio = run(Method::TritonStyle, DeviceSpec::rtx3090())
+        / run(Method::TritonStyle, DeviceSpec::a100());
+    let sputnik_ratio = run(Method::SputnikStyle, DeviceSpec::rtx3090())
+        / run(Method::SputnikStyle, DeviceSpec::a100());
+    assert!(
+        triton_ratio > sputnik_ratio * 0.95,
+        "coarse method must degrade at least as much: triton {triton_ratio:.2} vs sputnik {sputnik_ratio:.2}"
+    );
+}
+
+#[test]
+fn batch_scaling_improves_multigrain_relative_speedup() {
+    // Fig. 8's mechanism: more blocks fill the machine better.
+    let spec = DeviceSpec::a100();
+    let speedup_at = |batch: usize| -> f64 {
+        let prob = toy_problem().with_batch(batch);
+        let t: Vec<f64> = Method::ALL
+            .iter()
+            .map(|&m| {
+                Attention::plan(m, prob.clone())
+                    .expect("plans")
+                    .run_timed(&mut Gpu::new(spec.clone()))
+                    .total()
+            })
+            .collect();
+        t[2] / t[0]
+    };
+    let s1 = speedup_at(1);
+    let s8 = speedup_at(8);
+    assert!(
+        s8 > s1 * 0.8,
+        "speedup must not collapse with batch: {s1:.2} -> {s8:.2}"
+    );
+}

@@ -1,0 +1,186 @@
+//! Integration: invariants of the GPU execution model that every kernel
+//! profile must respect.
+
+use mg_gpusim::{occupancy, DeviceSpec, Gpu, KernelProfile, LaunchConfig, TbWork, DEFAULT_STREAM};
+
+fn work(flops: u64, bytes: u64) -> TbWork {
+    TbWork {
+        cuda_flops: flops,
+        l2_read: bytes,
+        dram_read: bytes,
+        ..TbWork::default()
+    }
+}
+
+fn kernel(name: &str, n: usize, flops: u64, bytes: u64) -> KernelProfile {
+    KernelProfile::uniform(name, LaunchConfig::default(), n, work(flops, bytes))
+}
+
+#[test]
+fn multistream_never_slower_than_serial() {
+    for (n_a, n_b) in [(100, 100), (50, 2000), (1, 5000)] {
+        let mut serial = Gpu::new(DeviceSpec::a100());
+        serial.launch(DEFAULT_STREAM, kernel("a", n_a, 1 << 22, 1 << 14));
+        serial.launch(DEFAULT_STREAM, kernel("b", n_b, 1 << 20, 1 << 12));
+        let t_serial = serial.synchronize();
+
+        let mut par = Gpu::new(DeviceSpec::a100());
+        let s1 = par.create_stream();
+        par.launch(DEFAULT_STREAM, kernel("a", n_a, 1 << 22, 1 << 14));
+        par.launch(s1, kernel("b", n_b, 1 << 20, 1 << 12));
+        let t_par = par.synchronize();
+
+        assert!(
+            t_par <= t_serial * 1.01,
+            "overlap must not hurt ({n_a},{n_b}): {t_par} vs {t_serial}"
+        );
+    }
+}
+
+#[test]
+fn multistream_not_faster_than_heaviest_kernel() {
+    let mut solo = Gpu::new(DeviceSpec::a100());
+    let t_solo = solo
+        .run_solo(kernel("big", 4000, 1 << 22, 1 << 14))
+        .duration();
+
+    let mut par = Gpu::new(DeviceSpec::a100());
+    let s1 = par.create_stream();
+    par.launch(DEFAULT_STREAM, kernel("big", 4000, 1 << 22, 1 << 14));
+    par.launch(s1, kernel("small", 10, 1 << 16, 1 << 10));
+    let t_par = par.synchronize();
+    assert!(
+        t_par >= t_solo * 0.999,
+        "co-running cannot speed up the big kernel"
+    );
+}
+
+#[test]
+fn duration_monotone_in_work() {
+    let mut gpu = Gpu::new(DeviceSpec::a100());
+    let mut last = 0.0;
+    for shift in [18, 20, 22, 24] {
+        gpu.reset();
+        let d = gpu
+            .run_solo(kernel("k", 500, 1 << shift, 1 << 12))
+            .duration();
+        assert!(d > last, "more flops must take longer");
+        last = d;
+    }
+}
+
+#[test]
+fn duration_monotone_in_tb_count_for_fixed_tb_work() {
+    let mut gpu = Gpu::new(DeviceSpec::a100());
+    let mut last = 0.0;
+    for n in [500, 2000, 8000] {
+        gpu.reset();
+        let d = gpu.run_solo(kernel("k", n, 1 << 20, 1 << 12)).duration();
+        assert!(d > last, "more blocks of equal work must take longer");
+        last = d;
+    }
+}
+
+#[test]
+fn dram_traffic_is_conserved_across_scheduling() {
+    // The same profiles moved between streams must report identical DRAM
+    // totals (scheduling affects time, never traffic).
+    let a = kernel("a", 300, 1 << 20, 1 << 13);
+    let b = kernel("b", 300, 1 << 20, 1 << 13);
+    let mut serial = Gpu::new(DeviceSpec::a100());
+    serial.launch(DEFAULT_STREAM, a.clone());
+    serial.launch(DEFAULT_STREAM, b.clone());
+    serial.synchronize();
+
+    let mut par = Gpu::new(DeviceSpec::a100());
+    let s1 = par.create_stream();
+    par.launch(DEFAULT_STREAM, a);
+    par.launch(s1, b);
+    par.synchronize();
+
+    assert_eq!(serial.total_dram_bytes(), par.total_dram_bytes());
+}
+
+#[test]
+fn occupancy_limits_are_respected() {
+    let spec = DeviceSpec::a100();
+    for threads in [64, 128, 256, 512] {
+        for smem in [0, 16 << 10, 64 << 10] {
+            let launch = LaunchConfig {
+                threads_per_tb: threads,
+                regs_per_thread: 64,
+                smem_per_tb: smem,
+            };
+            let r = occupancy::resident_tbs_per_sm(&spec, &launch);
+            assert!(r >= 1 && r <= spec.max_tbs_per_sm);
+            if smem > 0 {
+                assert!(r * smem <= spec.smem_per_sm, "shared memory over-committed");
+            }
+            assert!(
+                r * launch.warps_per_tb() <= spec.max_warps_per_sm.max(launch.warps_per_tb()),
+                "warp slots over-committed"
+            );
+        }
+    }
+}
+
+#[test]
+fn kernel_durations_scale_down_on_faster_device() {
+    // A hypothetical device with twice everything must be ~2x faster.
+    let base = DeviceSpec::a100();
+    let mut fast = base.clone();
+    fast.name = "2xA100";
+    fast.sm_count *= 2;
+    fast.mem_bw_bytes_per_s *= 2.0;
+    fast.l2_bw_bytes_per_s *= 2.0;
+    fast.cuda_fp16_flops *= 2.0;
+    fast.tensor_fp16_flops *= 2.0;
+    fast.sfu_ops_per_s *= 2.0;
+
+    let p = kernel("k", 4000, 1 << 22, 1 << 14);
+    let t_base = Gpu::new(base).run_solo(p.clone()).duration();
+    let t_fast = Gpu::new(fast).run_solo(p).duration();
+    assert!(
+        t_fast < t_base * 0.7,
+        "doubled device must be much faster: {t_fast} vs {t_base}"
+    );
+}
+
+#[test]
+fn device_generations_order_consistently() {
+    // For any fixed workload, H100 >= A100 >= RTX3090 in speed.
+    let p = kernel("k", 4000, 1 << 22, 1 << 14);
+    let time_on = |spec: DeviceSpec| Gpu::new(spec).run_solo(p.clone()).duration();
+    let h100 = time_on(DeviceSpec::h100());
+    let a100 = time_on(DeviceSpec::a100());
+    let r3090 = time_on(DeviceSpec::rtx3090());
+    assert!(h100 < a100 && a100 < r3090, "{h100} {a100} {r3090}");
+}
+
+#[test]
+fn bound_kind_is_reported_for_every_kernel() {
+    use mg_gpusim::BoundKind;
+    let mut gpu = Gpu::new(DeviceSpec::a100());
+    gpu.run_solo(kernel("k", 512, 1 << 22, 1 << 12));
+    let bounds: Vec<BoundKind> = gpu.records().iter().map(|r| r.bound).collect();
+    assert_eq!(bounds.len(), 1);
+    // The label is always printable and short.
+    assert!(!bounds[0].label().is_empty() && bounds[0].label().len() <= 8);
+}
+
+#[test]
+fn record_bookkeeping_is_complete() {
+    let mut gpu = Gpu::new(DeviceSpec::rtx3090());
+    let s1 = gpu.create_stream();
+    gpu.launch(DEFAULT_STREAM, kernel("a", 64, 1 << 18, 1 << 10));
+    gpu.launch(s1, kernel("b", 64, 1 << 18, 1 << 10));
+    gpu.launch(DEFAULT_STREAM, kernel("c", 64, 1 << 18, 1 << 10));
+    let t = gpu.synchronize();
+    assert_eq!(gpu.records().len(), 3);
+    for r in gpu.records() {
+        assert!(r.start >= 0.0 && r.end <= t + 1e-12);
+        assert!(r.duration() > 0.0);
+        assert!(r.theoretical_occupancy > 0.0 && r.theoretical_occupancy <= 1.0);
+        assert!(r.achieved_over_theoretical > 0.0 && r.achieved_over_theoretical <= 1.0);
+    }
+}
