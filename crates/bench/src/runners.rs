@@ -25,6 +25,15 @@ pub const BLOCK: usize = 64;
 /// Seed for the synthetic patterns and workloads.
 pub const SEED: u64 = 42;
 
+/// Speedup of Multigrain over a baseline: `baseline_s / multigrain_s`.
+///
+/// The single definition behind every `vs_*` ratio accessor below, so
+/// the orientation (baseline in the numerator) can never drift between
+/// result types.
+pub fn speedup_over(baseline_s: f64, multigrain_s: f64) -> f64 {
+    baseline_s / multigrain_s
+}
+
 /// Result of comparing Multigrain against the two baselines on one
 /// operation and pattern.
 #[derive(Debug, Clone)]
@@ -42,12 +51,12 @@ pub struct OpComparison {
 impl OpComparison {
     /// Speedup of Multigrain over the Sputnik-style baseline.
     pub fn vs_sputnik(&self) -> f64 {
-        self.sputnik_s / self.multigrain_s
+        speedup_over(self.sputnik_s, self.multigrain_s)
     }
 
     /// Speedup of Multigrain over the Triton-style baseline.
     pub fn vs_triton(&self) -> f64 {
-        self.triton_s / self.multigrain_s
+        speedup_over(self.triton_s, self.multigrain_s)
     }
 }
 
@@ -119,12 +128,12 @@ pub struct EndToEnd {
 impl EndToEnd {
     /// Speedup of Multigrain over the Sputnik baseline.
     pub fn vs_sputnik(&self) -> f64 {
-        self.total_s[2] / self.total_s[0]
+        speedup_over(self.total_s[2], self.total_s[0])
     }
 
     /// Speedup of Multigrain over the Triton baseline.
     pub fn vs_triton(&self) -> f64 {
-        self.total_s[1] / self.total_s[0]
+        speedup_over(self.total_s[1], self.total_s[0])
     }
 }
 
@@ -248,7 +257,7 @@ pub struct CoarseComparison {
 impl CoarseComparison {
     /// Speedup of our kernel over the Triton-style kernel.
     pub fn speedup(&self) -> f64 {
-        self.triton_s / self.ours_s
+        speedup_over(self.triton_s, self.ours_s)
     }
 }
 

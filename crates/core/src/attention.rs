@@ -27,7 +27,7 @@ use mg_sparse::{Csr, SparseError};
 use mg_tensor::{Half, Matrix};
 
 /// Which execution method processes the compound sparse attention.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Method {
     /// The paper's method: slice by grain, run coarse + fine + dense
     /// kernels concurrently with multi-stream.
@@ -541,11 +541,33 @@ impl Attention {
     pub fn run_timed_pipelined(&self, gpu: &mut Gpu) -> f64 {
         let spec = gpu.spec().clone();
         let t0 = gpu.elapsed();
+        self.launch_pipelined_dag(gpu, &spec);
+        gpu.synchronize() - t0
+    }
 
+    /// Times a batch under the kernel-level dependency schedule of
+    /// [`Attention::run_timed_pipelined`]: every attention launches its
+    /// own dependency DAG, with no barriers between attentions (and none
+    /// within), so independent requests' phases overlap freely across
+    /// the streams. One synchronize at the end times the whole batch.
+    ///
+    /// Returns the total simulated time.
+    pub fn run_timed_pipelined_batch(attns: &[&Attention], gpu: &mut Gpu) -> f64 {
+        let spec = gpu.spec().clone();
+        let t0 = gpu.elapsed();
+        for attn in attns {
+            attn.launch_pipelined_dag(gpu, &spec);
+        }
+        gpu.synchronize() - t0
+    }
+
+    /// Launches this attention's kernels with kernel-level dependencies
+    /// but does not synchronize; the caller owns the barrier.
+    fn launch_pipelined_dag(&self, gpu: &mut Gpu, spec: &mg_gpusim::DeviceSpec) {
         let mut ids: std::collections::HashMap<String, mg_gpusim::KernelId> =
             std::collections::HashMap::new();
         for op in [Op::Sddmm, Op::Softmax, Op::Spmm, Op::Merge] {
-            for (role, profile) in self.phase_profiles(&spec, op) {
+            for (role, profile) in self.phase_profiles(spec, op) {
                 let stream = Self::stream_of(gpu, role);
                 let deps: Vec<mg_gpusim::KernelId> = match profile.name.as_str() {
                     // Compound softmax consumes both S parts.
@@ -572,7 +594,6 @@ impl Attention {
                 ids.insert(name, id);
             }
         }
-        gpu.synchronize() - t0
     }
 
     /// Executes one head numerically and returns the context matrix. All

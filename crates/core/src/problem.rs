@@ -2,6 +2,8 @@
 
 use mg_kernels::AttnDims;
 use mg_patterns::CompoundPattern;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 
 /// One sparse-attention problem: dimensions plus the compound sparsity
 /// pattern, and the block size the blocked kernels use.
@@ -74,6 +76,26 @@ impl AttentionProblem {
         p.dims.batch = batch;
         p
     }
+
+    /// A cheap structural signature of the problem: two problems with the
+    /// same signature produce identical plans for any given [`Method`].
+    ///
+    /// The signature hashes the compound pattern (its atomic parts,
+    /// padded and valid lengths), every dimension, and the coarse block
+    /// size — everything plan construction depends on — without building
+    /// any sparse metadata. Serving layers use it as a plan-cache key.
+    ///
+    /// [`Method`]: crate::Method
+    pub fn signature(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.pattern.hash(&mut h);
+        self.dims.seq_len.hash(&mut h);
+        self.dims.head_dim.hash(&mut h);
+        self.dims.batch.hash(&mut h);
+        self.dims.heads.hash(&mut h);
+        self.block_size.hash(&mut h);
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +115,37 @@ mod tests {
         assert_eq!(p.dims().seq_len, 64);
         assert_eq!(p.dims().instances(), 16);
         assert_eq!(p.block_size(), 16);
+    }
+
+    #[test]
+    fn signature_separates_structurally_distinct_problems() {
+        let base = AttentionProblem::new(
+            CompoundPattern::new(64).with(AtomicPattern::Local { window: 8 }),
+            32,
+            1,
+            4,
+            16,
+        );
+        assert_eq!(base.signature(), base.clone().signature());
+        let wider = AttentionProblem::new(
+            CompoundPattern::new(64).with(AtomicPattern::Local { window: 16 }),
+            32,
+            1,
+            4,
+            16,
+        );
+        assert_ne!(base.signature(), wider.signature());
+        let padded = AttentionProblem::new(
+            CompoundPattern::new(64)
+                .with(AtomicPattern::Local { window: 8 })
+                .with_valid_len(48),
+            32,
+            1,
+            4,
+            16,
+        );
+        assert_ne!(base.signature(), padded.signature());
+        assert_ne!(base.signature(), base.with_batch(2).signature());
     }
 
     #[test]

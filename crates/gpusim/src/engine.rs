@@ -497,6 +497,29 @@ impl Gpu {
         self.time
     }
 
+    /// Advances the simulated clock to `t` seconds if it is behind.
+    ///
+    /// The device idles until `t`; kernels launched afterwards start no
+    /// earlier than `t`. Serving simulators use this to align a device
+    /// clock with an external arrival clock, so the recorded kernel
+    /// timestamps land on the server timeline. Moving the clock backwards
+    /// is a no-op.
+    pub fn advance_to(&mut self, t: f64) {
+        if t > self.time {
+            self.time = t;
+        }
+    }
+
+    /// Fraction of the window `[from, until]` during which at least one
+    /// kernel was executing, computed as the union of record intervals.
+    ///
+    /// Returns `0.0` for an empty or inverted window. Concurrent kernels
+    /// on different streams count once — this measures busy *time*, not
+    /// utilization-weighted occupancy.
+    pub fn busy_fraction(&self, from: f64, until: f64) -> f64 {
+        busy_seconds(&self.records, from, until) / (until - from).max(f64::MIN_POSITIVE)
+    }
+
     /// Records of every kernel completed so far, in completion order.
     pub fn records(&self) -> &[KernelRecord] {
         &self.records
@@ -517,10 +540,84 @@ impl Gpu {
     }
 }
 
+/// Total seconds within `[from, until]` covered by at least one record's
+/// `[start, end]` interval (interval union, not a sum — overlapping
+/// kernels on different streams are not double counted).
+pub fn busy_seconds(records: &[KernelRecord], from: f64, until: f64) -> f64 {
+    let mut spans: Vec<(f64, f64)> = records
+        .iter()
+        .map(|r| (r.start.max(from), r.end.min(until)))
+        .filter(|(s, e)| e > s)
+        .collect();
+    spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut busy = 0.0;
+    let mut cursor = f64::NEG_INFINITY;
+    for (s, e) in spans {
+        let s = s.max(cursor);
+        if e > s {
+            busy += e - s;
+            cursor = e;
+        }
+    }
+    busy
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{LaunchConfig, TbWork};
+
+    #[test]
+    fn advance_to_only_moves_forward() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        gpu.advance_to(2.5);
+        assert_eq!(gpu.elapsed(), 2.5);
+        gpu.advance_to(1.0);
+        assert_eq!(gpu.elapsed(), 2.5);
+        let before = gpu.elapsed();
+        gpu.launch(
+            DEFAULT_STREAM,
+            KernelProfile::uniform(
+                "late",
+                LaunchConfig::default(),
+                4,
+                TbWork {
+                    cuda_flops: 1 << 16,
+                    ..TbWork::default()
+                },
+            ),
+        );
+        gpu.synchronize();
+        let rec = gpu.records().last().unwrap();
+        assert!(
+            rec.start >= before,
+            "kernel starts after the advanced clock"
+        );
+    }
+
+    #[test]
+    fn busy_seconds_unions_overlapping_intervals() {
+        let rec = |start: f64, end: f64| KernelRecord {
+            name: "k".to_owned(),
+            stream: DEFAULT_STREAM,
+            start,
+            end,
+            dram_bytes: 0,
+            tb_count: 1,
+            theoretical_occupancy: 1.0,
+            achieved_over_theoretical: 1.0,
+            bound: BoundKind::CudaPipe,
+        };
+        // [0,2] and [1,3] overlap -> union [0,3]; [5,6] is disjoint.
+        let records = vec![rec(0.0, 2.0), rec(1.0, 3.0), rec(5.0, 6.0)];
+        let busy = busy_seconds(&records, 0.0, 10.0);
+        assert!((busy - 4.0).abs() < 1e-12, "{busy}");
+        // Clamped to the window.
+        let busy = busy_seconds(&records, 2.5, 5.5);
+        assert!((busy - 1.0).abs() < 1e-12, "{busy}");
+        // Inverted window -> nothing.
+        assert_eq!(busy_seconds(&records, 4.0, 1.0), 0.0);
+    }
 
     #[test]
     fn bound_classification_matches_the_work_shape() {

@@ -35,6 +35,6 @@ pub mod occupancy;
 mod timeline;
 
 pub use device::DeviceSpec;
-pub use engine::{BoundKind, Gpu, KernelId, KernelRecord, StreamId, DEFAULT_STREAM};
+pub use engine::{busy_seconds, BoundKind, Gpu, KernelId, KernelRecord, StreamId, DEFAULT_STREAM};
 pub use kernel::{CacheStats, KernelProfile, LaunchConfig, TbWork};
-pub use timeline::{export_chrome_trace, render_timeline};
+pub use timeline::{export_chrome_trace, export_chrome_trace_grouped, render_timeline};

@@ -100,29 +100,82 @@ fn stream_index(r: &KernelRecord) -> usize {
 /// ```
 pub fn export_chrome_trace(records: &[KernelRecord]) -> String {
     let mut out = String::from("{\"traceEvents\":[");
-    for (i, r) in records.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        let _ = write!(
-            out,
-            concat!(
-                "{{\"name\":\"{}\",\"cat\":\"kernel\",\"ph\":\"X\",",
-                "\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{},",
-                "\"args\":{{\"dram_bytes\":{},\"tb_count\":{},",
-                "\"achieved_over_theoretical\":{:.3}}}}}"
-            ),
-            escape_json(&r.name),
-            r.start * 1e6,
-            r.duration() * 1e6,
-            r.stream.index(),
-            r.dram_bytes,
-            r.tb_count,
-            r.achieved_over_theoretical,
-        );
+    let mut first = true;
+    for r in records {
+        push_event(&mut out, &mut first, 0, r);
     }
     out.push_str("],\"displayTimeUnit\":\"ns\"}");
     out
+}
+
+/// Exports several record sets into one Chrome-trace document, one
+/// process row per named group (e.g. one simulated GPU worker each):
+/// group `i` becomes `pid == i` with a `process_name` metadata event, and
+/// each kernel keeps its stream index as the `tid`. Viewing tools then
+/// render the groups as separately labelled lanes on a shared timeline,
+/// which is how serving simulations show their device pool.
+///
+/// # Examples
+///
+/// ```
+/// use mg_gpusim::{export_chrome_trace_grouped, DeviceSpec, Gpu, KernelProfile, LaunchConfig, TbWork, DEFAULT_STREAM};
+///
+/// let mut gpu = Gpu::new(DeviceSpec::a100());
+/// let w = TbWork { cuda_flops: 1 << 20, ..TbWork::default() };
+/// gpu.launch(DEFAULT_STREAM, KernelProfile::uniform("k", LaunchConfig::default(), 64, w));
+/// gpu.synchronize();
+/// let json = export_chrome_trace_grouped(&[("worker-0", gpu.records())]);
+/// assert!(json.contains("process_name") && json.contains("worker-0"));
+/// ```
+pub fn export_chrome_trace_grouped(groups: &[(&str, &[KernelRecord])]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for (pid, (name, _)) in groups.iter().enumerate() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            concat!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},",
+                "\"args\":{{\"name\":\"{}\"}}}}"
+            ),
+            pid,
+            escape_json(name),
+        );
+    }
+    for (pid, (_, records)) in groups.iter().enumerate() {
+        for r in *records {
+            push_event(&mut out, &mut first, pid, r);
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+fn push_event(out: &mut String, first: &mut bool, pid: usize, r: &KernelRecord) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    let _ = write!(
+        out,
+        concat!(
+            "{{\"name\":\"{}\",\"cat\":\"kernel\",\"ph\":\"X\",",
+            "\"ts\":{:.3},\"dur\":{:.3},\"pid\":{},\"tid\":{},",
+            "\"args\":{{\"dram_bytes\":{},\"tb_count\":{},",
+            "\"achieved_over_theoretical\":{:.3}}}}}"
+        ),
+        escape_json(&r.name),
+        r.start * 1e6,
+        r.duration() * 1e6,
+        pid,
+        r.stream.index(),
+        r.dram_bytes,
+        r.tb_count,
+        r.achieved_over_theoretical,
+    );
 }
 
 fn escape_json(s: &str) -> String {
@@ -198,6 +251,21 @@ mod tests {
         gpu.synchronize();
         let json = export_chrome_trace(gpu.records());
         assert!(json.contains("with \\\"quotes\\\""));
+    }
+
+    #[test]
+    fn grouped_trace_separates_workers_by_pid() {
+        let gpu_a = run_two_streams();
+        let gpu_b = run_two_streams();
+        let json = export_chrome_trace_grouped(&[
+            ("worker-0", gpu_a.records()),
+            ("worker-1", gpu_b.records()),
+        ]);
+        assert_eq!(json.matches("process_name").count(), 2);
+        assert!(json.contains("worker-0") && json.contains("worker-1"));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 4);
+        assert!(json.contains("\"pid\":0") && json.contains("\"pid\":1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -128,6 +128,77 @@ pub fn wikihop_like(max_seq_len: usize, n: usize, seed: u64) -> Vec<WorkloadSamp
         .collect()
 }
 
+/// Generates `n` Poisson arrival timestamps (seconds) at `rate_rps`
+/// requests per second: i.i.d. exponential inter-arrival gaps.
+///
+/// The underlying unit-mean exponential draws depend only on `seed`, and
+/// the rate enters purely as a `1/rate` scale factor. Two calls with the
+/// same seed and different rates therefore produce the *same* arrival
+/// sequence compressed or stretched in time, which makes queueing delay
+/// — and hence tail latency — monotone in the offered rate, a property
+/// the serving studies rely on when sweeping rates.
+///
+/// # Panics
+///
+/// Panics if `rate_rps` is not strictly positive.
+pub fn poisson_arrivals(rate_rps: f64, n: usize, seed: u64) -> Vec<f64> {
+    assert!(rate_rps > 0.0, "arrival rate must be positive: {rate_rps}");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA221_0FA1);
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|_| {
+            t += unit_exponential(&mut rng) / rate_rps;
+            t
+        })
+        .collect()
+}
+
+/// Generates `n` bursty arrival timestamps (seconds) averaging
+/// `rate_rps`: a two-state modulated Poisson process that alternates
+/// between a calm state and a burst state `burstiness` times denser, each
+/// state lasting an exponentially distributed number of arrivals.
+///
+/// `burstiness == 1.0` degenerates to [`poisson_arrivals`]. As there,
+/// the draws depend only on `seed`, so sweeping the rate rescales one
+/// fixed arrival sequence. The calm/burst rates are balanced so the
+/// long-run average rate stays `rate_rps`.
+///
+/// # Panics
+///
+/// Panics if `rate_rps` is not strictly positive or `burstiness < 1.0`.
+pub fn bursty_arrivals(rate_rps: f64, burstiness: f64, n: usize, seed: u64) -> Vec<f64> {
+    assert!(rate_rps > 0.0, "arrival rate must be positive: {rate_rps}");
+    assert!(burstiness >= 1.0, "burstiness must be >= 1: {burstiness}");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB065_7A11);
+    // Half the arrivals come from each state; the calm rate is chosen so
+    // that the harmonic blend of the two per-state rates averages out:
+    // mean gap = (gap_calm + gap_burst) / 2 = 1 / rate.
+    let gap_calm = 2.0 / rate_rps * burstiness / (burstiness + 1.0);
+    let gap_burst = gap_calm / burstiness;
+    let mut t = 0.0f64;
+    let mut in_burst = false;
+    let mut left_in_state = 0usize;
+    (0..n)
+        .map(|_| {
+            if left_in_state == 0 {
+                in_burst = !in_burst;
+                // Mean state length of 8 arrivals, at least 1.
+                left_in_state = (unit_exponential(&mut rng) * 8.0).ceil().max(1.0) as usize;
+            }
+            left_in_state -= 1;
+            let gap = if in_burst { gap_burst } else { gap_calm };
+            t += unit_exponential(&mut rng) * gap;
+            t
+        })
+        .collect()
+}
+
+/// One unit-mean exponential draw via inverse transform sampling.
+fn unit_exponential(rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln()
+}
+
 /// A deterministic "representative" sample (median-ish of the generator)
 /// used when one pattern must stand in for the batch.
 pub fn representative(samples: &[WorkloadSample]) -> WorkloadSample {
@@ -192,6 +263,51 @@ mod tests {
     fn generators_are_deterministic() {
         assert_eq!(hotpotqa_like(4096, 5, 9), hotpotqa_like(4096, 5, 9));
         assert_ne!(msmarco_like(2048, 5, 1), msmarco_like(2048, 5, 2));
+    }
+
+    #[test]
+    fn poisson_arrivals_scale_with_rate() {
+        let slow = poisson_arrivals(10.0, 400, 7);
+        let fast = poisson_arrivals(40.0, 400, 7);
+        assert_eq!(slow.len(), 400);
+        assert!(slow.windows(2).all(|w| w[1] > w[0]), "strictly increasing");
+        // Same seed, 4x the rate -> exactly 4x compressed timestamps.
+        for (s, f) in slow.iter().zip(&fast) {
+            assert!((s / f - 4.0).abs() < 1e-9, "{s} vs {f}");
+        }
+        // Mean inter-arrival gap approximates 1/rate.
+        let mean_gap = slow.last().unwrap() / slow.len() as f64;
+        assert!((mean_gap - 0.1).abs() < 0.02, "{mean_gap}");
+    }
+
+    #[test]
+    fn bursty_arrivals_keep_the_average_rate_but_cluster() {
+        let n = 2000;
+        let plain = poisson_arrivals(20.0, n, 11);
+        let bursty = bursty_arrivals(20.0, 6.0, n, 11);
+        assert!(bursty.windows(2).all(|w| w[1] > w[0]));
+        let mean_plain = plain.last().unwrap() / n as f64;
+        let mean_bursty = bursty.last().unwrap() / n as f64;
+        assert!(
+            (mean_bursty / mean_plain - 1.0).abs() < 0.15,
+            "same long-run rate: {mean_plain} vs {mean_bursty}"
+        );
+        // Burstiness shows up as higher inter-arrival variance.
+        let cv2 = |ts: &[f64]| {
+            let gaps: Vec<f64> = ts.windows(2).map(|w| w[1] - w[0]).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64 / (mean * mean)
+        };
+        assert!(
+            cv2(&bursty) > cv2(&plain) * 1.3,
+            "{} vs {}",
+            cv2(&bursty),
+            cv2(&plain)
+        );
+        assert_eq!(
+            bursty_arrivals(20.0, 6.0, 50, 3),
+            bursty_arrivals(20.0, 6.0, 50, 3)
+        );
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub enum Grain {
 /// // Row 10 attends to columns 8..=12 (two on each side).
 /// assert_eq!(local.row_columns(64, 10), vec![8, 9, 10, 11, 12]);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum AtomicPattern {
     /// Sliding-window attention: row `r` attends to columns within
     /// `window / 2` positions on each side (total width `window + 1`

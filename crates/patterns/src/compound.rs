@@ -22,7 +22,7 @@ use mg_tensor::{Half, Matrix, Scalar};
 /// assert!(pattern.row_columns(10).contains(&0)); // selected column
 /// assert!(pattern.row_columns(10).contains(&10)); // local diagonal
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CompoundPattern {
     seq_len: usize,
     valid_len: usize,

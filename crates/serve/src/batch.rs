@@ -1,0 +1,353 @@
+//! Continuous batching policies.
+//!
+//! The batcher sits between the arrival stream and the dispatcher: it
+//! accumulates compatible requests and admits them as batches when a
+//! batch fills or the oldest member has waited its budget out. Requests
+//! are only ever batched with requests sharing their
+//! [`compat_key`](crate::Request::compat_key) — one attention method, one
+//! padded problem size — because a batch executes as one merged launch.
+
+use crate::request::Request;
+use multigrain::Method;
+use std::collections::BTreeMap;
+
+/// Which requests may share a batch and when a waiting batch is released.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchPolicy {
+    /// First-come-first-served per compatibility key: admit when
+    /// `max_batch` requests queue up or the oldest has waited `max_wait_s`.
+    FifoTimeout {
+        /// Largest admitted batch.
+        max_batch: usize,
+        /// Longest a request may sit in the queue before admission.
+        max_wait_s: f64,
+    },
+    /// Like FIFO, but requests additionally only share a batch with
+    /// requests in the same valid-length bucket, so short inputs are not
+    /// padded up to stragglers.
+    LenBucketed {
+        /// Largest admitted batch.
+        max_batch: usize,
+        /// Longest a request may sit in the queue before admission.
+        max_wait_s: f64,
+        /// Valid-length bucket width, tokens.
+        bucket: usize,
+    },
+    /// FIFO admission, but queues drain most-urgent-first (earliest SLO
+    /// deadline) and a queue whose head is about to bust its SLO is
+    /// released early rather than waiting the full budget.
+    SloAware {
+        /// Largest admitted batch.
+        max_batch: usize,
+        /// Longest a request may sit in the queue before admission.
+        max_wait_s: f64,
+    },
+}
+
+impl BatchPolicy {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BatchPolicy::FifoTimeout { .. } => "fifo",
+            BatchPolicy::LenBucketed { .. } => "len-bucketed",
+            BatchPolicy::SloAware { .. } => "slo-aware",
+        }
+    }
+
+    fn max_batch(&self) -> usize {
+        match *self {
+            BatchPolicy::FifoTimeout { max_batch, .. }
+            | BatchPolicy::LenBucketed { max_batch, .. }
+            | BatchPolicy::SloAware { max_batch, .. } => max_batch.max(1),
+        }
+    }
+
+    fn max_wait_s(&self) -> f64 {
+        match *self {
+            BatchPolicy::FifoTimeout { max_wait_s, .. }
+            | BatchPolicy::LenBucketed { max_wait_s, .. }
+            | BatchPolicy::SloAware { max_wait_s, .. } => max_wait_s.max(0.0),
+        }
+    }
+
+    /// The queue a request lands in. The compat key is always part of
+    /// it; length-bucketed batching refines further.
+    fn queue_key(&self, r: &Request) -> QueueKey {
+        let (method, max_seq_len) = r.compat_key();
+        let bucket = match *self {
+            BatchPolicy::LenBucketed { bucket, .. } => r.sample.valid_len / bucket.max(1),
+            _ => 0,
+        };
+        QueueKey {
+            method,
+            max_seq_len,
+            bucket,
+        }
+    }
+
+    /// Release deadline of a queued request: when it must be admitted
+    /// even in an under-full batch.
+    fn release_deadline(&self, r: &Request) -> f64 {
+        let by_wait = r.arrival_s + self.max_wait_s();
+        match self {
+            BatchPolicy::SloAware { .. } => {
+                // Leave half the SLO for service; never exceed the wait
+                // budget (the starvation bound the property test pins).
+                by_wait.min(r.arrival_s + 0.5 * r.slo_s)
+            }
+            _ => by_wait,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct QueueKey {
+    method: Method,
+    max_seq_len: usize,
+    bucket: usize,
+}
+
+/// One admitted batch: compatible requests released together.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// The member requests, in admission order.
+    pub requests: Vec<Request>,
+    /// When the batcher released the batch.
+    pub admitted_s: f64,
+}
+
+impl Batch {
+    /// The shared compatibility key of every member.
+    pub fn compat_key(&self) -> (Method, usize) {
+        self.requests[0].compat_key()
+    }
+}
+
+/// Continuous batcher: feed it arrivals with [`push`](Batcher::push),
+/// poll it with [`poll`](Batcher::poll) as the clock advances, and drain
+/// it at end of trace with [`flush`](Batcher::flush).
+#[derive(Debug)]
+pub struct Batcher {
+    policy: BatchPolicy,
+    queues: BTreeMap<QueueKey, Vec<Request>>,
+}
+
+impl Batcher {
+    /// Creates an empty batcher under `policy`.
+    pub fn new(policy: BatchPolicy) -> Batcher {
+        Batcher {
+            policy,
+            queues: BTreeMap::new(),
+        }
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> BatchPolicy {
+        self.policy
+    }
+
+    /// Number of requests currently queued.
+    pub fn queued(&self) -> usize {
+        self.queues.values().map(Vec::len).sum()
+    }
+
+    /// Enqueues an arrival at time `now`, returning any batch its queue
+    /// fills.
+    pub fn push(&mut self, request: Request, now: f64) -> Option<Batch> {
+        let key = self.policy.queue_key(&request);
+        let queue = self.queues.entry(key).or_default();
+        queue.push(request);
+        if queue.len() >= self.policy.max_batch() {
+            let requests = self.take(key, now);
+            return Some(Batch {
+                requests,
+                admitted_s: now,
+            });
+        }
+        None
+    }
+
+    /// Releases every queue whose earliest deadline has passed by `now`.
+    /// Each released batch is stamped with its deadline (the moment it
+    /// should have left), not `now`, so coarse polling does not skew
+    /// admission times.
+    pub fn poll(&mut self, now: f64) -> Vec<Batch> {
+        let mut released = Vec::new();
+        loop {
+            let due = self
+                .queues
+                .iter()
+                .filter_map(|(key, queue)| {
+                    let deadline = queue
+                        .iter()
+                        .map(|r| self.policy.release_deadline(r))
+                        .fold(f64::INFINITY, f64::min);
+                    (deadline <= now).then_some((*key, deadline))
+                })
+                .min_by(|a, b| a.1.total_cmp(&b.1));
+            let Some((key, deadline)) = due else { break };
+            let requests = self.take(key, deadline);
+            released.push(Batch {
+                requests,
+                admitted_s: deadline,
+            });
+        }
+        released
+    }
+
+    /// The next instant [`poll`](Batcher::poll) would release something,
+    /// if anything is queued.
+    pub fn next_deadline(&self) -> Option<f64> {
+        self.queues
+            .values()
+            .flatten()
+            .map(|r| self.policy.release_deadline(r))
+            .min_by(f64::total_cmp)
+    }
+
+    /// Drains every queue regardless of deadlines (end of trace). Each
+    /// batch is admitted at the later of `now` and its own deadline.
+    pub fn flush(&mut self, now: f64) -> Vec<Batch> {
+        let keys: Vec<QueueKey> = self.queues.keys().copied().collect();
+        let mut batches = Vec::new();
+        for key in keys {
+            while self.queues.contains_key(&key) {
+                let queue = &self.queues[&key];
+                let deadline = queue
+                    .iter()
+                    .map(|r| self.policy.release_deadline(r))
+                    .fold(f64::INFINITY, f64::min);
+                let admitted_s = deadline.min(now.max(queue[0].arrival_s));
+                let requests = self.take(key, admitted_s);
+                batches.push(Batch {
+                    requests,
+                    admitted_s,
+                });
+            }
+        }
+        batches
+    }
+
+    /// Removes up to `max_batch` requests from `key`'s queue in the
+    /// policy's service order.
+    fn take(&mut self, key: QueueKey, _now: f64) -> Vec<Request> {
+        let queue = self.queues.get_mut(&key).expect("queue exists");
+        if matches!(self.policy, BatchPolicy::SloAware { .. }) {
+            queue.sort_by(|a, b| a.deadline_s().total_cmp(&b.deadline_s()));
+        }
+        let n = queue.len().min(self.policy.max_batch());
+        let taken: Vec<Request> = queue.drain(..n).collect();
+        if queue.is_empty() {
+            self.queues.remove(&key);
+        }
+        taken
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestClass;
+    use mg_models::workload::WorkloadSample;
+
+    fn req(id: usize, method: Method, max_seq_len: usize, arrival_s: f64) -> Request {
+        Request {
+            id,
+            class: RequestClass::MsMarco,
+            method,
+            max_seq_len,
+            sample: WorkloadSample {
+                valid_len: 32 + id % 3 * 8,
+                special_tokens: vec![0],
+            },
+            arrival_s,
+            slo_s: 1.0,
+        }
+    }
+
+    #[test]
+    fn fills_release_immediately() {
+        let mut b = Batcher::new(BatchPolicy::FifoTimeout {
+            max_batch: 2,
+            max_wait_s: 10.0,
+        });
+        assert!(b.push(req(0, Method::Multigrain, 64, 0.0), 0.0).is_none());
+        let batch = b.push(req(1, Method::Multigrain, 64, 0.1), 0.1).unwrap();
+        assert_eq!(batch.requests.len(), 2);
+        assert_eq!(batch.admitted_s, 0.1);
+        assert_eq!(b.queued(), 0);
+    }
+
+    #[test]
+    fn timeouts_release_underfull_batches_at_the_deadline() {
+        let mut b = Batcher::new(BatchPolicy::FifoTimeout {
+            max_batch: 8,
+            max_wait_s: 0.5,
+        });
+        b.push(req(0, Method::Multigrain, 64, 0.0), 0.0);
+        assert!(b.poll(0.4).is_empty());
+        assert_eq!(b.next_deadline(), Some(0.5));
+        let released = b.poll(1.0);
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].admitted_s, 0.5, "stamped with the deadline");
+    }
+
+    #[test]
+    fn incompatible_requests_never_share_a_batch() {
+        let mut b = Batcher::new(BatchPolicy::FifoTimeout {
+            max_batch: 2,
+            max_wait_s: 10.0,
+        });
+        b.push(req(0, Method::Multigrain, 64, 0.0), 0.0);
+        b.push(req(1, Method::SputnikStyle, 64, 0.0), 0.0);
+        b.push(req(2, Method::Multigrain, 128, 0.0), 0.0);
+        assert_eq!(b.queued(), 3, "three incompatible singletons");
+        let batches = b.flush(0.0);
+        assert_eq!(batches.len(), 3);
+        for batch in &batches {
+            let key = batch.compat_key();
+            assert!(batch.requests.iter().all(|r| r.compat_key() == key));
+        }
+    }
+
+    #[test]
+    fn slo_aware_releases_early_for_urgent_requests() {
+        let mut b = Batcher::new(BatchPolicy::SloAware {
+            max_batch: 8,
+            max_wait_s: 10.0,
+        });
+        let mut lax = req(0, Method::Multigrain, 64, 0.0);
+        lax.slo_s = 5.0; // release by 0.0 + min(10, 2.5)
+        let mut urgent = req(1, Method::Multigrain, 64, 0.1);
+        urgent.slo_s = 0.4; // release by 0.1 + min(10, 0.2) = 0.3
+        b.push(lax, 0.0);
+        b.push(urgent, 0.1);
+        // The urgent request pulls the release forward well below both
+        // the wait budget and the lax request's half-SLO.
+        let deadline = b.next_deadline().unwrap();
+        assert!((deadline - 0.3).abs() < 1e-12, "{deadline}");
+        let released = b.poll(deadline);
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].admitted_s, deadline);
+        let ids: Vec<usize> = released[0].requests.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![1, 0], "most urgent first within the batch");
+    }
+
+    #[test]
+    fn len_bucketing_separates_lengths() {
+        let mut b = Batcher::new(BatchPolicy::LenBucketed {
+            max_batch: 2,
+            max_wait_s: 10.0,
+            bucket: 8,
+        });
+        // ids 0 and 1 land in different valid_len buckets (32 vs 40).
+        assert!(b.push(req(0, Method::Multigrain, 64, 0.0), 0.0).is_none());
+        assert!(b.push(req(1, Method::Multigrain, 64, 0.0), 0.0).is_none());
+        // Another length-32 fills the first bucket.
+        let batch = b.push(req(3, Method::Multigrain, 64, 0.1), 0.1).unwrap();
+        assert!(batch
+            .requests
+            .iter()
+            .all(|r| r.sample.valid_len / 8 == batch.requests[0].sample.valid_len / 8));
+    }
+}

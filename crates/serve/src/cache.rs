@@ -1,0 +1,339 @@
+//! Plan cache with canonicalized keys.
+//!
+//! Planning a compound sparse attention (slicing grains, building CSR /
+//! BSR metadata) is the expensive, input-dependent part of serving.
+//! Real inputs rarely repeat exactly, but they cluster: question prefixes
+//! of similar length, markers at similar densities, valid lengths near
+//! the window size. Canonicalizing a sample before planning — bucketing
+//! its valid length and regularizing its special-token layout — collapses
+//! that cluster onto a handful of plans that an LRU cache can serve with
+//! a high hit rate, at the cost of slightly over-provisioned patterns.
+
+use crate::request::Request;
+use mg_models::workload::WorkloadSample;
+use mg_models::SparseTransformer;
+use mg_sparse::SparseError;
+use multigrain::{Attention, AttentionProblem, Method};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+/// Key identifying one cached plan: the method, a structural signature of
+/// the canonical pattern, the bucketed valid length, and a hash of the
+/// canonical special-token layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Attention method the plan was built for.
+    pub method: Method,
+    /// [`AttentionProblem::signature`] of the canonicalized problem.
+    pub pattern_sig: u64,
+    /// Valid length after bucketing.
+    pub len_bucket: usize,
+    /// Hash of the canonical special-token layout (prefix length and
+    /// marker stride).
+    pub layout_hash: u64,
+}
+
+/// Hit/miss/eviction accounting of a [`PlanCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to plan from scratch.
+    pub misses: u64,
+    /// Plans evicted to respect the capacity bound.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits over lookups, `1.0` for an untouched cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Canonicalizes a sample for plan reuse.
+///
+/// Three regularizations, each conservative in *cost*: the canonical
+/// pattern is at least as dense as the original on average, so plans
+/// built from it never under-provision, while near-identical inputs
+/// collapse onto one canonical form (this is the standard bucketing
+/// trade-off of serving systems — slightly more compute per request in
+/// exchange for plan reuse):
+///
+/// 1. `valid_len` is rounded **up** to a multiple of `len_bucket`
+///    (clamped to `max_seq_len`), so nearby lengths share a plan.
+/// 2. The contiguous special-token prefix (question/query tokens) is
+///    rounded **up** to a multiple of 8.
+/// 3. Markers spread through the context are replaced by a uniform comb
+///    whose stride is the mean observed gap rounded **down** to a power
+///    of two — at least as dense as the original on average.
+pub fn canonicalize(
+    sample: &WorkloadSample,
+    max_seq_len: usize,
+    len_bucket: usize,
+) -> WorkloadSample {
+    let len_bucket = len_bucket.max(1);
+    let valid_len = sample
+        .valid_len
+        .div_ceil(len_bucket)
+        .saturating_mul(len_bucket)
+        .clamp(1, max_seq_len);
+
+    // Split the layout into a contiguous prefix and spread markers.
+    let mut prefix = 0usize;
+    for &t in &sample.special_tokens {
+        if t == prefix {
+            prefix += 1;
+        } else {
+            break;
+        }
+    }
+    let spread = &sample.special_tokens[prefix..];
+    let canon_prefix = if prefix == 0 {
+        0
+    } else {
+        prefix.div_ceil(8).saturating_mul(8).min(valid_len)
+    };
+
+    let mut special: Vec<usize> = (0..canon_prefix).collect();
+    if spread.len() >= 2 {
+        let span = spread.last().unwrap() - spread[0];
+        let mean_gap = (span / (spread.len() - 1)).max(1);
+        // Round down to a power of two: denser than observed on average.
+        let stride = if mean_gap <= 1 {
+            1
+        } else {
+            1usize << (usize::BITS - 1 - mean_gap.leading_zeros())
+        };
+        // The comb starts a full stride past the prefix so it never
+        // merges into it (which keeps canonicalization idempotent).
+        let mut pos = if canon_prefix == 0 {
+            stride
+        } else {
+            canon_prefix + stride
+        };
+        while pos < valid_len {
+            special.push(pos);
+            pos += stride;
+        }
+    } else if let Some(&lone) = spread.first() {
+        // A single stray marker: bucket it to a multiple of 8 clear of
+        // the prefix; drop it if no such slot exists in the valid range.
+        let slot = (lone / 8 * 8).max(canon_prefix + 8);
+        if slot < valid_len {
+            special.push(slot);
+        }
+    }
+
+    WorkloadSample {
+        valid_len,
+        special_tokens: special,
+    }
+}
+
+/// An LRU cache of built [`Attention`] plans keyed by [`PlanKey`].
+///
+/// Plans are shared out as `Rc<Attention>`: every request whose canonical
+/// form matches executes the same plan object.
+pub struct PlanCache {
+    model: SparseTransformer,
+    capacity: usize,
+    len_bucket: usize,
+    entries: HashMap<PlanKey, (Rc<Attention>, u64)>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl PlanCache {
+    /// Creates a cache over `model` holding at most `capacity` plans,
+    /// bucketing valid lengths to multiples of `len_bucket`.
+    ///
+    /// A `len_bucket` of an eighth of the model's padded length is a
+    /// reasonable default: coarse enough to cluster, fine enough that the
+    /// canonical pattern stays close to the real one.
+    pub fn new(model: SparseTransformer, capacity: usize, len_bucket: usize) -> PlanCache {
+        PlanCache {
+            model,
+            capacity: capacity.max(1),
+            len_bucket: len_bucket.max(1),
+            entries: HashMap::new(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The model plans are built against.
+    pub fn model(&self) -> &SparseTransformer {
+        &self.model
+    }
+
+    /// Computes the cache key for a request without planning anything.
+    pub fn key_for(&self, method: Method, sample: &WorkloadSample) -> PlanKey {
+        let max_seq_len = self.model.config().max_seq_len;
+        let canon = canonicalize(sample, max_seq_len, self.len_bucket);
+        let pattern = self.model.pattern_for(&canon);
+        let cfg = self.model.config();
+        let problem = AttentionProblem::new(pattern, cfg.head_dim, 1, cfg.heads, cfg.block_size);
+        let mut h = DefaultHasher::new();
+        canon.special_tokens.hash(&mut h);
+        PlanKey {
+            method,
+            pattern_sig: problem.signature(),
+            len_bucket: canon.valid_len,
+            layout_hash: h.finish(),
+        }
+    }
+
+    /// Returns the plan for `request`, building and inserting it on miss.
+    pub fn get_or_plan(&mut self, request: &Request) -> Result<Rc<Attention>, SparseError> {
+        self.get_or_plan_sample(request.method, &request.sample)
+    }
+
+    /// Returns the plan for a `(method, sample)` pair, building on miss.
+    pub fn get_or_plan_sample(
+        &mut self,
+        method: Method,
+        sample: &WorkloadSample,
+    ) -> Result<Rc<Attention>, SparseError> {
+        let key = self.key_for(method, sample);
+        self.tick += 1;
+        if let Some((plan, last_used)) = self.entries.get_mut(&key) {
+            self.stats.hits += 1;
+            *last_used = self.tick;
+            return Ok(Rc::clone(plan));
+        }
+        self.stats.misses += 1;
+        let canon = canonicalize(sample, self.model.config().max_seq_len, self.len_bucket);
+        let plan = Rc::new(self.model.plan_attention(method, &canon, 1)?);
+        if self.entries.len() >= self.capacity {
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| *k)
+                .expect("non-empty at capacity");
+            self.entries.remove(&oldest);
+            self.stats.evictions += 1;
+        }
+        self.entries.insert(key, (Rc::clone(&plan), self.tick));
+        Ok(plan)
+    }
+
+    /// Current accounting.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of resident plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_models::ModelConfig;
+
+    fn tiny_cache(capacity: usize) -> PlanCache {
+        let model = SparseTransformer::new(ModelConfig::tiny());
+        let bucket = model.config().max_seq_len / 8;
+        PlanCache::new(model, capacity, bucket)
+    }
+
+    #[test]
+    fn canonicalize_widens_never_narrows() {
+        let sample = WorkloadSample {
+            valid_len: 100,
+            special_tokens: vec![0, 1, 2, 40, 75, 99],
+        };
+        let canon = canonicalize(&sample, 256, 32);
+        assert!(canon.valid_len >= sample.valid_len);
+        assert_eq!(canon.valid_len % 32, 0);
+        // Prefix rounded up to a multiple of 8.
+        assert!(canon
+            .special_tokens
+            .iter()
+            .take(8)
+            .eq((0..8).collect::<Vec<_>>().iter()));
+        // Spread markers become a uniform power-of-two comb (gap ~29 -> 16).
+        let spread: Vec<usize> = canon
+            .special_tokens
+            .iter()
+            .copied()
+            .filter(|&t| t >= 8)
+            .collect();
+        assert!(spread.windows(2).all(|w| w[1] - w[0] == 16), "{spread:?}");
+    }
+
+    #[test]
+    fn nearby_samples_share_a_key() {
+        let cache = tiny_cache(8);
+        let a = WorkloadSample {
+            valid_len: 50,
+            special_tokens: vec![0, 1, 2],
+        };
+        let b = WorkloadSample {
+            valid_len: 55,
+            special_tokens: vec![0, 1, 2, 3],
+        };
+        assert_eq!(
+            cache.key_for(Method::Multigrain, &a),
+            cache.key_for(Method::Multigrain, &b)
+        );
+        assert_ne!(
+            cache.key_for(Method::Multigrain, &a),
+            cache.key_for(Method::SputnikStyle, &a)
+        );
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recent_plan() {
+        let mut cache = tiny_cache(2);
+        let s = |valid_len| WorkloadSample {
+            valid_len,
+            special_tokens: vec![0, 1],
+        };
+        // Three distinct length buckets at capacity two.
+        cache.get_or_plan_sample(Method::Multigrain, &s(8)).unwrap();
+        cache
+            .get_or_plan_sample(Method::Multigrain, &s(30))
+            .unwrap();
+        cache.get_or_plan_sample(Method::Multigrain, &s(8)).unwrap(); // refresh
+        cache
+            .get_or_plan_sample(Method::Multigrain, &s(60))
+            .unwrap(); // evicts 30
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 2);
+        cache.get_or_plan_sample(Method::Multigrain, &s(8)).unwrap(); // still hot
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 3); // first touches of 8, 30, 60
+    }
+
+    #[test]
+    fn repeated_traffic_hits_after_warmup() {
+        let mut cache = tiny_cache(64);
+        let samples = mg_models::workload::msmarco_like(64, 60, 5);
+        for s in &samples {
+            cache.get_or_plan_sample(Method::Multigrain, s).unwrap();
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.hit_rate() > 0.5,
+            "msmarco traffic should mostly collapse: {stats:?}"
+        );
+    }
+}

@@ -1,0 +1,273 @@
+//! Multi-stream batch dispatcher over a pool of simulated devices.
+//!
+//! Admitted batches round-robin across a pool of workers, each owning
+//! one [`Gpu`]. A worker's clock is advanced to the batch's start time
+//! with [`Gpu::advance_to`] before launching, so every kernel record
+//! lands on the shared server timeline and the pool's records can be
+//! merged into one trace.
+
+use crate::batch::Batch;
+use crate::cache::PlanCache;
+use mg_gpusim::{DeviceSpec, Gpu, KernelRecord};
+use mg_sparse::SparseError;
+use multigrain::{Attention, Op};
+use std::rc::Rc;
+
+/// How a dispatched batch uses the device's streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamPolicy {
+    /// Everything on stream 0 with a barrier after every phase — the
+    /// no-overlap baseline.
+    Serial,
+    /// Coarse/fine/dense phase kernels on their role streams with
+    /// barriers between phases (the paper's §3.1 space sharing), via
+    /// [`Attention::run_timed_batch`].
+    RoleStreams,
+    /// Dependency-driven launches with no phase barriers, via
+    /// [`Attention::run_timed_pipelined`].
+    Pipelined,
+}
+
+impl StreamPolicy {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StreamPolicy::Serial => "serial",
+            StreamPolicy::RoleStreams => "role-streams",
+            StreamPolicy::Pipelined => "pipelined",
+        }
+    }
+}
+
+/// One executed batch: who ran, where, and when.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// Ids of the member requests.
+    pub request_ids: Vec<usize>,
+    /// Worker that executed the batch.
+    pub worker: usize,
+    /// When the batch was admitted by the batcher.
+    pub admitted_s: f64,
+    /// When execution began (>= admitted; the worker may have been busy).
+    pub started_s: f64,
+    /// When every member completed.
+    pub finished_s: f64,
+    /// Whether each member's plan came from the cache (admission order).
+    pub cache_hits: Vec<bool>,
+}
+
+struct Worker {
+    gpu: Gpu,
+    free_at: f64,
+}
+
+/// Round-robin dispatcher over `workers` simulated devices.
+pub struct Dispatcher {
+    workers: Vec<Worker>,
+    policy: StreamPolicy,
+    next: usize,
+}
+
+impl Dispatcher {
+    /// Creates a pool of `workers` devices of the given spec.
+    ///
+    /// Each worker pre-creates the three role streams so stream indices
+    /// are stable regardless of policy.
+    pub fn new(spec: &DeviceSpec, workers: usize, policy: StreamPolicy) -> Dispatcher {
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let mut gpu = Gpu::new(spec.clone());
+                gpu.stream(2); // materialize streams 0..=2
+                Worker { gpu, free_at: 0.0 }
+            })
+            .collect();
+        Dispatcher {
+            workers,
+            policy,
+            next: 0,
+        }
+    }
+
+    /// The stream policy in force.
+    pub fn policy(&self) -> StreamPolicy {
+        self.policy
+    }
+
+    /// Number of workers in the pool.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Executes `batch` on the next worker in round-robin order,
+    /// planning each member through `cache`.
+    ///
+    /// Execution starts at the later of the admission time and the
+    /// moment the chosen worker frees up.
+    pub fn dispatch(
+        &mut self,
+        batch: &Batch,
+        cache: &mut PlanCache,
+    ) -> Result<BatchOutcome, SparseError> {
+        let worker_idx = self.next;
+        self.next = (self.next + 1) % self.workers.len();
+
+        let mut plans: Vec<Rc<Attention>> = Vec::with_capacity(batch.requests.len());
+        let mut cache_hits = Vec::with_capacity(batch.requests.len());
+        for request in &batch.requests {
+            let hits_before = cache.stats().hits;
+            plans.push(cache.get_or_plan(request)?);
+            cache_hits.push(cache.stats().hits > hits_before);
+        }
+
+        let worker = &mut self.workers[worker_idx];
+        let started_s = batch.admitted_s.max(worker.free_at);
+        worker.gpu.advance_to(started_s);
+        let refs: Vec<&Attention> = plans.iter().map(Rc::as_ref).collect();
+        match self.policy {
+            StreamPolicy::Serial => run_serial(&refs, &mut worker.gpu),
+            StreamPolicy::RoleStreams => {
+                Attention::run_timed_batch(&refs, &mut worker.gpu);
+            }
+            StreamPolicy::Pipelined => {
+                Attention::run_timed_pipelined_batch(&refs, &mut worker.gpu);
+            }
+        }
+        let finished_s = worker.gpu.elapsed();
+        worker.free_at = finished_s;
+
+        Ok(BatchOutcome {
+            request_ids: batch.requests.iter().map(|r| r.id).collect(),
+            worker: worker_idx,
+            admitted_s: batch.admitted_s,
+            started_s,
+            finished_s,
+            cache_hits,
+        })
+    }
+
+    /// When every worker is idle again.
+    pub fn drained_at(&self) -> f64 {
+        self.workers
+            .iter()
+            .map(|w| w.free_at)
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Kernel records of one worker, on the shared server timeline.
+    pub fn worker_records(&self, worker: usize) -> &[KernelRecord] {
+        self.workers[worker].gpu.records()
+    }
+
+    /// Seconds worker `worker` spent executing kernels in `[0, until]`.
+    pub fn worker_busy_seconds(&self, worker: usize, until: f64) -> f64 {
+        mg_gpusim::busy_seconds(self.workers[worker].gpu.records(), 0.0, until)
+    }
+}
+
+/// The serial baseline: the batch's merged phase profiles launch on the
+/// single default stream, one phase at a time.
+fn run_serial(attns: &[&Attention], gpu: &mut Gpu) {
+    let spec = gpu.spec().clone();
+    for op in [Op::Sddmm, Op::Softmax, Op::Spmm, Op::Merge] {
+        let profiles = Attention::batch_phase_profiles(attns, &spec, op);
+        let stream = gpu.stream(0);
+        for (_, profile) in profiles {
+            gpu.launch(stream, profile);
+        }
+        gpu.synchronize();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Batch;
+    use crate::request::{Request, RequestClass};
+    use mg_models::workload::WorkloadSample;
+    use mg_models::{ModelConfig, SparseTransformer};
+    use multigrain::Method;
+
+    fn tiny_cache() -> PlanCache {
+        let model = SparseTransformer::new(ModelConfig::tiny());
+        PlanCache::new(model, 32, 8)
+    }
+
+    fn tiny_batch(ids: std::ops::Range<usize>, admitted_s: f64) -> Batch {
+        Batch {
+            requests: ids
+                .map(|id| Request {
+                    id,
+                    class: RequestClass::TriviaQa,
+                    method: Method::Multigrain,
+                    max_seq_len: 64,
+                    sample: WorkloadSample {
+                        valid_len: 64,
+                        special_tokens: vec![0, 1, 2, 3],
+                    },
+                    arrival_s: admitted_s,
+                    slo_s: 1.0,
+                })
+                .collect(),
+            admitted_s,
+        }
+    }
+
+    #[test]
+    fn batches_round_robin_and_respect_admission_times() {
+        let mut cache = tiny_cache();
+        let mut d = Dispatcher::new(&DeviceSpec::a100(), 2, StreamPolicy::RoleStreams);
+        let a = d.dispatch(&tiny_batch(0..2, 0.0), &mut cache).unwrap();
+        let b = d.dispatch(&tiny_batch(2..4, 0.5), &mut cache).unwrap();
+        assert_eq!((a.worker, b.worker), (0, 1));
+        assert_eq!(b.started_s, 0.5, "idle worker starts at admission");
+        assert!(a.finished_s > a.started_s);
+        // Worker 0 again; it is long idle, so the batch starts on time.
+        let c = d.dispatch(&tiny_batch(4..6, 1.0), &mut cache).unwrap();
+        assert_eq!(c.worker, 0);
+        assert_eq!(c.started_s, 1.0);
+    }
+
+    #[test]
+    fn busy_worker_delays_the_next_batch() {
+        let mut cache = tiny_cache();
+        let mut d = Dispatcher::new(&DeviceSpec::a100(), 1, StreamPolicy::RoleStreams);
+        let a = d.dispatch(&tiny_batch(0..2, 0.0), &mut cache).unwrap();
+        let b = d.dispatch(&tiny_batch(2..4, 0.0), &mut cache).unwrap();
+        assert_eq!(b.started_s, a.finished_s, "queued behind the first batch");
+        assert_eq!(d.drained_at(), b.finished_s);
+    }
+
+    #[test]
+    fn serial_is_no_faster_than_role_streams() {
+        let mut cache_s = tiny_cache();
+        let mut cache_m = tiny_cache();
+        let mut serial = Dispatcher::new(&DeviceSpec::a100(), 1, StreamPolicy::Serial);
+        let mut multi = Dispatcher::new(&DeviceSpec::a100(), 1, StreamPolicy::RoleStreams);
+        let s = serial
+            .dispatch(&tiny_batch(0..4, 0.0), &mut cache_s)
+            .unwrap();
+        let m = multi
+            .dispatch(&tiny_batch(0..4, 0.0), &mut cache_m)
+            .unwrap();
+        let serial_time = s.finished_s - s.started_s;
+        let multi_time = m.finished_s - m.started_s;
+        assert!(
+            multi_time <= serial_time + 1e-12,
+            "streams can only help: serial {serial_time} vs multi {multi_time}"
+        );
+    }
+
+    #[test]
+    fn records_land_on_the_server_timeline() {
+        let mut cache = tiny_cache();
+        let mut d = Dispatcher::new(&DeviceSpec::a100(), 1, StreamPolicy::Pipelined);
+        d.dispatch(&tiny_batch(0..2, 2.0), &mut cache).unwrap();
+        let records = d.worker_records(0);
+        assert!(!records.is_empty());
+        assert!(
+            records.iter().all(|r| r.start >= 2.0),
+            "aligned to admit time"
+        );
+        assert!(d.worker_busy_seconds(0, d.drained_at()) > 0.0);
+    }
+}

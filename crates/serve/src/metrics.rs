@@ -1,0 +1,231 @@
+//! Serving metrics: latency percentiles, throughput, SLO accounting,
+//! device utilization, and trace export.
+
+use crate::cache::CacheStats;
+use crate::dispatch::{BatchOutcome, Dispatcher};
+use crate::request::{Request, RequestClass};
+use mg_gpusim::export_chrome_trace_grouped;
+
+/// Per-request latency decomposition, seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestOutcome {
+    /// Request id.
+    pub id: usize,
+    /// Dataset class of the request.
+    pub class: RequestClass,
+    /// Arrival time.
+    pub arrival_s: f64,
+    /// Time spent queued before execution began.
+    pub queue_s: f64,
+    /// Time from execution start to completion.
+    pub service_s: f64,
+    /// Whether completion beat the request's SLO deadline.
+    pub slo_met: bool,
+    /// Whether the request's plan came from the cache.
+    pub cache_hit: bool,
+}
+
+impl RequestOutcome {
+    /// Arrival-to-completion latency.
+    pub fn total_s(&self) -> f64 {
+        self.queue_s + self.service_s
+    }
+}
+
+/// Aggregated result of one serving simulation.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Per-request outcomes, in request-id order.
+    pub outcomes: Vec<RequestOutcome>,
+    /// Wall-clock span from first arrival to last completion.
+    pub makespan_s: f64,
+    /// Plan-cache accounting over the whole run.
+    pub cache: CacheStats,
+    /// Fraction of the makespan each worker spent executing kernels.
+    pub worker_busy_fraction: Vec<f64>,
+}
+
+impl ServeReport {
+    /// Builds the report from the executed batches.
+    pub(crate) fn from_batches(
+        requests: &[Request],
+        batches: &[BatchOutcome],
+        cache: CacheStats,
+        dispatcher: &Dispatcher,
+    ) -> ServeReport {
+        let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
+        for batch in batches {
+            for (pos, &id) in batch.request_ids.iter().enumerate() {
+                let request = &requests[id];
+                debug_assert_eq!(request.id, id, "requests indexed by id");
+                outcomes.push(RequestOutcome {
+                    id,
+                    class: request.class,
+                    arrival_s: request.arrival_s,
+                    queue_s: batch.started_s - request.arrival_s,
+                    service_s: batch.finished_s - batch.started_s,
+                    slo_met: batch.finished_s <= request.deadline_s(),
+                    cache_hit: batch.cache_hits[pos],
+                });
+            }
+        }
+        outcomes.sort_by_key(|o| o.id);
+        let t0 = requests
+            .iter()
+            .map(|r| r.arrival_s)
+            .fold(f64::INFINITY, f64::min);
+        let t1 = batches.iter().map(|b| b.finished_s).fold(0.0f64, f64::max);
+        let makespan_s = (t1 - t0).max(f64::MIN_POSITIVE);
+        let worker_busy_fraction = (0..dispatcher.worker_count())
+            .map(|w| dispatcher.worker_busy_seconds(w, t1) / makespan_s)
+            .collect();
+        ServeReport {
+            outcomes,
+            makespan_s,
+            cache,
+            worker_busy_fraction,
+        }
+    }
+
+    /// The `p`-th percentile (0–100) of total latency, by the
+    /// nearest-rank method. Returns `0.0` for an empty report.
+    pub fn latency_percentile(&self, p: f64) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let mut latencies: Vec<f64> = self.outcomes.iter().map(RequestOutcome::total_s).collect();
+        latencies.sort_by(f64::total_cmp);
+        let rank = ((p / 100.0) * latencies.len() as f64).ceil() as usize;
+        latencies[rank.clamp(1, latencies.len()) - 1]
+    }
+
+    /// Median total latency.
+    pub fn p50(&self) -> f64 {
+        self.latency_percentile(50.0)
+    }
+
+    /// 95th-percentile total latency.
+    pub fn p95(&self) -> f64 {
+        self.latency_percentile(95.0)
+    }
+
+    /// 99th-percentile total latency.
+    pub fn p99(&self) -> f64 {
+        self.latency_percentile(99.0)
+    }
+
+    /// Mean total latency.
+    pub fn mean_latency(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .map(RequestOutcome::total_s)
+            .sum::<f64>()
+            / self.outcomes.len() as f64
+    }
+
+    /// Completed requests per second of makespan.
+    pub fn throughput_rps(&self) -> f64 {
+        self.outcomes.len() as f64 / self.makespan_s
+    }
+
+    /// Fraction of requests that missed their SLO deadline.
+    pub fn slo_violation_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|o| !o.slo_met).count() as f64 / self.outcomes.len() as f64
+    }
+
+    /// Plan-cache hit rate over the run.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// Mean worker busy fraction (GPU utilization of the pool).
+    pub fn busy_fraction(&self) -> f64 {
+        if self.worker_busy_fraction.is_empty() {
+            return 0.0;
+        }
+        self.worker_busy_fraction.iter().sum::<f64>() / self.worker_busy_fraction.len() as f64
+    }
+}
+
+/// Exports the pool's kernel records as one Chrome-trace JSON document,
+/// one process lane per worker, on the shared server timeline.
+pub fn export_serve_trace(dispatcher: &Dispatcher) -> String {
+    let names: Vec<String> = (0..dispatcher.worker_count())
+        .map(|w| format!("worker-{w}"))
+        .collect();
+    let groups: Vec<(&str, &[mg_gpusim::KernelRecord])> = names
+        .iter()
+        .enumerate()
+        .map(|(w, name)| (name.as_str(), dispatcher.worker_records(w)))
+        .collect();
+    export_chrome_trace_grouped(&groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: usize, queue_s: f64, service_s: f64, slo_met: bool) -> RequestOutcome {
+        RequestOutcome {
+            id,
+            class: RequestClass::HotpotQa,
+            arrival_s: 0.0,
+            queue_s,
+            service_s,
+            slo_met,
+            cache_hit: id.is_multiple_of(2),
+        }
+    }
+
+    fn report(outcomes: Vec<RequestOutcome>) -> ServeReport {
+        ServeReport {
+            outcomes,
+            makespan_s: 10.0,
+            cache: CacheStats {
+                hits: 9,
+                misses: 1,
+                evictions: 0,
+            },
+            worker_busy_fraction: vec![0.5, 0.25],
+        }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let r = report((0..100).map(|i| outcome(i, i as f64, 0.0, true)).collect());
+        assert_eq!(r.p50(), 49.0);
+        assert_eq!(r.p95(), 94.0);
+        assert_eq!(r.p99(), 98.0);
+        assert_eq!(r.latency_percentile(100.0), 99.0);
+        assert!(r.latency_percentile(0.0) <= 0.0 + 1e-12);
+    }
+
+    #[test]
+    fn rates_aggregate_over_outcomes() {
+        let r = report(vec![
+            outcome(0, 0.0, 1.0, true),
+            outcome(1, 1.0, 1.0, true),
+            outcome(2, 2.0, 1.0, false),
+            outcome(3, 3.0, 1.0, false),
+        ]);
+        assert_eq!(r.slo_violation_rate(), 0.5);
+        assert_eq!(r.throughput_rps(), 0.4);
+        assert_eq!(r.cache_hit_rate(), 0.9);
+        assert_eq!(r.busy_fraction(), 0.375);
+        assert!((r.mean_latency() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_is_inert() {
+        let r = report(Vec::new());
+        assert_eq!(r.p99(), 0.0);
+        assert_eq!(r.slo_violation_rate(), 0.0);
+        assert_eq!(r.mean_latency(), 0.0);
+    }
+}

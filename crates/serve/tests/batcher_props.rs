@@ -1,0 +1,168 @@
+//! Property tests for the continuous batcher: under any policy and any
+//! arrival stream, no request starves past its wait budget, batches
+//! never exceed their size bound, and incompatible requests never share
+//! a batch.
+
+use mg_models::workload::WorkloadSample;
+use mg_serve::{Batch, BatchPolicy, Batcher, Request, RequestClass};
+use multigrain::Method;
+use proptest::prelude::*;
+
+const METHODS: [Method; 3] = [
+    Method::Multigrain,
+    Method::TritonStyle,
+    Method::SputnikStyle,
+];
+const SEQ_LENS: [usize; 2] = [64, 128];
+
+fn policy_strategy() -> BoxedStrategy<BatchPolicy> {
+    prop_oneof![
+        (1usize..6, 1u64..100).prop_map(|(max_batch, wait_ms)| BatchPolicy::FifoTimeout {
+            max_batch,
+            max_wait_s: wait_ms as f64 * 1e-3,
+        }),
+        (1usize..6, 1u64..100, 1usize..5).prop_map(|(max_batch, wait_ms, bucket_exp)| {
+            BatchPolicy::LenBucketed {
+                max_batch,
+                max_wait_s: wait_ms as f64 * 1e-3,
+                bucket: 1 << (bucket_exp + 2),
+            }
+        }),
+        (1usize..6, 1u64..100).prop_map(|(max_batch, wait_ms)| BatchPolicy::SloAware {
+            max_batch,
+            max_wait_s: wait_ms as f64 * 1e-3,
+        }),
+    ]
+    .boxed()
+}
+
+/// (gap_ms, method_idx, seq_idx, valid_len, slo_ms) per arrival.
+type RawRequest = (u64, usize, usize, usize, u64);
+
+fn requests_from(raw: &[RawRequest]) -> Vec<Request> {
+    let mut t = 0.0f64;
+    raw.iter()
+        .enumerate()
+        .map(|(id, &(gap_ms, method_idx, seq_idx, valid_len, slo_ms))| {
+            t += gap_ms as f64 * 1e-3;
+            let max_seq_len = SEQ_LENS[seq_idx % SEQ_LENS.len()];
+            Request {
+                id,
+                class: RequestClass::MsMarco,
+                method: METHODS[method_idx % METHODS.len()],
+                max_seq_len,
+                sample: WorkloadSample {
+                    valid_len: valid_len.clamp(1, max_seq_len),
+                    special_tokens: vec![0],
+                },
+                arrival_s: t,
+                slo_s: slo_ms as f64 * 1e-3,
+            }
+        })
+        .collect()
+}
+
+/// Drives the batcher exactly like the simulation loop does: poll due
+/// deadlines before each arrival, then drain by deadline at end of trace.
+fn drive(policy: BatchPolicy, requests: &[Request]) -> Vec<Batch> {
+    let mut batcher = Batcher::new(policy);
+    let mut batches = Vec::new();
+    for request in requests {
+        batches.extend(batcher.poll(request.arrival_s));
+        batches.extend(batcher.push(request.clone(), request.arrival_s));
+    }
+    let end = requests.last().map(|r| r.arrival_s).unwrap_or(0.0);
+    while let Some(deadline) = batcher.next_deadline() {
+        batches.extend(batcher.poll(deadline.max(end)));
+    }
+    assert_eq!(batcher.queued(), 0, "drained");
+    batches
+}
+
+fn max_params(policy: BatchPolicy) -> (usize, f64) {
+    match policy {
+        BatchPolicy::FifoTimeout {
+            max_batch,
+            max_wait_s,
+        }
+        | BatchPolicy::SloAware {
+            max_batch,
+            max_wait_s,
+        }
+        | BatchPolicy::LenBucketed {
+            max_batch,
+            max_wait_s,
+            ..
+        } => (max_batch, max_wait_s),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn no_request_starves_and_no_batch_mixes(
+        policy in policy_strategy(),
+        raw in proptest::collection::vec((0u64..50, 0usize..3, 0usize..2, 1usize..128, 10u64..500), 1..80),
+    ) {
+        let requests = requests_from(&raw);
+        let batches = drive(policy, &requests);
+        let (max_batch, max_wait_s) = max_params(policy);
+
+        // Every request is admitted exactly once.
+        let mut seen = vec![0usize; requests.len()];
+        for batch in &batches {
+            prop_assert!(!batch.requests.is_empty());
+            prop_assert!(batch.requests.len() <= max_batch);
+            let key = batch.compat_key();
+            for member in &batch.requests {
+                seen[member.id] += 1;
+                // Compatibility: one method, one padded problem size.
+                prop_assert_eq!(member.compat_key(), key);
+                // Starvation bound: admitted within the wait budget.
+                prop_assert!(
+                    batch.admitted_s <= member.arrival_s + max_wait_s + 1e-9,
+                    "request {} admitted {} > arrival {} + budget {}",
+                    member.id, batch.admitted_s, member.arrival_s, max_wait_s
+                );
+                // Admission is never retroactive.
+                prop_assert!(batch.admitted_s >= member.arrival_s - 1e-9);
+            }
+            if let BatchPolicy::LenBucketed { bucket, .. } = policy {
+                let b0 = batch.requests[0].sample.valid_len / bucket;
+                prop_assert!(batch
+                    .requests
+                    .iter()
+                    .all(|r| r.sample.valid_len / bucket == b0));
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "each request exactly once: {:?}", seen);
+    }
+
+    #[test]
+    fn slo_aware_never_exceeds_the_fifo_wait_bound(
+        raw in proptest::collection::vec((0u64..40, 0usize..1, 0usize..1, 1usize..64, 5u64..400), 1..60),
+        max_batch in 1usize..5,
+        wait_ms in 1u64..80,
+    ) {
+        // The SLO-aware policy may release *earlier* than FIFO (urgent
+        // heads pull deadlines forward) but never later.
+        let requests = requests_from(&raw);
+        let max_wait_s = wait_ms as f64 * 1e-3;
+        let slo = drive(BatchPolicy::SloAware { max_batch, max_wait_s }, &requests);
+        let mut admitted_slo = vec![f64::NAN; requests.len()];
+        for batch in &slo {
+            for member in &batch.requests {
+                admitted_slo[member.id] = batch.admitted_s;
+            }
+        }
+        let fifo = drive(BatchPolicy::FifoTimeout { max_batch, max_wait_s }, &requests);
+        for batch in &fifo {
+            for member in &batch.requests {
+                prop_assert!(
+                    admitted_slo[member.id] <= member.arrival_s + max_wait_s + 1e-9
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! A cached plan must be indistinguishable from a freshly built one:
+//! bit-identical numeric output and identical simulated timings.
+
+use mg_gpusim::{DeviceSpec, Gpu};
+use mg_models::{workload, ModelConfig, SparseTransformer};
+use mg_serve::{canonicalize, PlanCache};
+use mg_tensor::{Half, Matrix};
+use multigrain::Method;
+
+const LEN_BUCKET: usize = 8;
+
+fn model() -> SparseTransformer {
+    SparseTransformer::new(ModelConfig::tiny())
+}
+
+#[test]
+fn cached_plan_matches_fresh_plan_bit_for_bit() {
+    let model = model();
+    let max_seq_len = model.config().max_seq_len;
+    let head_dim = model.config().head_dim;
+    let samples = workload::hotpotqa_like(max_seq_len, 6, 11);
+    for method in [
+        Method::Multigrain,
+        Method::TritonStyle,
+        Method::SputnikStyle,
+    ] {
+        let mut cache = PlanCache::new(model.clone(), 16, LEN_BUCKET);
+        for sample in &samples {
+            // Warm the cache, then look the plan up again: the second
+            // call must be a hit.
+            cache.get_or_plan_sample(method, sample).unwrap();
+            let hits_before = cache.stats().hits;
+            let cached = cache.get_or_plan_sample(method, sample).unwrap();
+            assert_eq!(cache.stats().hits, hits_before + 1, "second lookup hits");
+
+            // A from-scratch plan of the canonical sample.
+            let canon = canonicalize(sample, max_seq_len, LEN_BUCKET);
+            let fresh = model.plan_attention(method, &canon, 1).unwrap();
+
+            // Bit-identical numeric attention output.
+            let q = Matrix::<Half>::random(max_seq_len, head_dim, 1);
+            let k = Matrix::<Half>::random(max_seq_len, head_dim, 2);
+            let v = Matrix::<Half>::random(max_seq_len, head_dim, 3);
+            assert_eq!(
+                cached.execute_numeric(&q, &k, &v),
+                fresh.execute_numeric(&q, &k, &v),
+                "{method:?}: cached and fresh outputs diverge"
+            );
+
+            // Identical simulated pipeline timings.
+            let mut gpu_a = Gpu::new(DeviceSpec::a100());
+            let mut gpu_b = Gpu::new(DeviceSpec::a100());
+            assert_eq!(
+                cached.run_timed(&mut gpu_a),
+                fresh.run_timed(&mut gpu_b),
+                "{method:?}: cached and fresh timings diverge"
+            );
+        }
+    }
+}
+
+#[test]
+fn canonicalization_never_under_provisions() {
+    // Canonicalization must be conservative in cost: the canonical
+    // sample is at least as long, keeps at least the original prefix,
+    // and its marker comb is at least as dense on average as the
+    // original markers — so a cached plan never does less work than a
+    // per-sample plan would.
+    let model = model();
+    let max_seq_len = model.config().max_seq_len;
+    for sample in workload::msmarco_like(max_seq_len, 12, 13)
+        .into_iter()
+        .chain(workload::hotpotqa_like(max_seq_len, 12, 14))
+    {
+        let canon = canonicalize(&sample, max_seq_len, LEN_BUCKET);
+        assert!(canon.valid_len >= sample.valid_len);
+        assert_eq!(canon.valid_len % LEN_BUCKET, 0);
+        let prefix = |s: &mg_models::WorkloadSample| {
+            s.special_tokens
+                .iter()
+                .enumerate()
+                .take_while(|&(i, &t)| i == t)
+                .count()
+        };
+        assert!(prefix(&canon) >= prefix(&sample), "prefix shrank");
+        // Density over the valid region: canonical >= original (the
+        // comb stride is the mean gap rounded down to a power of two).
+        let density =
+            |s: &mg_models::WorkloadSample| s.special_tokens.len() as f64 / s.valid_len as f64;
+        assert!(
+            density(&canon) >= density(&sample) * 0.99,
+            "canonical markers sparser than observed: {:.4} < {:.4}",
+            density(&canon),
+            density(&sample)
+        );
+        // And the canonical form is idempotent: canonicalizing twice
+        // changes nothing, so cache keys are stable.
+        assert_eq!(canonicalize(&canon, max_seq_len, LEN_BUCKET), canon);
+    }
+}

@@ -1,0 +1,65 @@
+//! Serving simulation: heterogeneous requests arriving over time are
+//! continuously batched, planned through a cache, and dispatched over a
+//! pool of simulated GPUs — then summarized as tail latency, throughput,
+//! SLO compliance, and device utilization.
+//!
+//! Run with: `cargo run --release -p mg-serve --example serving_sim`
+
+use mg_gpusim::DeviceSpec;
+use mg_models::ModelConfig;
+use mg_serve::{ArrivalProcess, BatchPolicy, ServeConfig, ServeSim, StreamPolicy, TrafficConfig};
+use multigrain::Method;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = ModelConfig::qds_base();
+    let device = DeviceSpec::a100();
+
+    // A bursty trace: QDS-Transformer requests at 120 req/s on average,
+    // arriving in bursts six times denser than the lulls, each with a
+    // 250 ms latency SLO.
+    let traffic = TrafficConfig {
+        rate_rps: 120.0,
+        n: 160,
+        process: ArrivalProcess::Bursty(6.0),
+        class_mix: [0.25, 0.45, 0.15, 0.15],
+        methods: vec![Method::Multigrain],
+        slo_s: 0.250,
+        seed: 42,
+    };
+
+    println!(
+        "serving {} on {} — {} requests at {} req/s (bursty)\n",
+        model.name, device.name, traffic.n, traffic.rate_rps
+    );
+
+    // Compare the three stream policies on identical traffic.
+    for stream_policy in [
+        StreamPolicy::Serial,
+        StreamPolicy::RoleStreams,
+        StreamPolicy::Pipelined,
+    ] {
+        let mut config = ServeConfig::new(model.clone(), device.clone());
+        config.workers = 2;
+        config.stream_policy = stream_policy;
+        config.batch_policy = BatchPolicy::SloAware {
+            max_batch: 4,
+            max_wait_s: 0.020,
+        };
+        let mut sim = ServeSim::new(config);
+        let report = sim.run(&traffic)?;
+        println!(
+            "{:<12}  p50 {:7.2} ms  p99 {:7.2} ms  {:6.1} req/s  SLO viol {:4.1}%  \
+             cache hit {:4.1}%  busy {:4.1}%",
+            stream_policy.label(),
+            report.p50() * 1e3,
+            report.p99() * 1e3,
+            report.throughput_rps(),
+            report.slo_violation_rate() * 100.0,
+            report.cache_hit_rate() * 100.0,
+            report.busy_fraction() * 100.0,
+        );
+    }
+
+    println!("\n(one line per stream policy; identical traffic and seed throughout)");
+    Ok(())
+}

@@ -1,0 +1,303 @@
+//! Offline drop-in subset of the `rand` 0.8 API.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! provides the (small) slice of `rand` the workspace actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::gen_range`]
+//! over integer and float ranges, [`seq::SliceRandom::partial_shuffle`],
+//! and [`distributions::Uniform`]. Everything is deterministic in the
+//! seed; the underlying generator is SplitMix64 (not the upstream
+//! ChaCha12, so streams differ from real `rand`, but all workspace
+//! consumers only rely on determinism, not on specific streams).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Bound, RangeBounds};
+
+/// A seedable random number generator (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that `Rng::gen_range` can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Samples uniformly from `[low, high)` given a raw 64-bit source.
+    fn sample_half_open(low: Self, high: Self, raw: u64) -> Self;
+    /// Advances an inclusive upper bound to its half-open equivalent.
+    fn inclusive_high(high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(low: Self, high: Self, raw: u64) -> Self {
+                debug_assert!(low < high, "gen_range: empty range");
+                let span = (high as u128).wrapping_sub(low as u128);
+                (low as u128).wrapping_add((raw as u128) % span) as $t
+            }
+            fn inclusive_high(high: Self) -> Self {
+                high.checked_add(1).expect("gen_range: inclusive bound overflow")
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_sint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(low: Self, high: Self, raw: u64) -> Self {
+                debug_assert!(low < high, "gen_range: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                (low as i128 + ((raw as u128) % span) as i128) as $t
+            }
+            fn inclusive_high(high: Self) -> Self {
+                high.checked_add(1).expect("gen_range: inclusive bound overflow")
+            }
+        }
+    )*};
+}
+impl_sample_uniform_sint!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(low: Self, high: Self, raw: u64) -> Self {
+                // 53 bits of entropy normalized to [0, 1).
+                let unit = (raw >> 11) as f64 / (1u64 << 53) as f64;
+                (low as f64 + (high as f64 - low as f64) * unit) as $t
+            }
+            fn inclusive_high(high: Self) -> Self {
+                // A closed float interval is indistinguishable from the
+                // half-open one at f64 resolution for our purposes.
+                high
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// A random number generator (subset of `rand::Rng`).
+pub trait Rng {
+    /// The raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or unbounded.
+    fn gen_range<T: SampleUniform, R: RangeBounds<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        let low = match range.start_bound() {
+            Bound::Included(&l) => l,
+            _ => panic!("gen_range requires an inclusive start bound"),
+        };
+        let high = match range.end_bound() {
+            Bound::Excluded(&h) => h,
+            Bound::Included(&h) => T::inclusive_high(h),
+            Bound::Unbounded => panic!("gen_range requires a bounded range"),
+        };
+        assert!(low < high, "gen_range: empty range");
+        let raw = self.next_u64();
+        T::sample_half_open(low, high, raw)
+    }
+
+    /// A uniformly random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen_range(0.0f64..1.0) < p
+    }
+}
+
+/// Random number generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64). Stands in for
+    /// `rand::rngs::StdRng`: same API, different (but still
+    /// deterministic) stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // One warm-up step decorrelates small seeds.
+            let mut rng = StdRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Alias kept for API compatibility with `rand::rngs::SmallRng`.
+    pub type SmallRng = StdRng;
+}
+
+/// Sequence-related random operations (subset of `rand::seq`).
+pub mod seq {
+    use super::Rng;
+
+    /// Extension trait for slices (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Shuffles the first `amount` elements into place uniformly
+        /// (partial Fisher–Yates) and returns `(shuffled, rest)`.
+        fn partial_shuffle<R: Rng>(
+            &mut self,
+            rng: &mut R,
+            amount: usize,
+        ) -> (&mut [Self::Item], &mut [Self::Item]);
+
+        /// Shuffles the whole slice in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, `None` on an empty slice.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn partial_shuffle<R: Rng>(&mut self, rng: &mut R, amount: usize) -> (&mut [T], &mut [T]) {
+            let amount = amount.min(self.len());
+            for i in 0..amount {
+                let j = rng.gen_range(i..self.len());
+                self.swap(i, j);
+            }
+            self.split_at_mut(amount)
+        }
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            let n = self.len();
+            self.partial_shuffle(rng, n);
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Distributions (subset of `rand::distributions`).
+pub mod distributions {
+    use super::{Rng, SampleUniform};
+
+    /// A distribution that can be sampled with an RNG.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: Rng>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over `[low, high)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Creates a uniform distribution over `[low, high)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `low >= high`.
+        pub fn new(low: T, high: T) -> Uniform<T> {
+            assert!(low < high, "Uniform::new: empty range");
+            Uniform { low, high }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: Rng>(&self, rng: &mut R) -> T {
+            let raw = rng.next_u64();
+            T::sample_half_open(self.low, self.high, raw)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10usize..=40);
+            assert!((10..=40).contains(&v));
+            let f = rng.gen_range(0.70f64..=1.0);
+            assert!((0.70..=1.0).contains(&f));
+            let e = rng.gen_range(3u64..9);
+            assert!((3..9).contains(&e));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_span() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn partial_shuffle_keeps_elements() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..32).collect();
+        let (head, _) = v.partial_shuffle(&mut rng, 5);
+        assert_eq!(head.len(), 5);
+        let mut all = v.clone();
+        all.sort_unstable();
+        assert_eq!(all, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uniform_float_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dist = Uniform::new(-1.0f32, 1.0f32);
+        for _ in 0..1000 {
+            let v = dist.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&v));
+        }
+    }
+}
