@@ -3,13 +3,16 @@
 //! batching policy × device, plus the serial-vs-multi-stream sustainable
 //! throughput comparison at a fixed p99 SLO.
 //!
-//! Usage: `cargo run --release -p mg-bench --bin serve_study -- [--smoke] [--trace <path>]`
+//! Usage: `cargo run --release -p mg-bench --bin serve_study -- [--smoke] [--trace <path>] [--threads N]`
 //!
 //! * `--smoke`  — tiny model and short trace; seconds, for CI.
 //! * `--trace <path>` — also write a Chrome-trace JSON (open in
 //!   `chrome://tracing` or Perfetto) of one representative run, one
 //!   process lane per simulated worker.
+//! * `--threads N` — pin the parallel layer to N threads; reports are
+//!   bit-identical at any thread count.
 
+use mg_bench::threads;
 use mg_gpusim::DeviceSpec;
 use mg_models::ModelConfig;
 use mg_serve::{BatchPolicy, ServeConfig, ServeReport, ServeSim, StreamPolicy, TrafficConfig};
@@ -18,12 +21,14 @@ use multigrain::Method;
 struct Args {
     smoke: bool,
     trace: Option<String>,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         smoke: false,
         trace: None,
+        threads: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -31,6 +36,10 @@ fn parse_args() -> Result<Args, String> {
             "--smoke" => args.smoke = true,
             "--trace" => {
                 args.trace = Some(it.next().ok_or("--trace needs a path")?);
+            }
+            "--threads" => {
+                let n = it.next().ok_or("--threads needs a count")?;
+                args.threads = Some(n.parse().map_err(|_| format!("bad thread count: {n}"))?);
             }
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -80,6 +89,7 @@ fn main() {
             std::process::exit(2);
         }
     };
+    threads::init_threads(args.threads);
 
     // Full-mode rates span sub-saturation (wait-budget-dominated) to
     // well past pool capacity, so the curves show both regimes. The SLO

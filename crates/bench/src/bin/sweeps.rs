@@ -1,17 +1,56 @@
 //! Design-space sweeps: how Multigrain's advantage moves with the coarse
 //! block size and the sequence length. These locate the crossovers that
 //! the paper's fixed configurations only sample.
+//!
+//! Each sweep point (pattern build + three planned, timed runs) is
+//! independent of every other, so the points run on the parallel layer
+//! and are collected in sweep order — the printed tables are
+//! bit-identical at any thread count.
 
 use mg_bench::runners::{HEADS, HEAD_DIM, SEED};
 use mg_bench::Table;
 use mg_gpusim::{DeviceSpec, Gpu};
 use mg_patterns::presets;
+use mg_tensor::par;
 use multigrain::{Attention, AttentionProblem, Method};
+
+/// Times all three methods on `pattern` with the given block size.
+fn time_methods(
+    spec: &DeviceSpec,
+    pattern: &mg_patterns::CompoundPattern,
+    block: usize,
+) -> Vec<f64> {
+    Method::ALL
+        .iter()
+        .map(|&method| {
+            let prob = AttentionProblem::new(pattern.clone(), HEAD_DIM, 1, HEADS, block);
+            let attn = Attention::plan(method, prob).expect("plans");
+            let mut gpu = Gpu::new(spec.clone());
+            attn.run_timed(&mut gpu).total()
+        })
+        .collect()
+}
 
 fn main() {
     let spec = DeviceSpec::a100();
 
     // Sweep 1: block size, fixed L = 4096, L+S pattern.
+    let blocks = [16usize, 32, 64, 128];
+    let rows = par::map_indexed(blocks.len(), |i| {
+        let block = blocks[i];
+        let pattern = presets::figure9_patterns(4096, block, SEED)
+            .into_iter()
+            .next()
+            .expect("L+S");
+        let prob = AttentionProblem::new(pattern.clone(), HEAD_DIM, 1, HEADS, block);
+        let attn = Attention::plan(Method::Multigrain, prob).expect("plans");
+        let fill = attn
+            .sliced()
+            .and_then(|s| s.coarse())
+            .map(|c| c.fill_ratio() * 100.0)
+            .unwrap_or(0.0);
+        (block, time_methods(&spec, &pattern, block), fill)
+    });
     let mut t = Table::new(
         "Sweep — coarse block size (L+S pattern, L=4096, A100)",
         &[
@@ -24,24 +63,7 @@ fn main() {
             "coarse fill %",
         ],
     );
-    for block in [16usize, 32, 64, 128] {
-        let pattern = presets::figure9_patterns(4096, block, SEED)
-            .into_iter()
-            .next()
-            .expect("L+S");
-        let mut times = Vec::new();
-        let mut fill = 0.0;
-        for method in Method::ALL {
-            let prob = AttentionProblem::new(pattern.clone(), HEAD_DIM, 1, HEADS, block);
-            let attn = Attention::plan(method, prob).expect("plans");
-            if let Some(sliced) = attn.sliced() {
-                if let Some(coarse) = sliced.coarse() {
-                    fill = coarse.fill_ratio() * 100.0;
-                }
-            }
-            let mut gpu = Gpu::new(spec.clone());
-            times.push(attn.run_timed(&mut gpu).total());
-        }
+    for (block, times, fill) in rows {
         t.push(vec![
             block.to_string(),
             format!("{:.1}", times[0] * 1e6),
@@ -57,6 +79,15 @@ fn main() {
     println!("less to chew on; the paper settles on 64.\n");
 
     // Sweep 2: sequence length, fixed block 64.
+    let seq_lens = [512usize, 1024, 2048, 4096, 8192];
+    let rows = par::map_indexed(seq_lens.len(), |i| {
+        let seq_len = seq_lens[i];
+        let pattern = presets::figure9_patterns(seq_len, 64, SEED)
+            .into_iter()
+            .nth(4)
+            .expect("L+S+G");
+        (seq_len, time_methods(&spec, &pattern, 64))
+    });
     let mut t = Table::new(
         "Sweep — sequence length (L+S+G pattern, block 64, A100)",
         &[
@@ -68,18 +99,7 @@ fn main() {
             "vs S",
         ],
     );
-    for seq_len in [512usize, 1024, 2048, 4096, 8192] {
-        let pattern = presets::figure9_patterns(seq_len, 64, SEED)
-            .into_iter()
-            .nth(4)
-            .expect("L+S+G");
-        let mut times = Vec::new();
-        for method in Method::ALL {
-            let prob = AttentionProblem::new(pattern.clone(), HEAD_DIM, 1, HEADS, 64);
-            let attn = Attention::plan(method, prob).expect("plans");
-            let mut gpu = Gpu::new(spec.clone());
-            times.push(attn.run_timed(&mut gpu).total());
-        }
+    for (seq_len, times) in rows {
         t.push(vec![
             seq_len.to_string(),
             format!("{:.1}", times[0] * 1e6),

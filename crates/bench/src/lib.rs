@@ -10,5 +10,6 @@
 
 pub mod report;
 pub mod runners;
+pub mod threads;
 
 pub use report::{geomean, Band, Table};

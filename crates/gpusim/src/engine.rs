@@ -196,6 +196,42 @@ fn kernel_time_on(spec: &DeviceSpec, profile: &KernelProfile, sms: usize) -> (f6
     (duration + spec.launch_overhead_s, busy_fraction, bound)
 }
 
+/// Times one kernel running alone on the whole device, without touching
+/// any [`Gpu`] state. The record's clock starts at zero; it is otherwise
+/// identical to `Gpu::new(spec).run_solo(profile)`.
+pub fn time_kernel(spec: &DeviceSpec, profile: &KernelProfile) -> KernelRecord {
+    let (duration, busy, bound) = kernel_time_on(spec, profile, spec.sm_count);
+    KernelRecord {
+        name: profile.name.clone(),
+        stream: DEFAULT_STREAM,
+        start: 0.0,
+        end: duration,
+        dram_bytes: profile.total_dram_bytes(),
+        tb_count: profile.tb_count(),
+        theoretical_occupancy: theoretical_occupancy(spec, &profile.launch),
+        achieved_over_theoretical: busy,
+        bound,
+    }
+}
+
+/// Times a batch of independent kernel profiles, each alone on the whole
+/// device, returning records in input order.
+///
+/// With the `parallel` feature enabled the profiles are timed on multiple
+/// threads; each kernel's list schedule still runs serially, so the
+/// records are bit-identical to calling [`time_kernel`] in a loop.
+pub fn time_kernels_par(spec: &DeviceSpec, profiles: &[KernelProfile]) -> Vec<KernelRecord> {
+    #[cfg(feature = "parallel")]
+    {
+        use rayon::prelude::*;
+        profiles.par_iter().map(|p| time_kernel(spec, p)).collect()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        profiles.iter().map(|p| time_kernel(spec, p)).collect()
+    }
+}
+
 /// Splits `capacity` units among demands: each claimant gets at most its
 /// demand and at least 1; surplus is redistributed to still-hungry
 /// claimants (waterfilling).

@@ -35,6 +35,9 @@ pub mod occupancy;
 mod timeline;
 
 pub use device::DeviceSpec;
-pub use engine::{busy_seconds, BoundKind, Gpu, KernelId, KernelRecord, StreamId, DEFAULT_STREAM};
+pub use engine::{
+    busy_seconds, time_kernel, time_kernels_par, BoundKind, Gpu, KernelId, KernelRecord, StreamId,
+    DEFAULT_STREAM,
+};
 pub use kernel::{CacheStats, KernelProfile, LaunchConfig, TbWork};
 pub use timeline::{export_chrome_trace, export_chrome_trace_grouped, render_timeline};

@@ -17,7 +17,7 @@ use crate::cache::{apply_cache_model, apply_writeback_filter, CacheHints};
 use crate::{tuning, AttnDims};
 use mg_gpusim::{DeviceSpec, KernelProfile, LaunchConfig, TbWork};
 use mg_sparse::Bsr;
-use mg_tensor::{dot, Half, Matrix};
+use mg_tensor::{dot, par, Half, Matrix};
 
 /// Thread-block mapping for the coarse kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,23 +52,23 @@ pub fn coarse_sddmm_profile(
     let launch = coarse_launch(b, dh);
     let mut tbs = Vec::new();
     let per_instance: Vec<TbWork> = match mapping {
-        CoarseMapping::BlockRowPerTb => (0..structure.block_rows())
-            .filter(|&br| structure.block_row_nnz(br) > 0)
-            .map(|br| {
-                let n = structure.block_row_nnz(br) as u64;
-                let (b, dh) = (b as u64, dh as u64);
-                TbWork {
-                    tensor_macs: n * b * b * dh,
-                    cuda_flops: n * b * b, // epilogue converts/stores
-                    sfu_ops: 0,
-                    // LHS row block once (shared-memory reuse), RHS per block.
-                    l2_read: b * dh * 2 + n * b * dh * 2 + (n + 2) * 4,
-                    dram_read: 0,
-                    dram_write: n * b * b * 2,
-                    stall_cycles: tuning::PIPELINED_STALL_CYCLES,
-                }
+        CoarseMapping::BlockRowPerTb => par::map_indexed(structure.block_rows(), |br| {
+            let n = structure.block_row_nnz(br) as u64;
+            let (b, dh) = (b as u64, dh as u64);
+            (n > 0).then(|| TbWork {
+                tensor_macs: n * b * b * dh,
+                cuda_flops: n * b * b, // epilogue converts/stores
+                sfu_ops: 0,
+                // LHS row block once (shared-memory reuse), RHS per block.
+                l2_read: b * dh * 2 + n * b * dh * 2 + (n + 2) * 4,
+                dram_read: 0,
+                dram_write: n * b * b * 2,
+                stall_cycles: tuning::PIPELINED_STALL_CYCLES,
             })
-            .collect(),
+        })
+        .into_iter()
+        .flatten()
+        .collect(),
         CoarseMapping::BlockPerTb => (0..structure.nnz_blocks())
             .map(|_| {
                 let (b, dh) = (b as u64, dh as u64);
@@ -125,19 +125,23 @@ pub fn coarse_sddmm_compute(
     assert_eq!(k.rows(), structure.cols(), "K rows mismatch");
     assert_eq!(q.cols(), k.cols(), "head dimension mismatch");
     let b = structure.block_size();
+    let sq = b * b;
+    // Stored blocks are independent: map block index -> owning block row
+    // once, then fill each block's contiguous value slice in parallel.
+    let block_rows_of: Vec<usize> = (0..structure.block_rows())
+        .flat_map(|br| structure.block_row_range(br).map(move |_| br))
+        .collect();
     let mut out = structure.clone();
-    for br in 0..structure.block_rows() {
-        for i in structure.block_row_range(br) {
-            let bc = structure.block_col_indices()[i];
-            let blk = out.block_mut(i);
-            for r in 0..b {
-                for c in 0..b {
-                    let v = dot(q.row(br * b + r), k.row(bc * b + c));
-                    blk[r * b + c] = Half::from_f32(v);
-                }
+    par::for_each_chunk_mut(out.values_mut(), sq, |i, blk| {
+        let br = block_rows_of[i];
+        let bc = structure.block_col_indices()[i];
+        for r in 0..b {
+            for c in 0..b {
+                let v = dot(q.row(br * b + r), k.row(bc * b + c));
+                blk[r * b + c] = Half::from_f32(v);
             }
         }
-    }
+    });
     out
 }
 
@@ -156,35 +160,39 @@ pub fn coarse_spmm_profile(
     // One output tile (block-row × head_dim) per thread block; tiles along
     // the head dimension when head_dim exceeds the block size.
     let tiles_per_row = dh.div_ceil(b).max(1);
-    let per_instance: Vec<TbWork> = (0..structure.block_rows())
-        .filter(|&br| structure.block_row_nnz(br) > 0)
-        .flat_map(|br| {
-            let n = structure.block_row_nnz(br) as u64;
-            let (bu, dhu) = (b as u64, (dh / tiles_per_row) as u64);
-            let stall = match mapping {
-                CoarseMapping::BlockRowPerTb => tuning::PIPELINED_STALL_CYCLES,
-                CoarseMapping::BlockPerTb => {
-                    tuning::PIPELINED_STALL_CYCLES + n * tuning::UNPIPELINED_STALL_PER_ITER
-                }
-            };
-            let extra_meta = match mapping {
-                CoarseMapping::BlockRowPerTb => 0,
-                // Triton keeps BCOO (SDDMM) and BSR (SpMM) metadata both.
-                CoarseMapping::BlockPerTb => n * 8,
-            };
-            std::iter::repeat_with(move || TbWork {
-                tensor_macs: n * bu * bu * dhu,
-                cuda_flops: bu * dhu,
-                sfu_ops: 0,
-                // Each non-zero LHS block + the matching RHS rows.
-                l2_read: n * (bu * bu * 2 + bu * dhu * 2) + (n + 2) * 4 + extra_meta,
-                dram_read: 0,
-                dram_write: bu * dhu * 2,
-                stall_cycles: stall,
-            })
-            .take(tiles_per_row)
+    let per_instance: Vec<TbWork> = par::map_indexed(structure.block_rows(), |br| {
+        let n = structure.block_row_nnz(br) as u64;
+        if n == 0 {
+            return Vec::new();
+        }
+        let (bu, dhu) = (b as u64, (dh / tiles_per_row) as u64);
+        let stall = match mapping {
+            CoarseMapping::BlockRowPerTb => tuning::PIPELINED_STALL_CYCLES,
+            CoarseMapping::BlockPerTb => {
+                tuning::PIPELINED_STALL_CYCLES + n * tuning::UNPIPELINED_STALL_PER_ITER
+            }
+        };
+        let extra_meta = match mapping {
+            CoarseMapping::BlockRowPerTb => 0,
+            // Triton keeps BCOO (SDDMM) and BSR (SpMM) metadata both.
+            CoarseMapping::BlockPerTb => n * 8,
+        };
+        std::iter::repeat_with(move || TbWork {
+            tensor_macs: n * bu * bu * dhu,
+            cuda_flops: bu * dhu,
+            sfu_ops: 0,
+            // Each non-zero LHS block + the matching RHS rows.
+            l2_read: n * (bu * bu * 2 + bu * dhu * 2) + (n + 2) * 4 + extra_meta,
+            dram_read: 0,
+            dram_write: bu * dhu * 2,
+            stall_cycles: stall,
         })
-        .collect();
+        .take(tiles_per_row)
+        .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let mut tbs = Vec::new();
     for _ in 0..dims.instances() {
         tbs.extend_from_slice(&per_instance);
@@ -221,21 +229,29 @@ pub fn coarse_spmm_compute(p: &Bsr<Half>, v: &Matrix<Half>) -> Matrix<Half> {
     let b = p.block_size();
     let dh = v.cols();
     let mut acc = Matrix::<f32>::zeros(p.rows(), dh);
-    for (br, bc, elems) in p.iter_blocks() {
-        for r in 0..b {
-            let out_row = acc.row_mut(br * b + r);
-            for c in 0..b {
-                let pv = elems[r * b + c].to_f32();
-                if pv == 0.0 {
-                    continue;
-                }
-                let v_row = v.row(bc * b + c);
-                for (d, out_val) in out_row.iter_mut().enumerate() {
-                    *out_val += pv * v_row[d].to_f32();
+    // A block row's blocks only touch output rows br*b..(br+1)*b, so block
+    // rows parallelize cleanly. Within a block row, blocks accumulate in
+    // ascending block-column order — the same order the serial sweep used,
+    // keeping results bit-identical.
+    par::for_each_chunk_mut(acc.as_mut_slice(), b * dh, |br, out_rows| {
+        for i in p.block_row_range(br) {
+            let bc = p.block_col_indices()[i];
+            let elems = p.block(i);
+            for r in 0..b {
+                let out_row = &mut out_rows[r * dh..(r + 1) * dh];
+                for c in 0..b {
+                    let pv = elems[r * b + c].to_f32();
+                    if pv == 0.0 {
+                        continue;
+                    }
+                    let v_row = v.row(bc * b + c);
+                    for (d, out_val) in out_row.iter_mut().enumerate() {
+                        *out_val += pv * v_row[d].to_f32();
+                    }
                 }
             }
         }
-    }
+    });
     acc.cast()
 }
 

@@ -17,7 +17,7 @@ use crate::cache::{apply_cache_model, apply_writeback_filter, CacheHints};
 use crate::{tuning, AttnDims};
 use mg_gpusim::{DeviceSpec, KernelProfile, LaunchConfig, TbWork};
 use mg_sparse::Csr;
-use mg_tensor::{dot, Half, Matrix};
+use mg_tensor::{dot, par, Half, Matrix};
 
 /// Output mapping of the fine SDDMM kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,26 +97,24 @@ pub fn fine_sddmm_profile(
 ) -> KernelProfile {
     let dh = dims.head_dim as u64;
     let per_instance: Vec<TbWork> = match scheme {
-        FineSddmmScheme::RowSplit => (0..structure.rows())
-            .map(|r| {
-                let n = structure.row_nnz(r) as u64;
-                TbWork {
-                    tensor_macs: 0,
-                    cuda_flops: n * dh * 2 + n * 4,
-                    sfu_ops: 0,
-                    // Q row once (registers), K row + column index per nnz.
-                    l2_read: dh * 2 + n * (dh * 2 + 4) + 8,
-                    dram_read: 0,
-                    dram_write: n * 2,
-                    stall_cycles: tuning::FINE_STALL_CYCLES,
-                }
-            })
-            .collect(),
-        FineSddmmScheme::OneDimTiling => (0..structure.rows())
-            .flat_map(|r| {
-                let n = structure.row_nnz(r);
-                let tiles = n.div_ceil(ONE_DIM_TILE).max(1);
-                (0..tiles).map(move |t| {
+        FineSddmmScheme::RowSplit => par::map_indexed(structure.rows(), |r| {
+            let n = structure.row_nnz(r) as u64;
+            TbWork {
+                tensor_macs: 0,
+                cuda_flops: n * dh * 2 + n * 4,
+                sfu_ops: 0,
+                // Q row once (registers), K row + column index per nnz.
+                l2_read: dh * 2 + n * (dh * 2 + 4) + 8,
+                dram_read: 0,
+                dram_write: n * 2,
+                stall_cycles: tuning::FINE_STALL_CYCLES,
+            }
+        }),
+        FineSddmmScheme::OneDimTiling => par::map_indexed(structure.rows(), |r| {
+            let n = structure.row_nnz(r);
+            let tiles = n.div_ceil(ONE_DIM_TILE).max(1);
+            (0..tiles)
+                .map(move |t| {
                     let real = (n - t * ONE_DIM_TILE).min(ONE_DIM_TILE) as u64;
                     TbWork {
                         tensor_macs: 0,
@@ -130,8 +128,11 @@ pub fn fine_sddmm_profile(
                         stall_cycles: tuning::FINE_STALL_CYCLES,
                     }
                 })
-            })
-            .collect(),
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect(),
     };
     let launch = match scheme {
         FineSddmmScheme::RowSplit => row_split_launch(),
@@ -172,13 +173,25 @@ pub fn fine_sddmm_compute(q: &Matrix<Half>, k: &Matrix<Half>, structure: &Csr<Ha
     assert_eq!(k.rows(), structure.cols(), "K rows mismatch");
     assert_eq!(q.cols(), k.cols(), "head dimension mismatch");
     let mut out = structure.clone();
-    for r in 0..structure.rows() {
-        let range = structure.row_range(r);
-        for i in range {
-            let c = structure.col_indices()[i];
-            out.values_mut()[i] = Half::from_f32(dot(q.row(r), k.row(c)));
+    // Each CSR row owns a contiguous run of the value array; split there
+    // and fill the runs in parallel.
+    let rows = structure.rows();
+    let bounds: Vec<usize> = (0..=rows)
+        .map(|r| {
+            if r < rows {
+                structure.row_range(r).start
+            } else {
+                structure.nnz()
+            }
+        })
+        .collect();
+    par::for_each_part_mut(out.values_mut(), &bounds, |r, vals| {
+        let base = bounds[r];
+        for (off, slot) in vals.iter_mut().enumerate() {
+            let c = structure.col_indices()[base + off];
+            *slot = Half::from_f32(dot(q.row(r), k.row(c)));
         }
-    }
+    });
     out
 }
 
@@ -192,21 +205,19 @@ pub fn fine_spmm_profile(
     name: &str,
 ) -> KernelProfile {
     let dh = dims.head_dim as u64;
-    let per_instance: Vec<TbWork> = (0..structure.rows())
-        .map(|r| {
-            let n = structure.row_nnz(r) as u64;
-            TbWork {
-                tensor_macs: 0,
-                cuda_flops: n * dh * 2,
-                sfu_ops: 0,
-                // P value + column index + V row per non-zero.
-                l2_read: n * (2 + 4 + dh * 2) + 8,
-                dram_read: 0,
-                dram_write: dh * 2,
-                stall_cycles: tuning::FINE_STALL_CYCLES,
-            }
-        })
-        .collect();
+    let per_instance: Vec<TbWork> = par::map_indexed(structure.rows(), |r| {
+        let n = structure.row_nnz(r) as u64;
+        TbWork {
+            tensor_macs: 0,
+            cuda_flops: n * dh * 2,
+            sfu_ops: 0,
+            // P value + column index + V row per non-zero.
+            l2_read: n * (2 + 4 + dh * 2) + 8,
+            dram_read: 0,
+            dram_write: dh * 2,
+            stall_cycles: tuning::FINE_STALL_CYCLES,
+        }
+    });
     let mut tbs = Vec::new();
     for _ in 0..dims.instances() {
         tbs.extend_from_slice(&per_instance);
@@ -241,8 +252,9 @@ pub fn fine_spmm_compute(p: &Csr<Half>, v: &Matrix<Half>) -> Matrix<Half> {
     assert_eq!(v.rows(), p.cols(), "V rows mismatch");
     let dh = v.cols();
     let mut acc = Matrix::<f32>::zeros(p.rows(), dh);
-    for r in 0..p.rows() {
-        let out_row = acc.row_mut(r);
+    // Output rows are independent; per-row accumulation order follows the
+    // CSR storage order either way, so parallel runs are bit-identical.
+    par::for_each_chunk_mut(acc.as_mut_slice(), dh, |r, out_row| {
         for i in p.row_range(r) {
             let c = p.col_indices()[i];
             let pv = p.values()[i].to_f32();
@@ -254,7 +266,7 @@ pub fn fine_spmm_compute(p: &Csr<Half>, v: &Matrix<Half>) -> Matrix<Half> {
                 *out_val += pv * v_row[d].to_f32();
             }
         }
-    }
+    });
     acc.cast()
 }
 

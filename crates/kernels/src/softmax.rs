@@ -19,7 +19,7 @@ use crate::AttnDims;
 use mg_gpusim::{DeviceSpec, KernelProfile, LaunchConfig, TbWork};
 use mg_patterns::BlockedPattern;
 use mg_sparse::{Bsr, Csr};
-use mg_tensor::{Half, Matrix};
+use mg_tensor::{par, Half, Matrix};
 
 fn softmax_launch() -> LaunchConfig {
     LaunchConfig {
@@ -51,34 +51,34 @@ pub fn compound_softmax_profile(
 ) -> KernelProfile {
     let block = coarse.map_or(64, |c| c.structure.block_size());
     let block_rows = dims.seq_len.div_ceil(block);
-    let per_instance: Vec<TbWork> = (0..block_rows)
-        .map(|br| {
-            let coarse_elems: u64 = coarse.map_or(0, |c| {
-                if br < c.structure.block_rows() {
-                    (c.structure.block_row_nnz(br) * block * block) as u64
-                } else {
-                    0
-                }
-            });
-            let fine_elems: u64 = fine.map_or(0, |f| {
-                (br * block..((br + 1) * block).min(f.rows()))
-                    .map(|r| f.row_nnz(r) as u64)
-                    .sum()
-            });
-            let elems = coarse_elems + fine_elems;
-            TbWork {
-                tensor_macs: 0,
-                cuda_flops: elems * COMPOUND_FLOPS,
-                sfu_ops: elems,
-                // Values + coarse-aligned mask (2B) + per-block metadata.
-                l2_read: elems * COMPOUND_READ_B + coarse_elems * 2 + 64,
-                dram_read: 0,
-                dram_write: elems * 2,
-                stall_cycles: 0,
+    let per_instance: Vec<TbWork> = par::map_indexed(block_rows, |br| {
+        let coarse_elems: u64 = coarse.map_or(0, |c| {
+            if br < c.structure.block_rows() {
+                (c.structure.block_row_nnz(br) * block * block) as u64
+            } else {
+                0
             }
-        })
-        .filter(|w| w.cuda_flops > 0)
-        .collect();
+        });
+        let fine_elems: u64 = fine.map_or(0, |f| {
+            (br * block..((br + 1) * block).min(f.rows()))
+                .map(|r| f.row_nnz(r) as u64)
+                .sum()
+        });
+        let elems = coarse_elems + fine_elems;
+        TbWork {
+            tensor_macs: 0,
+            cuda_flops: elems * COMPOUND_FLOPS,
+            sfu_ops: elems,
+            // Values + coarse-aligned mask (2B) + per-block metadata.
+            l2_read: elems * COMPOUND_READ_B + coarse_elems * 2 + 64,
+            dram_read: 0,
+            dram_write: elems * 2,
+            stall_cycles: 0,
+        }
+    })
+    .into_iter()
+    .filter(|w| w.cuda_flops > 0)
+    .collect();
     finish_softmax_profile(spec, dims, per_instance, name)
 }
 
@@ -90,20 +90,18 @@ pub fn element_softmax_profile(
     structure: &Csr<Half>,
     name: &str,
 ) -> KernelProfile {
-    let per_instance: Vec<TbWork> = (0..structure.rows())
-        .map(|r| {
-            let n = structure.row_nnz(r) as u64;
-            TbWork {
-                tensor_macs: 0,
-                cuda_flops: n * ELEMENT_FLOPS,
-                sfu_ops: n,
-                l2_read: n * ELEMENT_READ_B + 8,
-                dram_read: 0,
-                dram_write: n * ELEMENT_WRITE_B,
-                stall_cycles: 0,
-            }
-        })
-        .collect();
+    let per_instance: Vec<TbWork> = par::map_indexed(structure.rows(), |r| {
+        let n = structure.row_nnz(r) as u64;
+        TbWork {
+            tensor_macs: 0,
+            cuda_flops: n * ELEMENT_FLOPS,
+            sfu_ops: n,
+            l2_read: n * ELEMENT_READ_B + 8,
+            dram_read: 0,
+            dram_write: n * ELEMENT_WRITE_B,
+            stall_cycles: 0,
+        }
+    });
     finish_softmax_profile(spec, dims, per_instance, name)
 }
 
@@ -116,22 +114,22 @@ pub fn blocked_softmax_profile(
     name: &str,
 ) -> KernelProfile {
     let block = blocked.structure.block_size();
-    let per_instance: Vec<TbWork> = (0..blocked.structure.block_rows())
-        .map(|br| {
-            let stored = (blocked.structure.block_row_nnz(br) * block * block) as u64;
-            TbWork {
-                tensor_macs: 0,
-                cuda_flops: stored * COMPOUND_FLOPS,
-                sfu_ops: stored, // exp(-inf) still occupies the SFU
-                // Values over the passes + mask per stored element.
-                l2_read: stored * (COMPOUND_READ_B + 2) + 64,
-                dram_read: 0,
-                dram_write: stored * 2,
-                stall_cycles: 0,
-            }
-        })
-        .filter(|w| w.cuda_flops > 0)
-        .collect();
+    let per_instance: Vec<TbWork> = par::map_indexed(blocked.structure.block_rows(), |br| {
+        let stored = (blocked.structure.block_row_nnz(br) * block * block) as u64;
+        TbWork {
+            tensor_macs: 0,
+            cuda_flops: stored * COMPOUND_FLOPS,
+            sfu_ops: stored, // exp(-inf) still occupies the SFU
+            // Values over the passes + mask per stored element.
+            l2_read: stored * (COMPOUND_READ_B + 2) + 64,
+            dram_read: 0,
+            dram_write: stored * 2,
+            stall_cycles: 0,
+        }
+    })
+    .into_iter()
+    .filter(|w| w.cuda_flops > 0)
+    .collect();
     finish_softmax_profile(spec, dims, per_instance, name)
 }
 
@@ -220,36 +218,150 @@ pub fn compound_softmax_compute(
     let mut fine_out = fine.cloned();
 
     let block = coarse.map_or(1, |(b, _)| b.block_size());
-    for r in 0..rows {
-        // Pass 1: max over valid elements of the row.
-        let mut max = f32::NEG_INFINITY;
-        for_each_row_element(coarse, fine, r, block, |v, valid| {
-            if valid {
-                max = max.max(v * scale);
-            }
-        });
-        // Pass 2: exponential sum.
-        let mut sum = 0.0f32;
-        for_each_row_element(coarse, fine, r, block, |v, valid| {
-            if valid {
-                sum += (v * scale - max).exp();
-            }
-        });
-        let inv = if sum > 0.0 { 1.0 / sum } else { 0.0 };
-        // Pass 3: normalize and write back.
-        write_row_softmax(
-            coarse,
-            fine,
-            coarse_out.as_mut(),
-            fine_out.as_mut(),
-            r,
-            block,
-            scale,
-            max,
-            inv,
-        );
+    // Rows in the same block row share BSR blocks, so the parallel unit is
+    // a block-row *group* of `block` consecutive rows: each group owns a
+    // contiguous slice of the coarse value storage (its block row) and of
+    // the fine value storage (its CSR rows). Per-row reduction order is
+    // unchanged, so results are bit-identical to the serial sweep.
+    let groups = rows.div_ceil(block.max(1));
+    let sq = block * block;
+    let coarse_bounds: Vec<usize> = coarse
+        .map(|(b, _)| {
+            (0..=groups)
+                .map(|g| b.block_row_offsets()[g] * sq)
+                .collect()
+        })
+        .unwrap_or_default();
+    let fine_bounds: Vec<usize> = fine
+        .map(|f| {
+            (0..=groups)
+                .map(|g| {
+                    if g < groups {
+                        f.row_range(g * block).start
+                    } else {
+                        f.nnz()
+                    }
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let group_rows = |g: usize| (g * block)..((g + 1) * block).min(rows);
+    match (&mut coarse_out, &mut fine_out) {
+        (Some(co), Some(fo)) => {
+            par::for_each_part_mut2(
+                co.values_mut(),
+                &coarse_bounds,
+                fo.values_mut(),
+                &fine_bounds,
+                |g, cvals, fvals| {
+                    for r in group_rows(g) {
+                        softmax_one_row(
+                            coarse,
+                            fine,
+                            Some((cvals, coarse_bounds[g] / sq)),
+                            Some((fvals, fine_bounds[g])),
+                            r,
+                            block,
+                            scale,
+                        );
+                    }
+                },
+            );
+        }
+        (Some(co), None) => {
+            par::for_each_part_mut(co.values_mut(), &coarse_bounds, |g, cvals| {
+                for r in group_rows(g) {
+                    softmax_one_row(
+                        coarse,
+                        fine,
+                        Some((cvals, coarse_bounds[g] / sq)),
+                        None,
+                        r,
+                        block,
+                        scale,
+                    );
+                }
+            });
+        }
+        (None, Some(fo)) => {
+            par::for_each_part_mut(fo.values_mut(), &fine_bounds, |g, fvals| {
+                for r in group_rows(g) {
+                    softmax_one_row(
+                        coarse,
+                        fine,
+                        None,
+                        Some((fvals, fine_bounds[g])),
+                        r,
+                        block,
+                        scale,
+                    );
+                }
+            });
+        }
+        (None, None) => {}
     }
     (coarse_out, fine_out)
+}
+
+/// Runs the three safe-softmax passes over one row, writing the results
+/// into the caller's slices of the output value storage.
+///
+/// `coarse_vals` is `(group's block values, index of the group's first
+/// stored block)`; `fine_vals` is `(group's CSR values, index of the
+/// group's first stored element)`.
+fn softmax_one_row(
+    coarse: Option<(&Bsr<Half>, &[f32])>,
+    fine: Option<&Csr<Half>>,
+    coarse_vals: Option<(&mut [Half], usize)>,
+    fine_vals: Option<(&mut [Half], usize)>,
+    r: usize,
+    block: usize,
+    scale: f32,
+) {
+    // Pass 1: max over valid elements of the row.
+    let mut max = f32::NEG_INFINITY;
+    for_each_row_element(coarse, fine, r, block, |v, valid| {
+        if valid {
+            max = max.max(v * scale);
+        }
+    });
+    // Pass 2: exponential sum.
+    let mut sum = 0.0f32;
+    for_each_row_element(coarse, fine, r, block, |v, valid| {
+        if valid {
+            sum += (v * scale - max).exp();
+        }
+    });
+    let inv = if sum > 0.0 { 1.0 / sum } else { 0.0 };
+    // Pass 3: normalize and write back.
+    let sq = block * block;
+    if let (Some((bsr, mask)), Some((vals, first_block))) = (coarse, coarse_vals) {
+        let br = r / block;
+        let lr = r % block;
+        for i in bsr.block_row_range(br) {
+            let src = bsr.block(i);
+            for lc in 0..block {
+                let valid = mask[i * sq + lr * block + lc] == 0.0;
+                let out = if valid && inv > 0.0 {
+                    Half::from_f32((src[lr * block + lc].to_f32() * scale - max).exp() * inv)
+                } else {
+                    Half::ZERO
+                };
+                vals[(i - first_block) * sq + lr * block + lc] = out;
+            }
+        }
+    }
+    if let (Some(csr), Some((vals, base))) = (fine, fine_vals) {
+        for i in csr.row_range(r) {
+            let v = csr.values()[i].to_f32();
+            vals[i - base] = if inv > 0.0 {
+                Half::from_f32((v * scale - max).exp() * inv)
+            } else {
+                Half::ZERO
+            };
+        }
+    }
 }
 
 /// Visits every stored element of row `r` across both parts.
@@ -275,52 +387,6 @@ fn for_each_row_element(
     if let Some(csr) = fine {
         for i in csr.row_range(r) {
             f(csr.values()[i].to_f32(), true);
-        }
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn write_row_softmax(
-    coarse: Option<(&Bsr<Half>, &[f32])>,
-    fine: Option<&Csr<Half>>,
-    coarse_out: Option<&mut Bsr<Half>>,
-    fine_out: Option<&mut Csr<Half>>,
-    r: usize,
-    block: usize,
-    scale: f32,
-    max: f32,
-    inv: f32,
-) {
-    if let (Some((bsr, mask)), Some(out)) = (coarse, coarse_out) {
-        let br = r / block;
-        let lr = r % block;
-        let sq = block * block;
-        for i in bsr.block_row_range(br) {
-            let src = bsr.block(i);
-            let vals: Vec<Half> = (0..block)
-                .map(|lc| {
-                    let valid = mask[i * sq + lr * block + lc] == 0.0;
-                    if valid && inv > 0.0 {
-                        Half::from_f32((src[lr * block + lc].to_f32() * scale - max).exp() * inv)
-                    } else {
-                        Half::ZERO
-                    }
-                })
-                .collect();
-            let dst = out.block_mut(i);
-            for (lc, v) in vals.into_iter().enumerate() {
-                dst[lr * block + lc] = v;
-            }
-        }
-    }
-    if let (Some(csr), Some(out)) = (fine, fine_out) {
-        for i in csr.row_range(r) {
-            let v = csr.values()[i].to_f32();
-            out.values_mut()[i] = if inv > 0.0 {
-                Half::from_f32((v * scale - max).exp() * inv)
-            } else {
-                Half::ZERO
-            };
         }
     }
 }

@@ -17,7 +17,7 @@ use multigrain::{Attention, AttentionProblem, Method};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Key identifying one cached plan: the method, a structural signature of
 /// the canonical pattern, the bucketed valid length, and a hash of the
@@ -119,17 +119,21 @@ pub fn canonicalize(
         } else {
             canon_prefix + stride
         };
+        let mut comb = Vec::new();
         while pos < valid_len {
-            special.push(pos);
+            comb.push(pos);
             pos += stride;
         }
-    } else if let Some(&lone) = spread.first() {
-        // A single stray marker: bucket it to a multiple of 8 clear of
-        // the prefix; drop it if no such slot exists in the valid range.
-        let slot = (lone / 8 * 8).max(canon_prefix + 8);
-        if slot < valid_len {
-            special.push(slot);
+        if comb.len() >= 2 {
+            special.extend(comb);
+        } else if let Some(&tooth) = comb.first() {
+            // A comb with a single tooth in range reads as a lone marker
+            // on the next pass, so it must be bucketed by the lone-marker
+            // rule *now* or canonicalization would not be idempotent.
+            push_lone_marker(&mut special, tooth, canon_prefix, valid_len);
         }
+    } else if let Some(&lone) = spread.first() {
+        push_lone_marker(&mut special, lone, canon_prefix, valid_len);
     }
 
     WorkloadSample {
@@ -138,15 +142,32 @@ pub fn canonicalize(
     }
 }
 
+/// Buckets a lone spread marker to a multiple of 8 clear of the prefix;
+/// drops it when no such slot fits in the valid range. Every slot this
+/// rule produces is a fixed point of it, which keeps [`canonicalize`]
+/// idempotent.
+fn push_lone_marker(
+    special: &mut Vec<usize>,
+    marker: usize,
+    canon_prefix: usize,
+    valid_len: usize,
+) {
+    let slot = (marker / 8 * 8).max(canon_prefix + 8);
+    if slot < valid_len {
+        special.push(slot);
+    }
+}
+
 /// An LRU cache of built [`Attention`] plans keyed by [`PlanKey`].
 ///
-/// Plans are shared out as `Rc<Attention>`: every request whose canonical
-/// form matches executes the same plan object.
+/// Plans are shared out as `Arc<Attention>`: every request whose
+/// canonical form matches executes the same plan object, and the handle
+/// can cross into the dispatcher's parallel worker-stepping threads.
 pub struct PlanCache {
     model: SparseTransformer,
     capacity: usize,
     len_bucket: usize,
-    entries: HashMap<PlanKey, (Rc<Attention>, u64)>,
+    entries: HashMap<PlanKey, (Arc<Attention>, u64)>,
     tick: u64,
     stats: CacheStats,
 }
@@ -192,7 +213,7 @@ impl PlanCache {
     }
 
     /// Returns the plan for `request`, building and inserting it on miss.
-    pub fn get_or_plan(&mut self, request: &Request) -> Result<Rc<Attention>, SparseError> {
+    pub fn get_or_plan(&mut self, request: &Request) -> Result<Arc<Attention>, SparseError> {
         self.get_or_plan_sample(request.method, &request.sample)
     }
 
@@ -201,17 +222,17 @@ impl PlanCache {
         &mut self,
         method: Method,
         sample: &WorkloadSample,
-    ) -> Result<Rc<Attention>, SparseError> {
+    ) -> Result<Arc<Attention>, SparseError> {
         let key = self.key_for(method, sample);
         self.tick += 1;
         if let Some((plan, last_used)) = self.entries.get_mut(&key) {
             self.stats.hits += 1;
             *last_used = self.tick;
-            return Ok(Rc::clone(plan));
+            return Ok(Arc::clone(plan));
         }
         self.stats.misses += 1;
         let canon = canonicalize(sample, self.model.config().max_seq_len, self.len_bucket);
-        let plan = Rc::new(self.model.plan_attention(method, &canon, 1)?);
+        let plan = Arc::new(self.model.plan_attention(method, &canon, 1)?);
         if self.entries.len() >= self.capacity {
             let oldest = self
                 .entries
@@ -222,7 +243,7 @@ impl PlanCache {
             self.entries.remove(&oldest);
             self.stats.evictions += 1;
         }
-        self.entries.insert(key, (Rc::clone(&plan), self.tick));
+        self.entries.insert(key, (Arc::clone(&plan), self.tick));
         Ok(plan)
     }
 
@@ -276,6 +297,58 @@ mod tests {
             .filter(|&t| t >= 8)
             .collect();
         assert!(spread.windows(2).all(|w| w[1] - w[0] == 16), "{spread:?}");
+    }
+
+    #[test]
+    fn single_tooth_combs_are_bucketed_like_lone_markers() {
+        // Two spread markers whose comb has exactly one tooth in range:
+        // gap 4 -> stride 4, comb starts at 8 + 4 = 12, next tooth 16 is
+        // out of range. A second pass sees [12] as a lone marker and
+        // buckets it to slot 16 >= valid_len, dropping it — so before the
+        // fix the first pass and second pass disagreed.
+        let sample = WorkloadSample {
+            valid_len: 16,
+            special_tokens: vec![0, 1, 2, 3, 4, 5, 6, 7, 9, 13],
+        };
+        let once = canonicalize(&sample, 64, 16);
+        let twice = canonicalize(&once, 64, 16);
+        assert_eq!(once, twice, "canonicalize must be idempotent");
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_over_many_layouts() {
+        // Deterministic sweep over marker layouts, lengths, and buckets:
+        // canonical forms must be fixed points, or near-identical inputs
+        // ping-pong between cache keys instead of sharing a plan.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move |bound: usize| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as usize) % bound.max(1)
+        };
+        for _ in 0..2000 {
+            let max_seq_len = 256;
+            let valid_len = 1 + next(max_seq_len);
+            let prefix = next(12);
+            let mut special: Vec<usize> = (0..prefix).collect();
+            let mut pos = prefix;
+            for _ in 0..next(6) {
+                pos += 1 + next(40);
+                if pos < max_seq_len {
+                    special.push(pos);
+                }
+            }
+            let sample = WorkloadSample {
+                valid_len,
+                special_tokens: special,
+            };
+            for bucket in [1, 8, 32] {
+                let once = canonicalize(&sample, max_seq_len, bucket);
+                let twice = canonicalize(&once, max_seq_len, bucket);
+                assert_eq!(once, twice, "not a fixed point: {sample:?} bucket {bucket}");
+            }
+        }
     }
 
     #[test]

@@ -10,8 +10,9 @@ use crate::batch::Batch;
 use crate::cache::PlanCache;
 use mg_gpusim::{DeviceSpec, Gpu, KernelRecord};
 use mg_sparse::SparseError;
+use mg_tensor::par;
 use multigrain::{Attention, Op};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// How a dispatched batch uses the device's streams.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +62,20 @@ struct Worker {
     free_at: f64,
 }
 
+/// One planned batch bound for a specific worker: everything the worker
+/// needs to execute it without touching shared mutable state.
+struct Assignment {
+    batch_idx: usize,
+    admitted_s: f64,
+    request_ids: Vec<usize>,
+    plans: Vec<Arc<Attention>>,
+    cache_hits: Vec<bool>,
+}
+
+/// A worker, its share of a dispatch group, and the outcomes it produced
+/// (tagged with the batch's index in the group).
+type WorkUnit = (Worker, Vec<Assignment>, Vec<(usize, BatchOutcome)>);
+
 /// Round-robin dispatcher over `workers` simulated devices.
 pub struct Dispatcher {
     workers: Vec<Worker>,
@@ -108,41 +123,100 @@ impl Dispatcher {
         batch: &Batch,
         cache: &mut PlanCache,
     ) -> Result<BatchOutcome, SparseError> {
-        let worker_idx = self.next;
-        self.next = (self.next + 1) % self.workers.len();
+        let mut outcomes = self.dispatch_many(std::slice::from_ref(batch), cache)?;
+        Ok(outcomes.pop().expect("one batch in, one outcome out"))
+    }
 
-        let mut plans: Vec<Rc<Attention>> = Vec::with_capacity(batch.requests.len());
-        let mut cache_hits = Vec::with_capacity(batch.requests.len());
-        for request in &batch.requests {
-            let hits_before = cache.stats().hits;
-            plans.push(cache.get_or_plan(request)?);
-            cache_hits.push(cache.stats().hits > hits_before);
+    /// Executes a group of batches released at the same simulated event,
+    /// bit-identically to dispatching them one at a time in slice order.
+    ///
+    /// Planning runs serially in admission order — the LRU cache is
+    /// shared mutable state and its hit/evict sequence is part of the
+    /// deterministic contract. Worker stepping, the expensive part, then
+    /// runs with one task per worker: each worker owns its [`Gpu`] and
+    /// replays its share of the batches sequentially, so the per-worker
+    /// timeline (and thus every outcome) is independent of thread count.
+    pub fn dispatch_many(
+        &mut self,
+        batches: &[Batch],
+        cache: &mut PlanCache,
+    ) -> Result<Vec<BatchOutcome>, SparseError> {
+        if batches.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut queues: Vec<Vec<Assignment>> =
+            (0..self.workers.len()).map(|_| Vec::new()).collect();
+        for (batch_idx, batch) in batches.iter().enumerate() {
+            let worker_idx = self.next;
+            self.next = (self.next + 1) % self.workers.len();
+            let mut plans = Vec::with_capacity(batch.requests.len());
+            let mut cache_hits = Vec::with_capacity(batch.requests.len());
+            for request in &batch.requests {
+                let hits_before = cache.stats().hits;
+                plans.push(cache.get_or_plan(request)?);
+                cache_hits.push(cache.stats().hits > hits_before);
+            }
+            queues[worker_idx].push(Assignment {
+                batch_idx,
+                admitted_s: batch.admitted_s,
+                request_ids: batch.requests.iter().map(|r| r.id).collect(),
+                plans,
+                cache_hits,
+            });
         }
 
-        let worker = &mut self.workers[worker_idx];
-        let started_s = batch.admitted_s.max(worker.free_at);
-        worker.gpu.advance_to(started_s);
-        let refs: Vec<&Attention> = plans.iter().map(Rc::as_ref).collect();
-        match self.policy {
-            StreamPolicy::Serial => run_serial(&refs, &mut worker.gpu),
-            StreamPolicy::RoleStreams => {
-                Attention::run_timed_batch(&refs, &mut worker.gpu);
+        let policy = self.policy;
+        let workers = std::mem::take(&mut self.workers);
+        let mut units: Vec<WorkUnit> = workers
+            .into_iter()
+            .zip(queues)
+            .map(|(worker, queue)| (worker, queue, Vec::new()))
+            .collect();
+        par::for_each_chunk_mut(&mut units, 1, |worker_idx, unit| {
+            let (worker, queue, done) = &mut unit[0];
+            for a in queue.drain(..) {
+                let started_s = a.admitted_s.max(worker.free_at);
+                worker.gpu.advance_to(started_s);
+                let refs: Vec<&Attention> = a.plans.iter().map(Arc::as_ref).collect();
+                match policy {
+                    StreamPolicy::Serial => run_serial(&refs, &mut worker.gpu),
+                    StreamPolicy::RoleStreams => {
+                        Attention::run_timed_batch(&refs, &mut worker.gpu);
+                    }
+                    StreamPolicy::Pipelined => {
+                        Attention::run_timed_pipelined_batch(&refs, &mut worker.gpu);
+                    }
+                }
+                let finished_s = worker.gpu.elapsed();
+                worker.free_at = finished_s;
+                done.push((
+                    a.batch_idx,
+                    BatchOutcome {
+                        request_ids: a.request_ids,
+                        worker: worker_idx,
+                        admitted_s: a.admitted_s,
+                        started_s,
+                        finished_s,
+                        cache_hits: a.cache_hits,
+                    },
+                ));
             }
-            StreamPolicy::Pipelined => {
-                Attention::run_timed_pipelined_batch(&refs, &mut worker.gpu);
-            }
-        }
-        let finished_s = worker.gpu.elapsed();
-        worker.free_at = finished_s;
+        });
 
-        Ok(BatchOutcome {
-            request_ids: batch.requests.iter().map(|r| r.id).collect(),
-            worker: worker_idx,
-            admitted_s: batch.admitted_s,
-            started_s,
-            finished_s,
-            cache_hits,
-        })
+        let mut outcomes: Vec<Option<BatchOutcome>> = (0..batches.len()).map(|_| None).collect();
+        self.workers = units
+            .into_iter()
+            .map(|(worker, _, done)| {
+                for (batch_idx, outcome) in done {
+                    outcomes[batch_idx] = Some(outcome);
+                }
+                worker
+            })
+            .collect();
+        Ok(outcomes
+            .into_iter()
+            .map(|o| o.expect("every batch executed"))
+            .collect())
     }
 
     /// When every worker is idle again.

@@ -70,6 +70,17 @@ impl ServeReport {
             }
         }
         outcomes.sort_by_key(|o| o.id);
+        // An empty run has no meaningful time span: folding over no
+        // requests/batches would pair t0 = +inf with t1 = 0, producing a
+        // denormal makespan and ~1e308 busy fractions. Report zeros.
+        if requests.is_empty() || batches.is_empty() {
+            return ServeReport {
+                outcomes,
+                makespan_s: 0.0,
+                cache,
+                worker_busy_fraction: vec![0.0; dispatcher.worker_count()],
+            };
+        }
         let t0 = requests
             .iter()
             .map(|r| r.arrival_s)
@@ -126,8 +137,12 @@ impl ServeReport {
             / self.outcomes.len() as f64
     }
 
-    /// Completed requests per second of makespan.
+    /// Completed requests per second of makespan. Returns `0.0` for an
+    /// empty run (zero makespan).
     pub fn throughput_rps(&self) -> f64 {
+        if self.makespan_s <= 0.0 {
+            return 0.0;
+        }
         self.outcomes.len() as f64 / self.makespan_s
     }
 
@@ -170,6 +185,13 @@ pub fn export_serve_trace(dispatcher: &Dispatcher) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::Batch;
+    use crate::cache::PlanCache;
+    use crate::dispatch::StreamPolicy;
+    use mg_gpusim::DeviceSpec;
+    use mg_models::workload::WorkloadSample;
+    use mg_models::{ModelConfig, SparseTransformer};
+    use multigrain::Method;
 
     fn outcome(id: usize, queue_s: f64, service_s: f64, slo_met: bool) -> RequestOutcome {
         RequestOutcome {
@@ -227,5 +249,69 @@ mod tests {
         assert_eq!(r.p99(), 0.0);
         assert_eq!(r.slo_violation_rate(), 0.0);
         assert_eq!(r.mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn single_outcome_dominates_every_percentile() {
+        let r = report(vec![outcome(0, 1.5, 0.5, true)]);
+        for p in [0.0, 0.1, 50.0, 99.9, 100.0] {
+            assert_eq!(r.latency_percentile(p), 2.0, "p={p}");
+        }
+    }
+
+    #[test]
+    fn percentile_ordering_is_total_even_for_nonfinite_latencies() {
+        let r = report(vec![
+            outcome(0, f64::INFINITY, 0.0, false),
+            outcome(1, 1.0, 0.0, true),
+            outcome(2, 3.0, 0.0, true),
+        ]);
+        assert_eq!(r.latency_percentile(0.0), 1.0);
+        assert_eq!(r.latency_percentile(50.0), 3.0);
+        assert_eq!(r.latency_percentile(100.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn empty_run_reports_zeros_not_denormals() {
+        // Regression: folding over zero requests/batches used to pair
+        // t0 = +inf with t1 = 0 and clamp the makespan to
+        // f64::MIN_POSITIVE instead of reporting an inert zero span.
+        let d = Dispatcher::new(&DeviceSpec::a100(), 3, StreamPolicy::RoleStreams);
+        let r = ServeReport::from_batches(&[], &[], CacheStats::default(), &d);
+        assert!(r.outcomes.is_empty());
+        assert_eq!(r.makespan_s, 0.0);
+        assert_eq!(r.worker_busy_fraction, vec![0.0; 3]);
+        assert_eq!(r.throughput_rps(), 0.0);
+        assert_eq!(r.busy_fraction(), 0.0);
+    }
+
+    #[test]
+    fn never_dispatched_workers_report_zero_busy_fraction() {
+        let model = SparseTransformer::new(ModelConfig::tiny());
+        let mut cache = PlanCache::new(model, 8, 8);
+        let mut d = Dispatcher::new(&DeviceSpec::a100(), 3, StreamPolicy::RoleStreams);
+        let requests = vec![Request {
+            id: 0,
+            class: RequestClass::TriviaQa,
+            method: Method::Multigrain,
+            max_seq_len: 64,
+            sample: WorkloadSample {
+                valid_len: 64,
+                special_tokens: vec![0, 1, 2, 3],
+            },
+            arrival_s: 0.0,
+            slo_s: 1.0,
+        }];
+        let batch = Batch {
+            requests: requests.clone(),
+            admitted_s: 0.0,
+        };
+        let executed = vec![d.dispatch(&batch, &mut cache).unwrap()];
+        let r = ServeReport::from_batches(&requests, &executed, cache.stats(), &d);
+        assert_eq!(r.worker_busy_fraction.len(), 3);
+        assert!(r.worker_busy_fraction[0] > 0.0, "worker 0 ran the batch");
+        assert_eq!(r.worker_busy_fraction[1], 0.0);
+        assert_eq!(r.worker_busy_fraction[2], 0.0);
+        assert!(r.worker_busy_fraction.iter().all(|f| f.is_finite()));
     }
 }

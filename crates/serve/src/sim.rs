@@ -91,20 +91,19 @@ impl ServeSim {
 
         for request in &requests {
             let now = request.arrival_s;
-            // Release everything due before this arrival.
-            for batch in batcher.poll(now) {
-                executed.push(self.dispatcher.dispatch(&batch, &mut self.cache)?);
-            }
-            if let Some(batch) = batcher.push(request.clone(), now) {
-                executed.push(self.dispatcher.dispatch(&batch, &mut self.cache)?);
-            }
+            // Release everything due before this arrival, plus the batch
+            // (if any) the arrival itself fills. All of these belong to
+            // the same simulated instant, so the dispatcher may step the
+            // workers they land on in parallel.
+            let mut due = batcher.poll(now);
+            due.extend(batcher.push(request.clone(), now));
+            executed.extend(self.dispatcher.dispatch_many(&due, &mut self.cache)?);
         }
         // End of trace: release the stragglers at their deadlines.
         let end = requests.last().map(|r| r.arrival_s).unwrap_or(0.0);
         while let Some(deadline) = batcher.next_deadline() {
-            for batch in batcher.poll(deadline.max(end)) {
-                executed.push(self.dispatcher.dispatch(&batch, &mut self.cache)?);
-            }
+            let due = batcher.poll(deadline.max(end));
+            executed.extend(self.dispatcher.dispatch_many(&due, &mut self.cache)?);
         }
 
         self.trace = Some(export_serve_trace(&self.dispatcher));

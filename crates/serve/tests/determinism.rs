@@ -1,0 +1,50 @@
+//! Serial-vs-parallel bit-equality for a full serving simulation: the
+//! report, the cache accounting, and the exported kernel trace must not
+//! depend on how many threads step the worker pool.
+
+use mg_gpusim::DeviceSpec;
+use mg_models::ModelConfig;
+use mg_serve::{ServeConfig, ServeReport, ServeSim, TrafficConfig};
+use multigrain::Method;
+use rayon::ThreadPoolBuilder;
+
+fn run_with(threads: usize) -> (ServeReport, String) {
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        let mut config = ServeConfig::new(ModelConfig::tiny(), DeviceSpec::a100());
+        config.workers = 4;
+        let traffic = TrafficConfig::poisson(400.0, 48, Method::Multigrain, 0.5, 17);
+        let mut sim = ServeSim::new(config);
+        let report = sim.run(&traffic).unwrap();
+        let trace = sim.chrome_trace().unwrap().to_owned();
+        (report, trace)
+    })
+}
+
+fn bits(fractions: &[f64]) -> Vec<u64> {
+    fractions.iter().map(|f| f.to_bits()).collect()
+}
+
+#[test]
+fn serve_runs_are_bit_identical_across_thread_counts() {
+    let (serial, serial_trace) = run_with(1);
+    for threads in [2, 3, 8] {
+        let (par, par_trace) = run_with(threads);
+        assert_eq!(serial.outcomes, par.outcomes, "threads={threads}");
+        assert_eq!(
+            serial.makespan_s.to_bits(),
+            par.makespan_s.to_bits(),
+            "threads={threads}"
+        );
+        assert_eq!(serial.cache, par.cache, "threads={threads}");
+        assert_eq!(
+            bits(&serial.worker_busy_fraction),
+            bits(&par.worker_busy_fraction),
+            "threads={threads}"
+        );
+        assert_eq!(serial_trace, par_trace, "threads={threads}");
+    }
+}

@@ -306,6 +306,21 @@ impl<T: Scalar> Bsr<T> {
         &mut self.blocks[i * sq..(i + 1) * sq]
     }
 
+    /// All stored block values, blocks in storage order (block `i`
+    /// occupies `values[i*b*b..(i+1)*b*b]`, row-major within the block).
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.blocks
+    }
+
+    /// All stored block values, mutably. Same layout as [`Bsr::values`];
+    /// lets callers partition the storage into disjoint block ranges
+    /// (e.g. one block row each) for parallel updates.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.blocks
+    }
+
     /// Iterates over `(block_row, block_col, block_elements)`.
     pub fn iter_blocks(&self) -> impl Iterator<Item = (usize, usize, &[T])> + '_ {
         (0..self.block_rows()).flat_map(move |br| {

@@ -6,7 +6,7 @@
 //! in `f32` regardless of the storage type, matching the tensor-core
 //! `HMMA.16816.F32` semantics the paper relies on.
 
-use crate::{Matrix, Scalar};
+use crate::{par, Matrix, Scalar};
 
 /// Computes `A × B` where `A` is `m×k` and `B` is `k×n`.
 ///
@@ -39,10 +39,11 @@ pub fn gemm<A: Scalar, B: Scalar, O: Scalar>(a: &Matrix<A>, b: &Matrix<B>) -> Ma
     );
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let mut out = Matrix::<O>::zeros(m, n);
-    // i-k-j loop order for row-major locality.
-    for i in 0..m {
+    // Rows are independent; i-k-j loop order within a row for row-major
+    // locality. The per-row f32 accumulation order is the same whether the
+    // rows run serially or in parallel, so results are bit-identical.
+    par::for_each_chunk_mut(out.as_mut_slice(), n, |i, out_row| {
         let a_row = a.row(i);
-        let out_row = out.row_mut(i);
         let mut acc = vec![0.0f32; n];
         for (kk, &a_ik) in a_row.iter().enumerate().take(k) {
             let a_val = a_ik.to_f32();
@@ -57,7 +58,7 @@ pub fn gemm<A: Scalar, B: Scalar, O: Scalar>(a: &Matrix<A>, b: &Matrix<B>) -> Ma
         for (j, &v) in acc.iter().enumerate() {
             out_row[j] = O::from_f32(v);
         }
-    }
+    });
     out
 }
 
@@ -80,15 +81,21 @@ pub fn gemm_nt<A: Scalar, B: Scalar, O: Scalar>(a: &Matrix<A>, b: &Matrix<B>) ->
         b.cols()
     );
     let (m, k, n) = (a.rows(), a.cols(), b.rows());
-    Matrix::from_fn(m, n, |i, j| {
-        let mut acc = 0.0f32;
+    let mut out = Matrix::<O>::zeros(m, n);
+    // One output row per work item; each (i, j) dot accumulates in the same
+    // order as the serial path, so parallel runs are bit-identical.
+    par::for_each_chunk_mut(out.as_mut_slice(), n, |i, out_row| {
         let a_row = a.row(i);
-        let b_row = b.row(j);
-        for kk in 0..k {
-            acc += a_row[kk].to_f32() * b_row[kk].to_f32();
+        for (j, slot) in out_row.iter_mut().enumerate() {
+            let b_row = b.row(j);
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += a_row[kk].to_f32() * b_row[kk].to_f32();
+            }
+            *slot = O::from_f32(acc);
         }
-        O::from_f32(acc)
-    })
+    });
+    out
 }
 
 /// Computes the dot product of two equal-length slices, accumulating in

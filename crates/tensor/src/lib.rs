@@ -27,6 +27,7 @@ mod gemm;
 mod half;
 mod matrix;
 mod ops;
+pub mod par;
 mod scalar;
 mod softmax;
 

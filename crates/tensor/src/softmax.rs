@@ -5,7 +5,7 @@
 //! exponential sum, normalization. Scaling and masking are fused in front,
 //! exactly as the compound sparse-softmax kernel does.
 
-use crate::{Matrix, Scalar};
+use crate::{par, Matrix, Scalar};
 
 /// Applies `softmax(scale * x + mask)` row by row, in `f32`, rounding the
 /// result to the output scalar type.
@@ -38,8 +38,10 @@ pub fn softmax_rows<T: Scalar, O: Scalar>(
     }
     let (rows, cols) = (x.rows(), x.cols());
     let mut out = Matrix::<O>::zeros(rows, cols);
-    let mut scratch = vec![0.0f32; cols];
-    for r in 0..rows {
+    // Rows are independent distributions; each row's three-pass reduction
+    // runs in its serial order, so parallel runs are bit-identical.
+    par::for_each_chunk_mut(out.as_mut_slice(), cols, |r, out_row| {
+        let mut scratch = vec![0.0f32; cols];
         for (c, slot) in scratch.iter_mut().enumerate() {
             let mut v = x.get(r, c).to_f32() * scale;
             if let Some(m) = mask {
@@ -48,11 +50,10 @@ pub fn softmax_rows<T: Scalar, O: Scalar>(
             *slot = v;
         }
         softmax_row_in_place(&mut scratch);
-        let out_row = out.row_mut(r);
         for (c, &v) in scratch.iter().enumerate() {
             out_row[c] = O::from_f32(v);
         }
-    }
+    });
     out
 }
 

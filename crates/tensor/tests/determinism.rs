@@ -1,0 +1,80 @@
+//! Serial-vs-parallel bit-equality for the dense compute paths.
+//!
+//! Every parallel routine in `mg-tensor` promises results bit-identical to
+//! its serial execution. These tests pin that promise by running the same
+//! computation under 1-thread and N-thread pools and comparing raw bits.
+//! With the `parallel` feature disabled both runs are serial and the tests
+//! pass trivially.
+
+use mg_tensor::{gemm, gemm_nt, softmax_rows, Half, Matrix};
+use rayon::ThreadPoolBuilder;
+
+fn pool(n: usize) -> rayon::ThreadPool {
+    ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+}
+
+fn bits_f32(m: &Matrix<f32>) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn gemm_is_bit_identical_across_thread_counts() {
+    let a = Matrix::<Half>::random(37, 29, 7);
+    let b = Matrix::<Half>::random(29, 23, 8);
+    let serial: Matrix<f32> = pool(1).install(|| gemm(&a, &b));
+    for threads in [2, 3, 8] {
+        let par: Matrix<f32> = pool(threads).install(|| gemm(&a, &b));
+        assert_eq!(bits_f32(&serial), bits_f32(&par), "threads={threads}");
+    }
+}
+
+#[test]
+fn gemm_nt_is_bit_identical_across_thread_counts() {
+    let a = Matrix::<Half>::random(41, 64, 3);
+    let b = Matrix::<Half>::random(31, 64, 4);
+    let serial: Matrix<f32> = pool(1).install(|| gemm_nt(&a, &b));
+    for threads in [2, 5, 16] {
+        let par: Matrix<f32> = pool(threads).install(|| gemm_nt(&a, &b));
+        assert_eq!(bits_f32(&serial), bits_f32(&par), "threads={threads}");
+    }
+}
+
+#[test]
+fn gemm_nt_still_matches_explicit_transpose() {
+    let a = Matrix::<f32>::random(5, 8, 1);
+    let b = Matrix::<f32>::random(6, 8, 2);
+    let via_nt: Matrix<f32> = gemm_nt(&a, &b);
+    let via_t: Matrix<f32> = gemm(&a, &b.transpose());
+    assert!(via_nt.max_abs_diff(&via_t) < 1e-5);
+}
+
+#[test]
+fn softmax_rows_is_bit_identical_across_thread_counts() {
+    let x = Matrix::<f32>::random(33, 50, 9);
+    let mut mask = Matrix::<f32>::zeros(33, 50);
+    for r in 0..33 {
+        for c in 0..50 {
+            if (r * 50 + c) % 11 == 0 {
+                mask.set(r, c, f32::NEG_INFINITY);
+            }
+        }
+    }
+    let serial: Matrix<f32> = pool(1).install(|| softmax_rows(&x, 0.125, Some(&mask)));
+    for threads in [2, 7] {
+        let par: Matrix<f32> = pool(threads).install(|| softmax_rows(&x, 0.125, Some(&mask)));
+        assert_eq!(bits_f32(&serial), bits_f32(&par), "threads={threads}");
+    }
+}
+
+#[test]
+fn degenerate_shapes_survive_parallel_dispatch() {
+    let a = Matrix::<f32>::zeros(0, 4);
+    let b = Matrix::<f32>::zeros(4, 3);
+    let c: Matrix<f32> = pool(4).install(|| gemm(&a, &b));
+    assert_eq!((c.rows(), c.cols()), (0, 3));
+
+    let a = Matrix::<f32>::random(1, 6, 2);
+    let b = Matrix::<f32>::random(1, 6, 3);
+    let c: Matrix<f32> = pool(4).install(|| gemm_nt(&a, &b));
+    assert_eq!((c.rows(), c.cols()), (1, 1));
+}

@@ -1,0 +1,490 @@
+//! Offline drop-in subset of the `rayon` API.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! provides the slice of rayon the workspace uses, implemented over
+//! `std::thread::scope`. Unlike upstream rayon it makes one promise the
+//! workspace leans on everywhere: **ordering is deterministic**. Every
+//! combinator evaluates items independently and collects results in the
+//! input order, so a parallel run is bit-identical to a serial one as
+//! long as each item's own computation is deterministic.
+//!
+//! Differences from upstream worth knowing:
+//!
+//! * Combinators are *eager*: each `map` performs one parallel pass and
+//!   materializes its results (chains of adapters cost one pass each).
+//! * Work is split into `current_num_threads()` contiguous chunks, not
+//!   work-stolen. Skewed workloads balance less well, but results never
+//!   depend on scheduling.
+//! * The thread count comes from, in priority order: the innermost
+//!   [`ThreadPool::install`] scope, the global pool configured by
+//!   [`ThreadPoolBuilder::build_global`], the `MG_THREADS` /
+//!   `RAYON_NUM_THREADS` environment variables, and finally
+//!   `std::thread::available_parallelism`.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+static GLOBAL_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// Thread count forced by an enclosing `ThreadPool::install`; 0 = none.
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn env_threads() -> Option<usize> {
+    for var in ["MG_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(s) = std::env::var(var) {
+            if let Ok(n) = s.trim().parse::<usize>() {
+                return Some(n.max(1));
+            }
+        }
+    }
+    None
+}
+
+fn default_threads() -> usize {
+    env_threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Number of threads parallel operations on the current thread will use.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_THREADS.with(Cell::get);
+    if installed > 0 {
+        return installed;
+    }
+    *GLOBAL_THREADS.get_or_init(default_threads)
+}
+
+/// Error returned when the global pool is configured twice.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the global thread pool has already been initialized")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default thread count.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the thread count (0 keeps the environment-derived default).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs this configuration as the process-global default.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        GLOBAL_THREADS.set(n).map_err(|_| ThreadPoolBuildError)
+    }
+
+    /// Builds a local pool whose [`ThreadPool::install`] scope overrides
+    /// the thread count.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A scoped thread-count override (threads are spawned per operation, not
+/// kept alive, so the "pool" is just a count).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `f` with parallel operations using this pool's thread count.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(self.num_threads));
+        // Restore the previous override even if `f` panics.
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+}
+
+/// Runs `a` and `b`, potentially in parallel, returning both results.
+pub fn join<RA: Send, RB: Send>(
+    a: impl FnOnce() -> RA + Send,
+    b: impl FnOnce() -> RB + Send,
+) -> (RA, RB) {
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// Splits `items` into at most `parts` contiguous runs, preserving order.
+fn split_ordered<T>(mut items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let len = items.len();
+    let chunk = len.div_ceil(parts.max(1)).max(1);
+    let mut out = Vec::with_capacity(parts);
+    while items.len() > chunk {
+        let tail = items.split_off(chunk);
+        out.push(std::mem::replace(&mut items, tail));
+    }
+    out.push(items);
+    out
+}
+
+/// Maps `items` through `f` on the current thread count, preserving input
+/// order exactly. This is the single evaluation primitive behind every
+/// combinator.
+fn par_map_vec<T: Send, U: Send>(items: Vec<T>, f: impl Fn(T) -> U + Sync) -> Vec<U> {
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let f = &f;
+    let chunks = split_ordered(items, threads);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::new();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+/// An ordered parallel iterator over an already-materialized item list.
+///
+/// All adapters are eager (see the crate docs); `IndexedParallelIterator`
+/// ordering semantics hold by construction.
+#[must_use = "parallel iterators do nothing unless consumed"]
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Parallel map; results stay in input order.
+    pub fn map<U: Send, F: Fn(T) -> U + Sync>(self, f: F) -> ParIter<U> {
+        ParIter {
+            items: par_map_vec(self.items, f),
+        }
+    }
+
+    /// Parallel map that also hands `f` the item's index.
+    pub fn map_with_index<U: Send, F: Fn(usize, T) -> U + Sync>(self, f: F) -> ParIter<U> {
+        let indexed: Vec<(usize, T)> = self.items.into_iter().enumerate().collect();
+        ParIter {
+            items: par_map_vec(indexed, |(i, t)| f(i, t)),
+        }
+    }
+
+    /// Pairs every item with its index (like `Iterator::enumerate`).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Parallel flat-map; each item's output run stays contiguous and in
+    /// input order.
+    pub fn flat_map<U: Send, I, F>(self, f: F) -> ParIter<U>
+    where
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync,
+    {
+        let nested = par_map_vec(self.items, |t| f(t).into_iter().collect::<Vec<U>>());
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel filter, preserving input order of the survivors.
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
+        let kept = par_map_vec(self.items, |t| if f(&t) { Some(t) } else { None });
+        ParIter {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        par_map_vec(self.items, f);
+    }
+
+    /// Collects into any `FromIterator` container, in input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Hint accepted for upstream compatibility; splitting here is always
+    /// by contiguous run, so the hint is a no-op.
+    pub fn with_min_len(self, _min: usize) -> ParIter<T> {
+        self
+    }
+}
+
+impl<T: Send> ParIter<T>
+where
+    T: std::iter::Sum<T>,
+{
+    /// Sums the items serially after the parallel passes (fixed order, so
+    /// float sums stay bit-stable).
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+}
+
+/// Conversion into an ordered parallel iterator (mirrors rayon's trait).
+pub trait IntoParallelIterator {
+    /// Item yielded by the iterator.
+    type Item: Send;
+    /// Converts `self`.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+/// `par_iter` by reference (mirrors rayon's `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item yielded by the iterator.
+    type Item: Send;
+    /// Iterates `self` by shared reference.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.into_par_iter()
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+/// Parallel access to immutable slice chunks.
+pub trait ParallelSlice<T: Sync> {
+    /// Ordered parallel iterator over `chunk_size`-sized chunks.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        ParIter {
+            items: self.chunks(chunk_size.max(1)).collect(),
+        }
+    }
+}
+
+/// Parallel access to mutable slice chunks.
+pub trait ParallelSliceMut<T: Send> {
+    /// Ordered parallel iterator over disjoint mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter {
+            items: self.chunks_mut(chunk_size.max(1)).collect(),
+        }
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
+
+    #[test]
+    fn map_preserves_order_at_any_thread_count() {
+        let input: Vec<usize> = (0..1000).collect();
+        let serial: Vec<usize> = input.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 33] {
+            let got: Vec<usize> = pool(threads)
+                .install(|| input.clone().into_par_iter().map(|x| x * 3 + 1).collect());
+            assert_eq!(got, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn range_and_slice_sources_agree() {
+        let via_range: Vec<usize> =
+            pool(4).install(|| (0..64).into_par_iter().map(|i| i * i).collect());
+        let data: Vec<usize> = (0..64).collect();
+        let via_slice: Vec<usize> = pool(4).install(|| data.par_iter().map(|&i| i * i).collect());
+        assert_eq!(via_range, via_slice);
+    }
+
+    #[test]
+    fn flat_map_keeps_runs_contiguous() {
+        let got: Vec<usize> = pool(3).install(|| {
+            (0..10)
+                .into_par_iter()
+                .flat_map(|i| vec![i; i % 3])
+                .collect()
+        });
+        let want: Vec<usize> = (0..10).flat_map(|i| vec![i; i % 3]).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn filter_preserves_survivor_order() {
+        let got: Vec<usize> =
+            pool(5).install(|| (0..100).into_par_iter().filter(|x| x % 7 == 0).collect());
+        let want: Vec<usize> = (0..100).filter(|x| x % 7 == 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn chunks_mut_sees_disjoint_ordered_chunks() {
+        let mut data = vec![0usize; 103];
+        pool(4).install(|| {
+            data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+                for v in chunk.iter_mut() {
+                    *v = i;
+                }
+            })
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i / 10);
+        }
+    }
+
+    #[test]
+    fn float_sum_is_bit_stable_across_thread_counts() {
+        let xs: Vec<f64> = (0..10_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let s1: f64 = pool(1).install(|| xs.clone().into_par_iter().map(|x| x * 1.5).sum());
+        let s8: f64 = pool(8).install(|| xs.clone().into_par_iter().map(|x| x * 1.5).sum());
+        assert_eq!(s1.to_bits(), s8.to_bits());
+    }
+
+    #[test]
+    fn install_nests_and_restores() {
+        let outer = pool(2);
+        let inner = pool(7);
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            inner.install(|| assert_eq!(current_num_threads(), 7));
+            assert_eq!(current_num_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = pool(2).install(|| join(|| 1 + 1, || "two"));
+        assert_eq!((a, b), (2, "two"));
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let empty: Vec<u8> =
+            pool(4).install(|| Vec::<u8>::new().into_par_iter().map(|x| x).collect());
+        assert!(empty.is_empty());
+        let one: Vec<u8> = pool(4).install(|| vec![9u8].into_par_iter().map(|x| x + 1).collect());
+        assert_eq!(one, vec![10]);
+    }
+}
