@@ -1,0 +1,265 @@
+//! The execution-configuration space the tuner searches.
+//!
+//! A configuration is everything the serving layer may choose per
+//! workload without changing results: the execution [`Method`], the
+//! coarse slicing granularity (block size), and how the plan's kernels
+//! use the device's streams. The paper's Figs. 7/8 show the winner over
+//! this space crossing over with sequence length, density, and GPU —
+//! which is exactly why it is searched, not hard-coded.
+
+use multigrain::{AttentionProblem, Method};
+
+/// How a plan's kernels are scheduled onto the device's streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ExecPolicy {
+    /// Every kernel on the default stream, barrier after each phase —
+    /// the no-co-execution ablation.
+    Serial,
+    /// Coarse/fine/dense kernels on their role streams, barriers
+    /// between phases (the paper's §3.1 space sharing).
+    RoleStreams,
+    /// Kernel-level dependencies, no phase barriers — strictly more
+    /// overlap than role streams.
+    Pipelined,
+}
+
+impl ExecPolicy {
+    /// All policies, in search order.
+    pub const ALL: [ExecPolicy; 3] = [
+        ExecPolicy::Serial,
+        ExecPolicy::RoleStreams,
+        ExecPolicy::Pipelined,
+    ];
+
+    /// Stable label used in reports and the persisted database.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecPolicy::Serial => "serial",
+            ExecPolicy::RoleStreams => "role-streams",
+            ExecPolicy::Pipelined => "pipelined",
+        }
+    }
+
+    /// Inverse of [`ExecPolicy::label`].
+    pub fn from_label(label: &str) -> Option<ExecPolicy> {
+        ExecPolicy::ALL.into_iter().find(|p| p.label() == label)
+    }
+}
+
+/// One point of the execution-configuration space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TuneConfig {
+    /// Execution method.
+    pub method: Method,
+    /// Coarse block size (slicing granularity). Ignored by the
+    /// fine-only and fused methods, whose plans carry no blocks.
+    pub block_size: usize,
+    /// Stream/co-execution policy.
+    pub exec: ExecPolicy,
+}
+
+impl TuneConfig {
+    /// Compact human-readable form, e.g. `Multigrain/b64/pipelined`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/b{}/{}",
+            self.method.name(),
+            self.block_size,
+            self.exec.label()
+        )
+    }
+}
+
+/// Candidate block sizes for `seq_len`: the powers of two in `[8, 128]`
+/// that divide it, plus `default_block` when it divides and is not
+/// already listed (custom models may configure non-power-of-two blocks).
+pub fn candidate_blocks(seq_len: usize, default_block: usize) -> Vec<usize> {
+    let mut blocks: Vec<usize> = [8usize, 16, 32, 64, 128]
+        .into_iter()
+        .filter(|&b| b <= seq_len && seq_len.is_multiple_of(b))
+        .collect();
+    if default_block > 0
+        && seq_len.is_multiple_of(default_block)
+        && !blocks.contains(&default_block)
+    {
+        blocks.push(default_block);
+        blocks.sort_unstable();
+    }
+    blocks
+}
+
+/// Enumerates the candidate space for `problem`, in a fixed, documented
+/// order (methods in [`Method::EXTENDED`] order, block sizes ascending,
+/// exec policies in [`ExecPolicy::ALL`] order). The order is part of the
+/// determinism contract: ties in simulated time always resolve to the
+/// earliest candidate, on any thread count.
+///
+/// Two structural dominance cuts are applied during enumeration rather
+/// than at evaluation time:
+///
+/// * Single-stream methods (coarse-only, fine-only, fused) place every
+///   kernel on the main stream, so [`ExecPolicy::Serial`] is kernel-
+///   for-kernel identical to [`ExecPolicy::RoleStreams`] — only the
+///   latter is enumerated. [`ExecPolicy::Pipelined`] still differs (it
+///   drops the phase barriers), so it stays.
+/// * The fine-only and fused plans carry no blocked metadata, so their
+///   block-size axis is collapsed to the problem's own block size.
+pub fn candidates(problem: &AttentionProblem) -> Vec<TuneConfig> {
+    candidates_constrained(problem, None)
+}
+
+/// [`candidates`] with the exec axis optionally pinned.
+///
+/// A serving layer whose dispatcher runs one fixed stream policy tunes
+/// within it: pass `Some(exec)` and only configurations timed under that
+/// policy are enumerated. The pin is applied through each method's
+/// equivalences — single-stream methods map a pinned `Serial` to their
+/// enumerated equivalent `RoleStreams`, and the fused single-kernel
+/// method ignores the pin entirely — so the constrained space is never
+/// empty and never times a config the dispatcher would not run.
+pub fn candidates_constrained(
+    problem: &AttentionProblem,
+    pinned: Option<ExecPolicy>,
+) -> Vec<TuneConfig> {
+    let blocks = candidate_blocks(problem.pattern().seq_len(), problem.block_size());
+    // Execs to enumerate for the multi-stream method and for the
+    // single-stream methods (where Serial ≡ RoleStreams kernel for
+    // kernel, so only the latter is kept).
+    let multi: Vec<ExecPolicy> = match pinned {
+        None => ExecPolicy::ALL.to_vec(),
+        Some(exec) => vec![exec],
+    };
+    let single: Vec<ExecPolicy> = match pinned {
+        None => vec![ExecPolicy::RoleStreams, ExecPolicy::Pipelined],
+        Some(ExecPolicy::Serial) | Some(ExecPolicy::RoleStreams) => vec![ExecPolicy::RoleStreams],
+        Some(ExecPolicy::Pipelined) => vec![ExecPolicy::Pipelined],
+    };
+    let mut out = Vec::new();
+    for method in Method::EXTENDED {
+        match method {
+            Method::Multigrain => {
+                for &block_size in &blocks {
+                    for &exec in &multi {
+                        out.push(TuneConfig {
+                            method,
+                            block_size,
+                            exec,
+                        });
+                    }
+                }
+            }
+            Method::TritonStyle => {
+                for &block_size in &blocks {
+                    for &exec in &single {
+                        out.push(TuneConfig {
+                            method,
+                            block_size,
+                            exec,
+                        });
+                    }
+                }
+            }
+            Method::SputnikStyle => {
+                for &exec in &single {
+                    out.push(TuneConfig {
+                        method,
+                        block_size: problem.block_size(),
+                        exec,
+                    });
+                }
+            }
+            Method::FusedStyle => {
+                // One kernel: stream policy cannot matter.
+                out.push(TuneConfig {
+                    method,
+                    block_size: problem.block_size(),
+                    exec: ExecPolicy::RoleStreams,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_patterns::{AtomicPattern, CompoundPattern};
+
+    fn problem(seq_len: usize, block: usize) -> AttentionProblem {
+        AttentionProblem::new(
+            CompoundPattern::new(seq_len).with(AtomicPattern::Local { window: 8 }),
+            16,
+            1,
+            2,
+            block,
+        )
+    }
+
+    #[test]
+    fn blocks_divide_the_sequence() {
+        assert_eq!(candidate_blocks(64, 8), vec![8, 16, 32, 64]);
+        assert_eq!(candidate_blocks(96, 8), vec![8, 16, 32]);
+        // A custom non-power-of-two default joins the list.
+        assert_eq!(candidate_blocks(96, 24), vec![8, 16, 24, 32]);
+        // Indivisible sequences leave only what fits.
+        assert_eq!(candidate_blocks(60, 16), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn candidate_order_is_stable_and_deduplicated() {
+        let cands = candidates(&problem(64, 16));
+        let again = candidates(&problem(64, 16));
+        assert_eq!(cands, again);
+        let mut sorted = cands.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), cands.len(), "no duplicate candidates");
+        // 4 blocks × 3 execs for Multigrain, 4 × 2 for Triton, 2 for
+        // Sputnik, 1 for Fused.
+        assert_eq!(cands.len(), 12 + 8 + 2 + 1);
+    }
+
+    #[test]
+    fn indivisible_sequences_still_get_blockless_methods() {
+        let cands = candidates(&problem(60, 16));
+        assert!(cands
+            .iter()
+            .all(|c| matches!(c.method, Method::SputnikStyle | Method::FusedStyle)));
+        assert!(!cands.is_empty());
+    }
+
+    #[test]
+    fn pinned_exec_constrains_without_emptying() {
+        use ExecPolicy::*;
+        let prob = problem(64, 16);
+        for pinned in ExecPolicy::ALL {
+            let cands = candidates_constrained(&prob, Some(pinned));
+            assert!(!cands.is_empty());
+            for c in &cands {
+                let effective_ok = match c.method {
+                    Method::Multigrain => c.exec == pinned,
+                    Method::TritonStyle | Method::SputnikStyle => {
+                        c.exec == pinned || (pinned == Serial && c.exec == RoleStreams)
+                    }
+                    Method::FusedStyle => c.exec == RoleStreams,
+                };
+                assert!(effective_ok, "{} pinned {}", c.label(), pinned.label());
+            }
+            // Every method survives the pin.
+            for method in Method::EXTENDED {
+                assert!(cands.iter().any(|c| c.method == method));
+            }
+        }
+        // Unconstrained enumeration is the union over pins.
+        assert!(candidates(&prob).len() > candidates_constrained(&prob, Some(Pipelined)).len());
+    }
+
+    #[test]
+    fn labels_round_trip_exec_policies() {
+        for exec in ExecPolicy::ALL {
+            assert_eq!(ExecPolicy::from_label(exec.label()), Some(exec));
+        }
+        assert_eq!(ExecPolicy::from_label("nonsense"), None);
+    }
+}

@@ -1,0 +1,64 @@
+//! # mg-autotune
+//!
+//! Cost-model-driven autotuner for compound sparse attention.
+//!
+//! The paper's core observation is that no single execution method wins
+//! everywhere: the best choice among Multigrain slicing, coarse-only,
+//! fine-only, and fused execution — and the best block size and stream
+//! policy within it — crosses over with sequence length, pattern
+//! density, and GPU. This crate searches that space offline (or on a
+//! serving cold miss), using the simulated GPU (`mg-gpusim`) as the
+//! cost oracle, and persists winners in a versioned JSON [`TuningDb`]
+//! keyed by `(pattern signature, length bucket, device fingerprint)`.
+//!
+//! The key derivation is shared with the serve plan cache
+//! ([`AttentionProblem::signature_with_bucket`] /
+//! [`DeviceSpec::fingerprint`](mg_gpusim::DeviceSpec::fingerprint)), so
+//! a database tuned by `autotune_study` drops straight into `mg-serve`.
+//!
+//! Everything is deterministic: searches parallelize over candidates
+//! through the workspace's deterministic parallel layer, and the same
+//! inputs produce bit-identical winners and database files at any
+//! thread count.
+//!
+//! # Examples
+//!
+//! ```
+//! use mg_autotune::{tune_cached, Strategy, TuningDb};
+//! use mg_gpusim::DeviceSpec;
+//! use mg_patterns::{AtomicPattern, CompoundPattern};
+//! use multigrain::AttentionProblem;
+//!
+//! let problem = AttentionProblem::new(
+//!     CompoundPattern::new(128)
+//!         .with(AtomicPattern::Local { window: 16 })
+//!         .with(AtomicPattern::Global { tokens: vec![0] }),
+//!     32,
+//!     1,
+//!     2,
+//!     16,
+//! );
+//! let mut db = TuningDb::new();
+//! let spec = DeviceSpec::a100();
+//! let (_, entry, hit) = tune_cached(&spec, &problem, 16, Strategy::Exhaustive, None, &mut db);
+//! assert!(!hit && entry.time_s > 0.0);
+//! // The second consult is a database hit.
+//! let (_, _, hit) = tune_cached(&spec, &problem, 16, Strategy::Exhaustive, None, &mut db);
+//! assert!(hit);
+//! ```
+//!
+//! [`AttentionProblem::signature_with_bucket`]:
+//!     multigrain::AttentionProblem::signature_with_bucket
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod db;
+mod oracle;
+mod search;
+
+pub use config::{candidate_blocks, candidates, candidates_constrained, ExecPolicy, TuneConfig};
+pub use db::{TuneEntry, TuneKey, TuningDb, DB_VERSION};
+pub use oracle::{evaluate, lower_bound, plan_candidate, time_planned};
+pub use search::{fallback_config, fallback_entry, tune, tune_cached, Strategy, GREEDY_BUDGET};

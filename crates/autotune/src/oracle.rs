@@ -1,0 +1,183 @@
+//! The cost oracle: candidate configurations are priced by planning the
+//! attention and running it on the simulated GPU (`mg-gpusim`), exactly
+//! as the serving layer would execute it. Because the whole repo's
+//! execution model is deterministic, an oracle call is a pure function
+//! of `(DeviceSpec, AttentionProblem, TuneConfig)` — which is what makes
+//! the tuning database consistent across machines and thread counts.
+
+use crate::config::{ExecPolicy, TuneConfig};
+use mg_gpusim::{DeviceSpec, Gpu};
+use mg_sparse::SparseError;
+use multigrain::{Attention, AttentionProblem, Op};
+
+/// Rebuilds `problem` with the candidate's block size and plans it under
+/// the candidate's method.
+///
+/// # Errors
+///
+/// Returns [`SparseError`] if the block size does not divide the
+/// sequence length for a blocked method (such candidates are filtered
+/// out of [`crate::candidates`], so this only fires on hand-built
+/// configs).
+pub fn plan_candidate(
+    problem: &AttentionProblem,
+    config: &TuneConfig,
+) -> Result<Attention, SparseError> {
+    let dims = problem.dims();
+    let candidate = AttentionProblem::new(
+        problem.pattern().clone(),
+        dims.head_dim,
+        dims.batch,
+        dims.heads,
+        config.block_size,
+    );
+    Attention::plan(config.method, candidate)
+}
+
+/// Times an already-planned attention under an exec policy, on a fresh
+/// device clock. Returns simulated seconds.
+pub fn time_planned(spec: &DeviceSpec, attn: &Attention, exec: ExecPolicy) -> f64 {
+    let mut gpu = Gpu::new(spec.clone());
+    match exec {
+        ExecPolicy::Serial => attn.run_timed_with(&mut gpu, false).total(),
+        ExecPolicy::RoleStreams => attn.run_timed(&mut gpu).total(),
+        ExecPolicy::Pipelined => attn.run_timed_pipelined(&mut gpu),
+    }
+}
+
+/// Prices one candidate: plan, then time under its exec policy.
+///
+/// # Errors
+///
+/// Returns [`SparseError`] if planning fails (see [`plan_candidate`]).
+pub fn evaluate(
+    spec: &DeviceSpec,
+    problem: &AttentionProblem,
+    config: &TuneConfig,
+) -> Result<f64, SparseError> {
+    let attn = plan_candidate(problem, config)?;
+    Ok(time_planned(spec, &attn, config.exec))
+}
+
+/// A certified lower bound on the simulated time of `attn` under *any*
+/// exec policy: total work per pipe at ideal aggregate rates.
+///
+/// The pruned-grid search uses this as its dominance cut — a candidate
+/// whose bound already exceeds the incumbent's measured time cannot win
+/// and is never simulated. For the cut to be exact (pruned grid must
+/// return the same winner as exhaustive search), the bound must never
+/// exceed the engine's time:
+///
+/// * Compute pipes (tensor, CUDA, SFU) partition the device's SMs, so
+///   aggregate work over all kernels at the full-device rate is a valid
+///   floor regardless of how streams overlap.
+/// * Memory pipes are different: the engine lets a concurrent kernel
+///   burst to at least half the device bandwidth (`bw_frac.max(0.5)` in
+///   the engine), so with three role streams the aggregate can
+///   transiently overcommit DRAM/L2 up to 2×. The memory floors are
+///   therefore halved.
+pub fn lower_bound(spec: &DeviceSpec, attn: &Attention) -> f64 {
+    let mut tensor_macs = 0u64;
+    let mut cuda_flops = 0u64;
+    let mut sfu_ops = 0u64;
+    let mut l2_read = 0u64;
+    let mut dram_bytes = 0u64;
+    for op in [Op::Sddmm, Op::Softmax, Op::Spmm, Op::Merge] {
+        for (_, profile) in attn.phase_profiles(spec, op) {
+            let total = profile.total();
+            tensor_macs += total.tensor_macs;
+            cuda_flops += total.cuda_flops;
+            sfu_ops += total.sfu_ops;
+            l2_read += total.l2_read;
+            dram_bytes += total.dram_bytes();
+        }
+    }
+    let t_tensor = 2.0 * tensor_macs as f64 / spec.tensor_fp16_flops;
+    let t_cuda = cuda_flops as f64 / spec.cuda_fp16_flops;
+    let t_sfu = sfu_ops as f64 / spec.sfu_ops_per_s;
+    let t_dram = dram_bytes as f64 / (2.0 * spec.mem_bw_bytes_per_s);
+    let t_l2 = l2_read as f64 / (2.0 * spec.l2_bw_bytes_per_s);
+    t_tensor.max(t_cuda).max(t_sfu).max(t_dram).max(t_l2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::candidates;
+    use mg_patterns::{AtomicPattern, CompoundPattern};
+    use multigrain::Method;
+
+    fn problem(seq_len: usize) -> AttentionProblem {
+        let pattern = CompoundPattern::new(seq_len)
+            .with(AtomicPattern::Local { window: 16 })
+            .with(AtomicPattern::Random {
+                per_row: 4,
+                seed: 11,
+            })
+            .with(AtomicPattern::Global { tokens: vec![0, 3] });
+        AttentionProblem::new(pattern, 32, 1, 2, 16)
+    }
+
+    #[test]
+    fn oracle_is_deterministic() {
+        let spec = DeviceSpec::a100();
+        let prob = problem(128);
+        for config in candidates(&prob) {
+            let a = evaluate(&spec, &prob, &config).expect("evaluates");
+            let b = evaluate(&spec, &prob, &config).expect("evaluates");
+            assert_eq!(a.to_bits(), b.to_bits(), "{}", config.label());
+            assert!(a > 0.0, "{}", config.label());
+        }
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_simulated_time() {
+        // The dominance cut's correctness contract, checked over every
+        // candidate on both Table-1 devices.
+        for spec in [DeviceSpec::a100(), DeviceSpec::rtx3090()] {
+            for seq_len in [64usize, 128, 256] {
+                let prob = problem(seq_len);
+                for config in candidates(&prob) {
+                    let attn = plan_candidate(&prob, &config).expect("plans");
+                    let lb = lower_bound(&spec, &attn);
+                    let t = time_planned(&spec, &attn, config.exec);
+                    assert!(
+                        lb <= t,
+                        "{} on {} (L={seq_len}): bound {lb} > time {t}",
+                        config.label(),
+                        spec.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exec_policy_ordering_holds_for_multigrain() {
+        // Pipelined exposes at least as much overlap as role streams,
+        // which expose at least as much as serial (small tolerance for
+        // launch-overhead noise, as in the core tests).
+        let spec = DeviceSpec::a100();
+        let prob = problem(128);
+        let config = |exec| TuneConfig {
+            method: Method::Multigrain,
+            block_size: 32,
+            exec,
+        };
+        let serial = evaluate(&spec, &prob, &config(ExecPolicy::Serial)).unwrap();
+        let streams = evaluate(&spec, &prob, &config(ExecPolicy::RoleStreams)).unwrap();
+        let pipelined = evaluate(&spec, &prob, &config(ExecPolicy::Pipelined)).unwrap();
+        assert!(streams <= serial * 1.001);
+        assert!(pipelined <= streams * 1.05);
+    }
+
+    #[test]
+    fn misaligned_blocked_candidate_errors() {
+        let config = TuneConfig {
+            method: Method::TritonStyle,
+            block_size: 48,
+            exec: ExecPolicy::RoleStreams,
+        };
+        assert!(evaluate(&DeviceSpec::a100(), &problem(128), &config).is_err());
+    }
+}

@@ -1,0 +1,416 @@
+//! Search strategies over the candidate space.
+//!
+//! All three strategies are deterministic at any thread count: candidate
+//! evaluation fans out through the workspace's deterministic parallel
+//! layer ([`mg_tensor::par::map_indexed`]), and the argmin breaks
+//! simulated-time ties by candidate-enumeration index, which is fixed by
+//! [`candidates`]. Exhaustive and pruned-grid provably return the same
+//! winner; greedy trades optimality for a bounded number of oracle calls
+//! but never returns a config worse than its seed.
+
+use crate::config::{candidates_constrained, ExecPolicy, TuneConfig};
+use crate::db::{TuneEntry, TuneKey, TuningDb};
+use crate::oracle::{evaluate, lower_bound, plan_candidate, time_planned};
+use mg_gpusim::DeviceSpec;
+use mg_tensor::par::map_indexed;
+use multigrain::{AttentionProblem, Method};
+
+/// Default oracle-call budget for [`Strategy::Greedy`].
+pub const GREEDY_BUDGET: usize = 12;
+
+/// How to search the candidate space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Simulate every candidate. The reference answer.
+    Exhaustive,
+    /// Simulate the candidate with the smallest work-based lower bound
+    /// first, then cut every candidate whose bound already exceeds that
+    /// incumbent's measured time. Returns the exhaustive winner with
+    /// fewer oracle calls (the cut is strict, so even exact ties resolve
+    /// identically).
+    PrunedGrid,
+    /// Hill-climb from a seed configuration (the nearest cached entry on
+    /// the same device, when one exists), moving one axis at a time,
+    /// capped at `budget` oracle calls. Never worse than its seed.
+    Greedy {
+        /// Maximum number of oracle calls, including the seed.
+        budget: usize,
+    },
+}
+
+impl Strategy {
+    /// Stable label used in reports and the persisted database.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Strategy::Exhaustive => "exhaustive",
+            Strategy::PrunedGrid => "pruned-grid",
+            Strategy::Greedy { .. } => "greedy",
+        }
+    }
+}
+
+/// The configuration serving falls back to when it cannot afford a tune:
+/// the paper's method at the model's own block size when that block
+/// divides the sequence, otherwise the blockless fine-grained method.
+/// Always plannable, never simulated.
+pub fn fallback_config(problem: &AttentionProblem) -> TuneConfig {
+    let block_size = problem.block_size();
+    let divides = block_size > 0 && problem.pattern().seq_len().is_multiple_of(block_size);
+    TuneConfig {
+        method: if divides {
+            Method::Multigrain
+        } else {
+            Method::SputnikStyle
+        },
+        block_size,
+        exec: ExecPolicy::RoleStreams,
+    }
+}
+
+/// A [`TuneEntry`] for [`fallback_config`]: one oracle call, no search.
+/// Flagged by the `"fallback"` strategy label; a later real tune finds a
+/// time at most this one, so [`TuningDb::insert`]'s keep-the-faster rule
+/// lets it replace the fallback. An unplannable fallback (degenerate
+/// problem) records `INFINITY`, which any tune replaces.
+pub fn fallback_entry(spec: &DeviceSpec, problem: &AttentionProblem) -> TuneEntry {
+    let config = fallback_config(problem);
+    let time_s = plan_candidate(problem, &config)
+        .map(|attn| time_planned(spec, &attn, config.exec))
+        .unwrap_or(f64::INFINITY);
+    TuneEntry {
+        config,
+        time_s,
+        evals: 1,
+        tune_cost_s: if time_s.is_finite() { time_s } else { 0.0 },
+        strategy: "fallback",
+    }
+}
+
+/// Runs `strategy` for `problem` on `spec` and returns the winner.
+///
+/// `seed` warm-starts [`Strategy::Greedy`] (ignored by the grid
+/// strategies); pass the config of [`TuningDb::neighbor`]'s entry when
+/// one exists. An unplannable seed (stale block size from another
+/// workload, say) silently degrades to [`fallback_config`]. `pinned`
+/// restricts the space to one exec policy (see
+/// [`crate::candidates_constrained`]) — a serving layer pins the policy
+/// its dispatcher actually runs.
+pub fn tune(
+    spec: &DeviceSpec,
+    problem: &AttentionProblem,
+    strategy: Strategy,
+    seed: Option<TuneConfig>,
+    pinned: Option<ExecPolicy>,
+) -> TuneEntry {
+    let space = candidates_constrained(problem, pinned);
+    assert!(!space.is_empty(), "blockless methods always enumerate");
+    let (best_idx, time_s, evals, tune_cost_s) = match strategy {
+        Strategy::Exhaustive => exhaustive(spec, problem, &space),
+        Strategy::PrunedGrid => pruned_grid(spec, problem, &space),
+        Strategy::Greedy { budget } => greedy(spec, problem, &space, seed, budget),
+    };
+    TuneEntry {
+        config: space[best_idx],
+        time_s,
+        evals,
+        tune_cost_s,
+        strategy: strategy.label(),
+    }
+}
+
+/// Convenience wrapper binding [`tune`] to the database: derives the
+/// [`TuneKey`], returns the cached entry on a hit, otherwise tunes
+/// (seeding greedy from the nearest same-device entry) and records the
+/// winner. The `bool` is `true` on a cache hit.
+pub fn tune_cached(
+    spec: &DeviceSpec,
+    problem: &AttentionProblem,
+    len_bucket: usize,
+    strategy: Strategy,
+    pinned: Option<ExecPolicy>,
+    db: &mut TuningDb,
+) -> (TuneKey, TuneEntry, bool) {
+    let key = TuneKey::for_problem(problem, len_bucket, spec);
+    if let Some(entry) = db.get(&key) {
+        return (key, entry.clone(), true);
+    }
+    let seed = db.neighbor(&key).map(|e| e.config);
+    let entry = tune(spec, problem, strategy, seed, pinned);
+    db.insert(key, entry.clone());
+    (key, entry, false)
+}
+
+/// Argmin over `(index, time)` pairs: lowest time, ties to the lowest
+/// candidate index. `usize::MAX` never wins, so callers mark skipped
+/// candidates with `f64::INFINITY`.
+fn argmin(times: &[(usize, f64)]) -> (usize, f64) {
+    let mut best = (usize::MAX, f64::INFINITY);
+    for &(idx, t) in times {
+        if t < best.1 || (t == best.1 && idx < best.0) {
+            best = (idx, t);
+        }
+    }
+    assert_ne!(best.0, usize::MAX, "at least one candidate must evaluate");
+    best
+}
+
+/// Sum of the finite (actually measured) times — the search's cost in
+/// simulated device seconds.
+fn cost_of(times: &[(usize, f64)]) -> f64 {
+    times.iter().map(|(_, t)| t).filter(|t| t.is_finite()).sum()
+}
+
+fn exhaustive(
+    spec: &DeviceSpec,
+    problem: &AttentionProblem,
+    space: &[TuneConfig],
+) -> (usize, f64, usize, f64) {
+    let times: Vec<(usize, f64)> = map_indexed(space.len(), |i| {
+        (
+            i,
+            evaluate(spec, problem, &space[i]).expect("enumerated candidates plan"),
+        )
+    });
+    let (idx, t) = argmin(&times);
+    (idx, t, space.len(), cost_of(&times))
+}
+
+fn pruned_grid(
+    spec: &DeviceSpec,
+    problem: &AttentionProblem,
+    space: &[TuneConfig],
+) -> (usize, f64, usize, f64) {
+    // Phase 1: plan everything and bound it. Planning is cheap next to
+    // simulation (metadata only, no per-kernel timing loop).
+    let planned = map_indexed(space.len(), |i| {
+        let attn = plan_candidate(problem, &space[i]).expect("enumerated candidates plan");
+        let lb = lower_bound(spec, &attn);
+        (attn, lb)
+    });
+    // Phase 2: measure the most promising candidate (smallest bound,
+    // ties to the earliest) to get an incumbent.
+    let seed_idx = argmin(
+        &planned
+            .iter()
+            .enumerate()
+            .map(|(i, (_, lb))| (i, *lb))
+            .collect::<Vec<_>>(),
+    )
+    .0;
+    let incumbent = time_planned(spec, &planned[seed_idx].0, space[seed_idx].exec);
+    // Phase 3: a candidate whose certified bound already exceeds the
+    // incumbent's measured time cannot beat it. The cut is strict
+    // (`>`): a candidate that could *tie* the winner is still measured,
+    // so the index tie-break sees exactly the same contenders as
+    // exhaustive search and the winner is identical.
+    let times: Vec<(usize, f64)> = map_indexed(space.len(), |i| {
+        if i == seed_idx {
+            (i, incumbent)
+        } else if planned[i].1 > incumbent {
+            (i, f64::INFINITY)
+        } else {
+            (i, time_planned(spec, &planned[i].0, space[i].exec))
+        }
+    });
+    let evals = times.iter().filter(|(_, t)| t.is_finite()).count();
+    let (idx, t) = argmin(&times);
+    (idx, t, evals, cost_of(&times))
+}
+
+fn greedy(
+    spec: &DeviceSpec,
+    problem: &AttentionProblem,
+    space: &[TuneConfig],
+    seed: Option<TuneConfig>,
+    budget: usize,
+) -> (usize, f64, usize, f64) {
+    let budget = budget.max(1);
+    let seed_config = seed
+        .filter(|s| space.contains(s))
+        .unwrap_or_else(|| fallback_config(problem));
+    let seed_idx = space.iter().position(|c| *c == seed_config).unwrap_or(0);
+    let mut times: Vec<Option<f64>> = vec![None; space.len()];
+    let mut evals = 0usize;
+    let measure_wave = |idxs: &[usize], times: &mut Vec<Option<f64>>, evals: &mut usize| {
+        let wave: Vec<(usize, f64)> = map_indexed(idxs.len(), |j| {
+            let i = idxs[j];
+            (
+                i,
+                evaluate(spec, problem, &space[i]).expect("enumerated candidates plan"),
+            )
+        });
+        for (i, t) in wave {
+            times[i] = Some(t);
+            *evals += 1;
+        }
+    };
+    measure_wave(&[seed_idx], &mut times, &mut evals);
+    let mut current = seed_idx;
+    loop {
+        // Neighbors differ from the current config in exactly one axis;
+        // candidate order makes the wave (and thus every tie-break)
+        // deterministic.
+        let mut frontier: Vec<usize> = space
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| {
+                times[*i].is_none() && {
+                    let cur = &space[current];
+                    let diffs = usize::from(c.method != cur.method)
+                        + usize::from(c.block_size != cur.block_size)
+                        + usize::from(c.exec != cur.exec);
+                    diffs == 1
+                }
+            })
+            .map(|(i, _)| i)
+            .collect();
+        frontier.truncate(budget.saturating_sub(evals));
+        if frontier.is_empty() {
+            break;
+        }
+        measure_wave(&frontier, &mut times, &mut evals);
+        let measured: Vec<(usize, f64)> = times
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (i, t)))
+            .collect();
+        let (best_idx, _) = argmin(&measured);
+        if best_idx == current {
+            break; // local minimum
+        }
+        current = best_idx;
+        if evals >= budget {
+            break;
+        }
+    }
+    let measured: Vec<(usize, f64)> = times
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| t.map(|t| (i, t)))
+        .collect();
+    let (idx, t) = argmin(&measured);
+    (idx, t, evals, cost_of(&measured))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::candidates;
+    use mg_patterns::{AtomicPattern, CompoundPattern};
+
+    fn problem(seq_len: usize) -> AttentionProblem {
+        let pattern = CompoundPattern::new(seq_len)
+            .with(AtomicPattern::Local { window: 16 })
+            .with(AtomicPattern::Random {
+                per_row: 4,
+                seed: 5,
+            })
+            .with(AtomicPattern::Global { tokens: vec![0] });
+        AttentionProblem::new(pattern, 32, 1, 2, 16)
+    }
+
+    #[test]
+    fn pruned_grid_matches_exhaustive_and_prunes() {
+        for spec in [DeviceSpec::a100(), DeviceSpec::rtx3090()] {
+            for seq_len in [64usize, 128] {
+                let prob = problem(seq_len);
+                let full = tune(&spec, &prob, Strategy::Exhaustive, None, None);
+                let cut = tune(&spec, &prob, Strategy::PrunedGrid, None, None);
+                assert_eq!(full.config, cut.config, "{} L={seq_len}", spec.name);
+                assert_eq!(full.time_s.to_bits(), cut.time_s.to_bits());
+                assert!(cut.evals <= full.evals, "pruning never adds evals");
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_respects_budget_and_never_loses_to_seed() {
+        let spec = DeviceSpec::a100();
+        let prob = problem(128);
+        for seed in candidates(&prob) {
+            let seed_time = evaluate(&spec, &prob, &seed).unwrap();
+            let won = tune(
+                &spec,
+                &prob,
+                Strategy::Greedy { budget: 6 },
+                Some(seed),
+                None,
+            );
+            assert!(won.time_s <= seed_time, "{}", seed.label());
+            assert!(won.evals <= 6);
+        }
+    }
+
+    #[test]
+    fn greedy_with_enough_budget_finds_the_exhaustive_winner_here() {
+        // Not guaranteed in general (hill-climbing), but on this smooth
+        // landscape a full budget must reach the global optimum; a
+        // regression that strands the climb would fail this.
+        let spec = DeviceSpec::rtx3090();
+        let prob = problem(64);
+        let full = tune(&spec, &prob, Strategy::Exhaustive, None, None);
+        let climbed = tune(
+            &spec,
+            &prob,
+            Strategy::Greedy {
+                budget: candidates(&prob).len(),
+            },
+            None,
+            None,
+        );
+        assert!(climbed.time_s <= full.time_s * 1.05);
+    }
+
+    #[test]
+    fn unplannable_seed_degrades_to_fallback() {
+        let prob = problem(128);
+        let stale = TuneConfig {
+            method: Method::TritonStyle,
+            block_size: 48, // does not divide 128
+            exec: ExecPolicy::Pipelined,
+        };
+        let entry = tune(
+            &DeviceSpec::a100(),
+            &prob,
+            Strategy::Greedy { budget: 3 },
+            Some(stale),
+            None,
+        );
+        assert!(entry.time_s.is_finite());
+    }
+
+    #[test]
+    fn tune_cached_hits_after_recording() {
+        let spec = DeviceSpec::a100();
+        let prob = problem(64);
+        let mut db = TuningDb::new();
+        let (key, entry, hit) = tune_cached(&spec, &prob, 16, Strategy::Exhaustive, None, &mut db);
+        assert!(!hit);
+        let (key2, entry2, hit2) =
+            tune_cached(&spec, &prob, 16, Strategy::Exhaustive, None, &mut db);
+        assert!(hit2);
+        assert_eq!(key, key2);
+        assert_eq!(entry, entry2);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn fallback_is_plannable_and_cheap() {
+        let prob = problem(128);
+        let fb = fallback_config(&prob);
+        assert!(plan_candidate(&prob, &fb).is_ok());
+        let entry = fallback_entry(&DeviceSpec::a100(), &prob);
+        assert_eq!(entry.strategy, "fallback");
+        assert!(entry.time_s.is_finite());
+        // An indivisible block size degrades to the blockless method.
+        let odd = AttentionProblem::new(
+            CompoundPattern::new(60).with(AtomicPattern::Local { window: 8 }),
+            16,
+            1,
+            1,
+            16,
+        );
+        assert_eq!(fallback_config(&odd).method, Method::SputnikStyle);
+        assert!(fallback_entry(&DeviceSpec::a100(), &odd).time_s.is_finite());
+    }
+}

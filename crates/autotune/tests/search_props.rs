@@ -1,0 +1,122 @@
+//! Search-strategy properties on randomly drawn workloads:
+//!
+//! * greedy hill-climb never returns a config worse than its seed,
+//! * pruned grid returns bit-identically the exhaustive winner,
+//! * serial and parallel evaluation agree bit-for-bit (the rayon pool
+//!   size must not leak into winners or times).
+
+use mg_autotune::{candidates, evaluate, tune, Strategy as TuneStrategy};
+use mg_gpusim::DeviceSpec;
+use mg_patterns::{AtomicPattern, CompoundPattern};
+use multigrain::AttentionProblem;
+use proptest::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+const SEQ_LENS: [usize; 4] = [64, 128, 192, 256];
+
+fn arb_problem() -> impl Strategy<Value = AttentionProblem> {
+    (
+        0usize..SEQ_LENS.len(),
+        4usize..=24,
+        1usize..=6,
+        0usize..=2,
+        0u64..1000,
+    )
+        .prop_map(|(seq_i, window, per_row, globals, seed)| {
+            let seq_len = SEQ_LENS[seq_i];
+            let mut pattern = CompoundPattern::new(seq_len)
+                .with(AtomicPattern::Local { window })
+                .with(AtomicPattern::Random { per_row, seed });
+            if globals > 0 {
+                pattern = pattern.with(AtomicPattern::Global {
+                    tokens: (0..globals).collect(),
+                });
+            }
+            AttentionProblem::new(pattern, 32, 1, 2, 16)
+        })
+}
+
+fn device(i: usize) -> DeviceSpec {
+    if i == 0 {
+        DeviceSpec::a100()
+    } else {
+        DeviceSpec::rtx3090()
+    }
+}
+
+proptest! {
+    // Oracle calls simulate whole attention runs, so keep case counts
+    // modest; each case still sweeps the full candidate space.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn greedy_never_returns_worse_than_its_seed(
+        problem in arb_problem(),
+        device_i in 0usize..2,
+        seed_i in any::<usize>(),
+        budget in 1usize..10,
+    ) {
+        let spec = device(device_i);
+        let space = candidates(&problem);
+        let seed = space[seed_i % space.len()];
+        let seed_time = evaluate(&spec, &problem, &seed).expect("candidates plan");
+        let entry = tune(&spec, &problem, TuneStrategy::Greedy { budget }, Some(seed), None);
+        prop_assert!(
+            entry.time_s <= seed_time,
+            "greedy regressed: {} ({}) vs seed {} ({})",
+            entry.config.label(),
+            entry.time_s,
+            seed.label(),
+            seed_time,
+        );
+        prop_assert!(entry.evals <= budget.max(1));
+    }
+
+    #[test]
+    fn pruned_grid_equals_exhaustive(problem in arb_problem(), device_i in 0usize..2) {
+        let spec = device(device_i);
+        let full = tune(&spec, &problem, TuneStrategy::Exhaustive, None, None);
+        let cut = tune(&spec, &problem, TuneStrategy::PrunedGrid, None, None);
+        prop_assert_eq!(full.config, cut.config);
+        prop_assert_eq!(full.time_s.to_bits(), cut.time_s.to_bits());
+        prop_assert!(cut.evals <= full.evals);
+    }
+}
+
+#[test]
+fn winners_are_bit_identical_across_thread_counts() {
+    let pattern = CompoundPattern::new(256)
+        .with(AtomicPattern::Local { window: 16 })
+        .with(AtomicPattern::Random {
+            per_row: 8,
+            seed: 7,
+        })
+        .with(AtomicPattern::Global { tokens: vec![0, 5] });
+    let problem = AttentionProblem::new(pattern, 64, 1, 4, 16);
+    let run = |threads: usize| {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool builds");
+        pool.install(|| {
+            [
+                TuneStrategy::Exhaustive,
+                TuneStrategy::PrunedGrid,
+                TuneStrategy::Greedy { budget: 8 },
+            ]
+            .map(|s| {
+                [DeviceSpec::a100(), DeviceSpec::rtx3090()]
+                    .map(|spec| tune(&spec, &problem, s, None, None))
+            })
+        })
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    for (row_s, row_p) in serial.iter().zip(&parallel) {
+        for (a, b) in row_s.iter().zip(row_p) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.time_s.to_bits(), b.time_s.to_bits());
+            assert_eq!(a.evals, b.evals);
+        }
+    }
+}

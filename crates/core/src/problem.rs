@@ -96,6 +96,41 @@ impl AttentionProblem {
         self.block_size.hash(&mut h);
         h.finish()
     }
+
+    /// [`AttentionProblem::signature`] under the length bucketing a
+    /// serving layer applies before planning: the pattern's valid length
+    /// is rounded **up** to a multiple of `len_bucket` (clamped to the
+    /// padded length) before hashing, and the bucket width itself enters
+    /// the hash.
+    ///
+    /// This is the single key-derivation rule shared by the serve plan
+    /// cache and the autotune tuning database. Both layers key by it so
+    /// the two key spaces cannot silently diverge: a problem and its
+    /// length-bucketed canonical form produce the same signature, and
+    /// re-bucketing an already-bucketed problem is a no-op — while the
+    /// same traffic served under a *different* bucket width never aliases
+    /// into the old keys.
+    pub fn signature_with_bucket(&self, len_bucket: usize) -> u64 {
+        let len_bucket = len_bucket.max(1);
+        let bucketed_len = self
+            .pattern
+            .valid_len()
+            .div_ceil(len_bucket)
+            .saturating_mul(len_bucket)
+            .clamp(1, self.pattern.seq_len());
+        let mut h = DefaultHasher::new();
+        self.pattern
+            .clone()
+            .with_valid_len(bucketed_len)
+            .hash(&mut h);
+        self.dims.seq_len.hash(&mut h);
+        self.dims.head_dim.hash(&mut h);
+        self.dims.batch.hash(&mut h);
+        self.dims.heads.hash(&mut h);
+        self.block_size.hash(&mut h);
+        len_bucket.hash(&mut h);
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +181,51 @@ mod tests {
         );
         assert_ne!(base.signature(), padded.signature());
         assert_ne!(base.signature(), base.with_batch(2).signature());
+    }
+
+    #[test]
+    fn bucketed_signature_is_idempotent_and_bucket_aware() {
+        let problem = |valid_len: usize| {
+            AttentionProblem::new(
+                CompoundPattern::new(128)
+                    .with(AtomicPattern::Local { window: 8 })
+                    .with_valid_len(valid_len),
+                32,
+                1,
+                4,
+                16,
+            )
+        };
+        // Lengths sharing a bucket share a signature...
+        assert_eq!(
+            problem(33).signature_with_bucket(16),
+            problem(48).signature_with_bucket(16)
+        );
+        // ...across buckets they do not.
+        assert_ne!(
+            problem(33).signature_with_bucket(16),
+            problem(49).signature_with_bucket(16)
+        );
+        // Bucketing an already-bucketed problem is a no-op, so a raw
+        // problem and its canonical form derive the same key.
+        assert_eq!(
+            problem(48).signature_with_bucket(16),
+            problem(48).signature_with_bucket(16)
+        );
+        assert_eq!(
+            problem(33).signature_with_bucket(16),
+            problem(33 / 16 * 16 + 16).signature_with_bucket(16)
+        );
+        // The bucket width itself is part of the key.
+        assert_ne!(
+            problem(64).signature_with_bucket(16),
+            problem(64).signature_with_bucket(32)
+        );
+        // Rounding clamps at the padded length.
+        assert_eq!(
+            problem(120).signature_with_bucket(64),
+            problem(128).signature_with_bucket(64)
+        );
     }
 
     #[test]

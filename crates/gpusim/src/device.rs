@@ -1,6 +1,8 @@
 //! GPU device specifications (paper Table 1 plus public architecture
 //! parameters needed by the occupancy and timing models).
 
+use crate::json::{parse, Json};
+
 /// Static description of a GPU used by the execution model.
 ///
 /// The two constructors [`DeviceSpec::a100`] and [`DeviceSpec::rtx3090`]
@@ -129,6 +131,106 @@ impl DeviceSpec {
         }
     }
 
+    /// A stable 64-bit fingerprint of everything the timing model reads:
+    /// the name, every pipe rate, and every memory/occupancy parameter.
+    ///
+    /// Persisted tuning-database entries are keyed by this value, so a
+    /// tuned choice is invalidated the moment any aspect of the device
+    /// model changes — a recalibrated bandwidth, a different SM count, a
+    /// new launch-overhead estimate. The hash is FNV-1a over a fixed
+    /// field order (not `DefaultHasher`, whose output may change across
+    /// Rust releases and would silently orphan every saved database).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(self.name.as_bytes());
+        for v in [
+            self.clock_ghz,
+            self.mem_bw_bytes_per_s,
+            self.cuda_fp16_flops,
+            self.tensor_fp16_flops,
+            self.sfu_ops_per_s,
+            self.l2_bw_bytes_per_s,
+            self.launch_overhead_s,
+            self.tb_overhead_cycles,
+            self.warps_to_saturate,
+        ] {
+            h.write(&v.to_bits().to_le_bytes());
+        }
+        for v in [
+            self.sm_count,
+            self.smem_per_sm,
+            self.regs_per_sm,
+            self.max_warps_per_sm,
+            self.max_tbs_per_sm,
+            self.l1_per_sm,
+            self.l2_bytes,
+        ] {
+            h.write(&(v as u64).to_le_bytes());
+        }
+        h.finish()
+    }
+
+    /// Loads a custom device from a flat JSON object, for GPUs beyond the
+    /// two Table-1 presets — every field of [`DeviceSpec`] by its Rust
+    /// name, e.g.:
+    ///
+    /// ```json
+    /// {"name": "L40S", "sm_count": 142, "clock_ghz": 2.52,
+    ///  "mem_bw_bytes_per_s": 864e9, "cuda_fp16_flops": 91.6e12,
+    ///  "tensor_fp16_flops": 183e12, "sfu_ops_per_s": 11.45e12,
+    ///  "smem_per_sm": 102400, "regs_per_sm": 65536,
+    ///  "max_warps_per_sm": 48, "max_tbs_per_sm": 24,
+    ///  "l1_per_sm": 131072, "l2_bytes": 100663296,
+    ///  "l2_bw_bytes_per_s": 5.0e12, "launch_overhead_s": 1.5e-6,
+    ///  "tb_overhead_cycles": 600.0, "warps_to_saturate": 8.0}
+    /// ```
+    ///
+    /// The name is interned for the process lifetime (specs carry a
+    /// `&'static str`); loading is a one-time configuration step, so the
+    /// few leaked bytes per distinct device are intentional.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first missing/ill-typed field or
+    /// JSON syntax error.
+    pub fn from_json(text: &str) -> Result<DeviceSpec, String> {
+        let doc = parse(text)?;
+        let num = |key: &str| -> Result<f64, String> {
+            doc.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing or non-numeric field '{key}'"))
+        };
+        let int = |key: &str| -> Result<usize, String> {
+            doc.get(key)
+                .and_then(Json::as_u64)
+                .map(|v| v as usize)
+                .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+        };
+        let name = doc
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "missing or non-string field 'name'".to_string())?;
+        Ok(DeviceSpec {
+            name: Box::leak(name.to_string().into_boxed_str()),
+            sm_count: int("sm_count")?,
+            clock_ghz: num("clock_ghz")?,
+            mem_bw_bytes_per_s: num("mem_bw_bytes_per_s")?,
+            cuda_fp16_flops: num("cuda_fp16_flops")?,
+            tensor_fp16_flops: num("tensor_fp16_flops")?,
+            sfu_ops_per_s: num("sfu_ops_per_s")?,
+            smem_per_sm: int("smem_per_sm")?,
+            regs_per_sm: int("regs_per_sm")?,
+            max_warps_per_sm: int("max_warps_per_sm")?,
+            max_tbs_per_sm: int("max_tbs_per_sm")?,
+            l1_per_sm: int("l1_per_sm")?,
+            l2_bytes: int("l2_bytes")?,
+            l2_bw_bytes_per_s: num("l2_bw_bytes_per_s")?,
+            launch_overhead_s: num("launch_overhead_s")?,
+            tb_overhead_cycles: num("tb_overhead_cycles")?,
+            warps_to_saturate: num("warps_to_saturate")?,
+        })
+    }
+
     /// FP16 tensor-core FLOP/s available to one SM.
     pub fn sm_tensor_rate(&self) -> f64 {
         self.tensor_fp16_flops / self.sm_count as f64
@@ -157,6 +259,27 @@ impl DeviceSpec {
     /// Per-thread-block overhead in seconds.
     pub fn tb_overhead_s(&self) -> f64 {
         self.tb_overhead_cycles / (self.clock_ghz * 1e9)
+    }
+}
+
+/// FNV-1a, 64-bit: a tiny, stable, well-distributed hash whose output is
+/// part of the tuning database's on-disk contract.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -209,5 +332,56 @@ mod tests {
     fn tb_overhead_is_sub_microsecond() {
         let a = DeviceSpec::a100();
         assert!(a.tb_overhead_s() > 0.0 && a.tb_overhead_s() < 2e-6);
+    }
+
+    #[test]
+    fn fingerprint_is_pinned_and_sensitive() {
+        // Pinned value: the fingerprint keys persisted tuning databases,
+        // so an accidental change to the hash (or to the A100 model)
+        // must fail loudly here, not silently orphan saved entries.
+        assert_eq!(DeviceSpec::a100().fingerprint(), 0x69a3_ec57_039a_79d0);
+        let a = DeviceSpec::a100();
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        assert_ne!(a.fingerprint(), DeviceSpec::rtx3090().fingerprint());
+        // Any single timing-relevant field flips the fingerprint.
+        let mut faster = DeviceSpec::a100();
+        faster.mem_bw_bytes_per_s *= 1.01;
+        assert_ne!(a.fingerprint(), faster.fingerprint());
+        let mut fewer = DeviceSpec::a100();
+        fewer.sm_count -= 1;
+        assert_ne!(a.fingerprint(), fewer.fingerprint());
+    }
+
+    #[test]
+    fn from_json_round_trips_a_custom_device() {
+        let text = r#"{
+            "name": "Custom", "sm_count": 64, "clock_ghz": 1.5,
+            "mem_bw_bytes_per_s": 500e9, "cuda_fp16_flops": 20e12,
+            "tensor_fp16_flops": 80e12, "sfu_ops_per_s": 2.5e12,
+            "smem_per_sm": 102400, "regs_per_sm": 65536,
+            "max_warps_per_sm": 48, "max_tbs_per_sm": 16,
+            "l1_per_sm": 131072, "l2_bytes": 4194304,
+            "l2_bw_bytes_per_s": 2.0e12, "launch_overhead_s": 1.5e-6,
+            "tb_overhead_cycles": 600.0, "warps_to_saturate": 8.0
+        }"#;
+        let spec = DeviceSpec::from_json(text).expect("loads");
+        assert_eq!(spec.name, "Custom");
+        assert_eq!(spec.sm_count, 64);
+        assert_eq!(spec.mem_bw_bytes_per_s, 500e9);
+        assert_eq!(spec.tb_overhead_cycles, 600.0);
+        // Identical documents fingerprint identically; a tweak does not.
+        let again = DeviceSpec::from_json(text).expect("loads");
+        assert_eq!(spec.fingerprint(), again.fingerprint());
+        let tweaked = DeviceSpec::from_json(&text.replace("500e9", "501e9")).expect("loads");
+        assert_ne!(spec.fingerprint(), tweaked.fingerprint());
+    }
+
+    #[test]
+    fn from_json_names_the_missing_field() {
+        let err = DeviceSpec::from_json(r#"{"name": "X"}"#).unwrap_err();
+        assert!(err.contains("sm_count"), "{err}");
+        let err = DeviceSpec::from_json(r#"{"sm_count": 1}"#).unwrap_err();
+        assert!(err.contains("name"), "{err}");
+        assert!(DeviceSpec::from_json("not json").is_err());
     }
 }

@@ -30,6 +30,7 @@
 
 mod device;
 mod engine;
+pub mod json;
 mod kernel;
 pub mod occupancy;
 mod timeline;

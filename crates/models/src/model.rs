@@ -95,13 +95,32 @@ impl SparseTransformer {
         sample: &WorkloadSample,
         batch: usize,
     ) -> Result<Attention, SparseError> {
+        self.plan_attention_with_block(method, sample, batch, self.config.block_size)
+    }
+
+    /// [`SparseTransformer::plan_attention`] with the coarse block size
+    /// overridden — the hook an autotuner uses to apply a tuned slicing
+    /// granularity instead of the model's configured default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError`] when the pattern cannot be planned at
+    /// `block_size` (e.g. it does not divide the padded length for a
+    /// blocked method).
+    pub fn plan_attention_with_block(
+        &self,
+        method: Method,
+        sample: &WorkloadSample,
+        batch: usize,
+        block_size: usize,
+    ) -> Result<Attention, SparseError> {
         let cfg = &self.config;
         let problem = AttentionProblem::new(
             self.pattern_for(sample),
             cfg.head_dim,
             batch,
             cfg.heads,
-            cfg.block_size,
+            block_size,
         );
         Attention::plan(method, problem)
     }

@@ -10,6 +10,7 @@
 //! a high hit rate, at the cost of slightly over-provisioned patterns.
 
 use crate::request::Request;
+use crate::tune::Tuner;
 use mg_models::workload::WorkloadSample;
 use mg_models::SparseTransformer;
 use mg_sparse::SparseError;
@@ -26,7 +27,10 @@ use std::sync::Arc;
 pub struct PlanKey {
     /// Attention method the plan was built for.
     pub method: Method,
-    /// [`AttentionProblem::signature`] of the canonicalized problem.
+    /// [`AttentionProblem::signature_with_bucket`] of the canonicalized
+    /// problem at the cache's length bucket — the same derivation the
+    /// autotune layer keys its tuning database by, so the two key
+    /// spaces cannot diverge.
     pub pattern_sig: u64,
     /// Valid length after bucketing.
     pub len_bucket: usize,
@@ -170,6 +174,7 @@ pub struct PlanCache {
     entries: HashMap<PlanKey, (Arc<Attention>, u64)>,
     tick: u64,
     stats: CacheStats,
+    tuner: Option<Tuner>,
 }
 
 impl PlanCache {
@@ -187,7 +192,22 @@ impl PlanCache {
             entries: HashMap::new(),
             tick: 0,
             stats: CacheStats::default(),
+            tuner: None,
         }
+    }
+
+    /// Attaches a [`Tuner`]: every subsequent plan request consults the
+    /// tuning database *first*, and the tuned `(method, block size)` —
+    /// not the request's — is what gets planned and cached.
+    #[must_use]
+    pub fn with_tuner(mut self, tuner: Tuner) -> PlanCache {
+        self.tuner = Some(tuner);
+        self
+    }
+
+    /// The attached tuner, if any.
+    pub fn tuner(&self) -> Option<&Tuner> {
+        self.tuner.as_ref()
     }
 
     /// The model plans are built against.
@@ -195,21 +215,44 @@ impl PlanCache {
         &self.model
     }
 
-    /// Computes the cache key for a request without planning anything.
+    /// Computes the cache key for a request without planning anything
+    /// (at the model's configured block size).
     pub fn key_for(&self, method: Method, sample: &WorkloadSample) -> PlanKey {
-        let max_seq_len = self.model.config().max_seq_len;
-        let canon = canonicalize(sample, max_seq_len, self.len_bucket);
-        let pattern = self.model.pattern_for(&canon);
-        let cfg = self.model.config();
-        let problem = AttentionProblem::new(pattern, cfg.head_dim, 1, cfg.heads, cfg.block_size);
+        self.key_with_block(method, sample, self.model.config().block_size)
+    }
+
+    /// [`PlanCache::key_for`] at an explicit coarse block size (tuned
+    /// plans are keyed by the block they were actually built with).
+    pub fn key_with_block(
+        &self,
+        method: Method,
+        sample: &WorkloadSample,
+        block_size: usize,
+    ) -> PlanKey {
+        let canon = canonicalize(sample, self.model.config().max_seq_len, self.len_bucket);
+        let problem = self.canonical_problem(&canon, block_size);
         let mut h = DefaultHasher::new();
         canon.special_tokens.hash(&mut h);
         PlanKey {
             method,
-            pattern_sig: problem.signature(),
+            pattern_sig: problem.signature_with_bucket(self.len_bucket),
             len_bucket: canon.valid_len,
             layout_hash: h.finish(),
         }
+    }
+
+    /// The canonical [`AttentionProblem`] of an already-canonicalized
+    /// sample, at the given block size. This is the problem the tuning
+    /// layer keys by and the plan the cache builds on a miss.
+    fn canonical_problem(&self, canon: &WorkloadSample, block_size: usize) -> AttentionProblem {
+        let cfg = self.model.config();
+        AttentionProblem::new(
+            self.model.pattern_for(canon),
+            cfg.head_dim,
+            1,
+            cfg.heads,
+            block_size,
+        )
     }
 
     /// Returns the plan for `request`, building and inserting it on miss.
@@ -218,12 +261,49 @@ impl PlanCache {
     }
 
     /// Returns the plan for a `(method, sample)` pair, building on miss.
+    ///
+    /// With a [`Tuner`] attached, the tuning database picks the method
+    /// and block size and `method` is only a fallback: it is what gets
+    /// planned if the tuned configuration turns out unplannable (a stale
+    /// database entry merged from elsewhere, say) — serving degrades
+    /// instead of erroring.
     pub fn get_or_plan_sample(
         &mut self,
         method: Method,
         sample: &WorkloadSample,
     ) -> Result<Arc<Attention>, SparseError> {
-        let key = self.key_for(method, sample);
+        let default_block = self.model.config().block_size;
+        let tuned = match self.tuner {
+            Some(_) => {
+                let canon = canonicalize(sample, self.model.config().max_seq_len, self.len_bucket);
+                let problem = self.canonical_problem(&canon, default_block);
+                let len_bucket = self.len_bucket;
+                self.tuner
+                    .as_mut()
+                    .map(|tuner| tuner.choose(&problem, len_bucket))
+            }
+            None => None,
+        };
+        match tuned {
+            Some(config) => {
+                match self.lookup_or_plan(config.method, sample, config.block_size) {
+                    Ok(plan) => Ok(plan),
+                    // A tuned config the model cannot plan: degrade to
+                    // the request's own method at the default block.
+                    Err(_) => self.lookup_or_plan(method, sample, default_block),
+                }
+            }
+            None => self.lookup_or_plan(method, sample, default_block),
+        }
+    }
+
+    fn lookup_or_plan(
+        &mut self,
+        method: Method,
+        sample: &WorkloadSample,
+        block_size: usize,
+    ) -> Result<Arc<Attention>, SparseError> {
+        let key = self.key_with_block(method, sample, block_size);
         self.tick += 1;
         if let Some((plan, last_used)) = self.entries.get_mut(&key) {
             self.stats.hits += 1;
@@ -232,7 +312,10 @@ impl PlanCache {
         }
         self.stats.misses += 1;
         let canon = canonicalize(sample, self.model.config().max_seq_len, self.len_bucket);
-        let plan = Arc::new(self.model.plan_attention(method, &canon, 1)?);
+        let plan = Arc::new(
+            self.model
+                .plan_attention_with_block(method, &canon, 1, block_size)?,
+        );
         if self.entries.len() >= self.capacity {
             let oldest = self
                 .entries
@@ -394,6 +477,69 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.misses, 3); // first touches of 8, 30, 60
+    }
+
+    #[test]
+    fn plan_key_and_tune_key_derive_the_same_signature() {
+        // Satellite regression: the plan cache and the tuning database
+        // must key by the same pattern signature, or a tuned entry and
+        // the plan it selects could drift apart. Both sides go through
+        // `AttentionProblem::signature_with_bucket` over the
+        // canonicalized sample — assert they agree exactly.
+        use mg_autotune::TuneKey;
+        use mg_gpusim::DeviceSpec;
+
+        let cache = tiny_cache(8);
+        let spec = DeviceSpec::a100();
+        for valid_len in [13, 40, 64] {
+            let sample = WorkloadSample {
+                valid_len,
+                special_tokens: vec![0, 1, 2],
+            };
+            let plan_key = cache.key_for(Method::Multigrain, &sample);
+            let canon = canonicalize(&sample, cache.model.config().max_seq_len, cache.len_bucket);
+            let problem = cache.canonical_problem(&canon, cache.model.config().block_size);
+            let tune_key = TuneKey::for_problem(&problem, cache.len_bucket, &spec);
+            assert_eq!(
+                plan_key.pattern_sig, tune_key.pattern_sig,
+                "key derivations diverged at valid_len {valid_len}"
+            );
+            assert_eq!(tune_key.device_fp, spec.fingerprint());
+        }
+    }
+
+    #[test]
+    fn tuned_cache_consults_the_database_before_the_plan_cache() {
+        use crate::dispatch::StreamPolicy;
+        use crate::tune::{TunePolicy, Tuner};
+        use mg_autotune::TuningDb;
+        use mg_gpusim::DeviceSpec;
+
+        let mut cache = tiny_cache(8).with_tuner(Tuner::new(
+            TunePolicy::online(TuningDb::new()),
+            DeviceSpec::a100(),
+            StreamPolicy::RoleStreams,
+        ));
+        let sample = WorkloadSample {
+            valid_len: 48,
+            special_tokens: vec![0, 1, 2],
+        };
+        cache
+            .get_or_plan_sample(Method::Multigrain, &sample)
+            .unwrap();
+        let t = cache.tuner().unwrap().stats();
+        assert_eq!((t.misses, t.online_tunes), (1, 1), "cold miss tunes");
+        // Second request: tuning-database hit feeding a plan-cache hit.
+        cache
+            .get_or_plan_sample(Method::Multigrain, &sample)
+            .unwrap();
+        let t = cache.tuner().unwrap().stats();
+        assert_eq!((t.hits, t.misses), (1, 1));
+        assert_eq!(cache.stats().hits, 1);
+        // The tuned winner is what got planned and keyed.
+        let config = cache.tuner().unwrap().db().iter().next().unwrap().1.config;
+        let key = cache.key_with_block(config.method, &sample, config.block_size);
+        assert!(cache.entries.contains_key(&key));
     }
 
     #[test]

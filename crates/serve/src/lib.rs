@@ -51,6 +51,7 @@ mod dispatch;
 mod metrics;
 mod request;
 mod sim;
+mod tune;
 
 pub use batch::{Batch, BatchPolicy, Batcher};
 pub use cache::{canonicalize, CacheStats, PlanCache, PlanKey};
@@ -58,3 +59,4 @@ pub use dispatch::{BatchOutcome, Dispatcher, StreamPolicy};
 pub use metrics::{export_serve_trace, RequestOutcome, ServeReport};
 pub use request::{ArrivalProcess, Request, RequestClass, TrafficConfig};
 pub use sim::{ServeConfig, ServeSim};
+pub use tune::{TunePolicy, TuneStats, Tuner};

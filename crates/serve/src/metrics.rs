@@ -4,6 +4,7 @@
 use crate::cache::CacheStats;
 use crate::dispatch::{BatchOutcome, Dispatcher};
 use crate::request::{Request, RequestClass};
+use crate::tune::TuneStats;
 use mg_gpusim::export_chrome_trace_grouped;
 
 /// Per-request latency decomposition, seconds.
@@ -41,6 +42,9 @@ pub struct ServeReport {
     pub makespan_s: f64,
     /// Plan-cache accounting over the whole run.
     pub cache: CacheStats,
+    /// Tuning-database consultations over the whole run (all zeros when
+    /// tuning is disabled).
+    pub tuning: TuneStats,
     /// Fraction of the makespan each worker spent executing kernels.
     pub worker_busy_fraction: Vec<f64>,
 }
@@ -51,6 +55,7 @@ impl ServeReport {
         requests: &[Request],
         batches: &[BatchOutcome],
         cache: CacheStats,
+        tuning: TuneStats,
         dispatcher: &Dispatcher,
     ) -> ServeReport {
         let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(requests.len());
@@ -78,6 +83,7 @@ impl ServeReport {
                 outcomes,
                 makespan_s: 0.0,
                 cache,
+                tuning,
                 worker_busy_fraction: vec![0.0; dispatcher.worker_count()],
             };
         }
@@ -94,6 +100,7 @@ impl ServeReport {
             outcomes,
             makespan_s,
             cache,
+            tuning,
             worker_busy_fraction,
         }
     }
@@ -214,6 +221,7 @@ mod tests {
                 misses: 1,
                 evictions: 0,
             },
+            tuning: TuneStats::default(),
             worker_busy_fraction: vec![0.5, 0.25],
         }
     }
@@ -277,7 +285,8 @@ mod tests {
         // t0 = +inf with t1 = 0 and clamp the makespan to
         // f64::MIN_POSITIVE instead of reporting an inert zero span.
         let d = Dispatcher::new(&DeviceSpec::a100(), 3, StreamPolicy::RoleStreams);
-        let r = ServeReport::from_batches(&[], &[], CacheStats::default(), &d);
+        let r =
+            ServeReport::from_batches(&[], &[], CacheStats::default(), TuneStats::default(), &d);
         assert!(r.outcomes.is_empty());
         assert_eq!(r.makespan_s, 0.0);
         assert_eq!(r.worker_busy_fraction, vec![0.0; 3]);
@@ -307,7 +316,13 @@ mod tests {
             admitted_s: 0.0,
         };
         let executed = vec![d.dispatch(&batch, &mut cache).unwrap()];
-        let r = ServeReport::from_batches(&requests, &executed, cache.stats(), &d);
+        let r = ServeReport::from_batches(
+            &requests,
+            &executed,
+            cache.stats(),
+            TuneStats::default(),
+            &d,
+        );
         assert_eq!(r.worker_busy_fraction.len(), 3);
         assert!(r.worker_busy_fraction[0] > 0.0, "worker 0 ran the batch");
         assert_eq!(r.worker_busy_fraction[1], 0.0);

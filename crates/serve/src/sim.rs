@@ -11,6 +11,8 @@ use crate::cache::PlanCache;
 use crate::dispatch::{BatchOutcome, Dispatcher, StreamPolicy};
 use crate::metrics::{export_serve_trace, ServeReport};
 use crate::request::TrafficConfig;
+use crate::tune::{TunePolicy, Tuner};
+use mg_autotune::TuningDb;
 use mg_gpusim::DeviceSpec;
 use mg_models::{ModelConfig, SparseTransformer};
 use mg_sparse::SparseError;
@@ -32,6 +34,11 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Plan-cache valid-length bucket, tokens.
     pub cache_len_bucket: usize,
+    /// When set, the planner consults the autotuner's tuning database
+    /// before the plan cache and serves the tuned `(method, block size)`
+    /// instead of the request's. `None` (the default) serves requests
+    /// as addressed.
+    pub tuning: Option<TunePolicy>,
 }
 
 impl ServeConfig {
@@ -52,7 +59,15 @@ impl ServeConfig {
             stream_policy: StreamPolicy::RoleStreams,
             cache_capacity: 64,
             cache_len_bucket: bucket,
+            tuning: None,
         }
+    }
+
+    /// The same stack with tuning enabled under `policy`.
+    #[must_use]
+    pub fn with_tuning(mut self, policy: TunePolicy) -> ServeConfig {
+        self.tuning = Some(policy);
+        self
     }
 }
 
@@ -68,7 +83,14 @@ impl ServeSim {
     /// Builds the stack described by `config`.
     pub fn new(config: ServeConfig) -> ServeSim {
         let model = SparseTransformer::new(config.model.clone());
-        let cache = PlanCache::new(model, config.cache_capacity, config.cache_len_bucket);
+        let mut cache = PlanCache::new(model, config.cache_capacity, config.cache_len_bucket);
+        if let Some(policy) = config.tuning.clone() {
+            cache = cache.with_tuner(Tuner::new(
+                policy,
+                config.device.clone(),
+                config.stream_policy,
+            ));
+        }
         let dispatcher = Dispatcher::new(&config.device, config.workers, config.stream_policy);
         ServeSim {
             config,
@@ -107,10 +129,12 @@ impl ServeSim {
         }
 
         self.trace = Some(export_serve_trace(&self.dispatcher));
+        let tuning = self.cache.tuner().map(Tuner::stats).unwrap_or_default();
         Ok(ServeReport::from_batches(
             &requests,
             &executed,
             self.cache.stats(),
+            tuning,
             &self.dispatcher,
         ))
     }
@@ -124,6 +148,12 @@ impl ServeSim {
     /// The plan cache (for inspection).
     pub fn cache(&self) -> &PlanCache {
         &self.cache
+    }
+
+    /// The tuning database accumulated so far (database entries recorded
+    /// by online tunes and fallbacks included), when tuning is enabled.
+    pub fn tuning_db(&self) -> Option<&TuningDb> {
+        self.cache.tuner().map(Tuner::db)
     }
 }
 
@@ -170,6 +200,39 @@ mod tests {
         sim.run(&traffic(100.0, 10, 2)).unwrap();
         let trace = sim.chrome_trace().unwrap();
         assert!(trace.contains("traceEvents") && trace.contains("worker-0"));
+    }
+
+    #[test]
+    fn tuned_serving_consults_the_database_and_stays_deterministic() {
+        use crate::tune::TunePolicy;
+        use mg_autotune::TuningDb;
+
+        let config = tiny_config().with_tuning(TunePolicy::online(TuningDb::new()));
+        let t = traffic(300.0, 30, 11);
+        let mut sim = ServeSim::new(config.clone());
+        let a = sim.run(&t).unwrap();
+        assert_eq!(a.outcomes.len(), 30);
+        // The cold-miss path demonstrably consulted the tuning database:
+        // at least one miss resolved online, and warm traffic hit.
+        assert!(a.tuning.misses >= 1, "{:?}", a.tuning);
+        assert!(a.tuning.online_tunes + a.tuning.fallbacks == a.tuning.misses);
+        assert!(a.tuning.hits >= 1, "{:?}", a.tuning);
+        let db = sim.tuning_db().unwrap();
+        assert_eq!(db.len() as u64, a.tuning.misses, "every miss persisted");
+        // Bit-identical replay, tuning database included.
+        let mut sim2 = ServeSim::new(config);
+        let b = sim2.run(&t).unwrap();
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.tuning, b.tuning);
+        assert_eq!(sim2.tuning_db().unwrap().to_json(), db.to_json());
+    }
+
+    #[test]
+    fn untuned_runs_report_zero_tuning_activity() {
+        let report = ServeSim::new(tiny_config())
+            .run(&traffic(200.0, 10, 5))
+            .unwrap();
+        assert_eq!(report.tuning, crate::tune::TuneStats::default());
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! The serving-side face of the autotuner.
+//!
+//! When tuning is enabled, the planner consults the tuning database
+//! *before* the plan cache: the database decides which `(method, block
+//! size)` to plan, the plan cache then memoizes the built plan. The two
+//! layers key by the same derivation
+//! ([`AttentionProblem::signature_with_bucket`] over the canonicalized
+//! sample), so a tuning-database entry and the plan it selects can never
+//! drift apart.
+//!
+//! A cold database miss triggers an **online tune**, whose cost is real
+//! simulated device time. The [`TunePolicy::online_budget_s`] caps how
+//! much of it a serving process may spend; past the budget the tuner
+//! records [`fallback_entry`]'s heuristic instead, so serving never
+//! blocks on search — the fallback is a legitimate database entry that a
+//! later offline tune (with its lower recorded time) replaces on merge.
+//!
+//! [`AttentionProblem::signature_with_bucket`]:
+//!     multigrain::AttentionProblem::signature_with_bucket
+
+use mg_autotune::{fallback_entry, tune, ExecPolicy, Strategy, TuneConfig, TuneKey, TuningDb};
+use mg_gpusim::DeviceSpec;
+use multigrain::AttentionProblem;
+
+use crate::dispatch::StreamPolicy;
+
+/// How a serving stack uses the autotuner.
+#[derive(Debug, Clone)]
+pub struct TunePolicy {
+    /// Search strategy for online (cold-miss) tunes. Greedy with a small
+    /// budget is the serving-friendly choice; exhaustive gives offline
+    /// quality at cold-start cost.
+    pub strategy: Strategy,
+    /// Total simulated device seconds the run may spend on online
+    /// tunes. Checked before each tune, so the cap can overshoot by at
+    /// most one search; `0.0` disables online tuning entirely (every
+    /// cold miss takes the fallback heuristic).
+    pub online_budget_s: f64,
+    /// Database to start from — typically loaded from a file produced
+    /// by an offline `autotune_study` run; empty for pure online tuning.
+    pub db: TuningDb,
+}
+
+impl TunePolicy {
+    /// Greedy online tuning with the default oracle budget and one
+    /// simulated millisecond of total tune time, starting from `db`.
+    pub fn online(db: TuningDb) -> TunePolicy {
+        TunePolicy {
+            strategy: Strategy::Greedy {
+                budget: mg_autotune::GREEDY_BUDGET,
+            },
+            online_budget_s: 1e-3,
+            db,
+        }
+    }
+}
+
+/// Tuning-consultation counters, reported in
+/// [`ServeReport`](crate::ServeReport).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TuneStats {
+    /// Consultations answered from the tuning database.
+    pub hits: u64,
+    /// Consultations that found no entry.
+    pub misses: u64,
+    /// Misses resolved by an online tune (within budget).
+    pub online_tunes: u64,
+    /// Misses resolved by the recorded fallback heuristic (budget
+    /// exhausted or disabled).
+    pub fallbacks: u64,
+    /// Simulated device seconds spent on online tunes.
+    pub tune_cost_s: f64,
+}
+
+/// The tuner a [`PlanCache`](crate::PlanCache) consults on every plan
+/// request.
+#[derive(Debug, Clone)]
+pub struct Tuner {
+    policy: TunePolicy,
+    spec: DeviceSpec,
+    pinned: ExecPolicy,
+    stats: TuneStats,
+}
+
+impl Tuner {
+    /// Creates a tuner for a pool of `spec` devices dispatching under
+    /// `stream_policy` (online tunes are pinned to the exec policy the
+    /// dispatcher actually runs).
+    pub fn new(policy: TunePolicy, spec: DeviceSpec, stream_policy: StreamPolicy) -> Tuner {
+        let pinned = match stream_policy {
+            StreamPolicy::Serial => ExecPolicy::Serial,
+            StreamPolicy::RoleStreams => ExecPolicy::RoleStreams,
+            StreamPolicy::Pipelined => ExecPolicy::Pipelined,
+        };
+        Tuner {
+            policy,
+            spec,
+            pinned,
+            stats: TuneStats::default(),
+        }
+    }
+
+    /// Chooses the execution configuration for a *canonicalized* problem
+    /// served under `len_bucket`-wide length buckets. Database hit →
+    /// recorded winner; miss → online tune when the budget allows, the
+    /// recorded fallback heuristic otherwise. Either way the decision is
+    /// persisted, so each key pays its resolution cost once.
+    pub fn choose(&mut self, problem: &AttentionProblem, len_bucket: usize) -> TuneConfig {
+        let key = TuneKey::for_problem(problem, len_bucket, &self.spec);
+        if let Some(entry) = self.policy.db.get(&key) {
+            self.stats.hits += 1;
+            return entry.config;
+        }
+        self.stats.misses += 1;
+        let entry = if self.stats.tune_cost_s < self.policy.online_budget_s {
+            let seed = self.policy.db.neighbor(&key).map(|e| e.config);
+            let entry = tune(
+                &self.spec,
+                problem,
+                self.policy.strategy,
+                seed,
+                Some(self.pinned),
+            );
+            self.stats.online_tunes += 1;
+            self.stats.tune_cost_s += entry.tune_cost_s;
+            entry
+        } else {
+            self.stats.fallbacks += 1;
+            fallback_entry(&self.spec, problem)
+        };
+        let config = entry.config;
+        self.policy.db.insert(key, entry);
+        config
+    }
+
+    /// Consultation counters so far.
+    pub fn stats(&self) -> TuneStats {
+        self.stats
+    }
+
+    /// The tuning database, including entries recorded during serving.
+    pub fn db(&self) -> &TuningDb {
+        &self.policy.db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_patterns::{AtomicPattern, CompoundPattern};
+
+    fn problem(valid_len: usize) -> AttentionProblem {
+        AttentionProblem::new(
+            CompoundPattern::new(64)
+                .with(AtomicPattern::Local { window: 8 })
+                .with_valid_len(valid_len),
+            16,
+            1,
+            2,
+            8,
+        )
+    }
+
+    fn tuner(budget_s: f64) -> Tuner {
+        Tuner::new(
+            TunePolicy {
+                strategy: Strategy::Greedy { budget: 4 },
+                online_budget_s: budget_s,
+                db: TuningDb::new(),
+            },
+            DeviceSpec::a100(),
+            StreamPolicy::RoleStreams,
+        )
+    }
+
+    #[test]
+    fn cold_miss_tunes_then_hits() {
+        let mut t = tuner(1.0);
+        let a = t.choose(&problem(64), 8);
+        assert_eq!(
+            t.stats(),
+            TuneStats {
+                hits: 0,
+                misses: 1,
+                online_tunes: 1,
+                fallbacks: 0,
+                tune_cost_s: t.stats().tune_cost_s,
+            }
+        );
+        assert!(t.stats().tune_cost_s > 0.0);
+        let b = t.choose(&problem(64), 8);
+        assert_eq!(a, b);
+        assert_eq!(t.stats().hits, 1);
+        // Same bucket, different raw length: still a hit.
+        t.choose(&problem(60), 8);
+        assert_eq!(t.stats().hits, 2);
+    }
+
+    #[test]
+    fn exhausted_budget_takes_the_fallback_and_still_records() {
+        let mut t = tuner(0.0);
+        let a = t.choose(&problem(64), 8);
+        assert_eq!(t.stats().fallbacks, 1);
+        assert_eq!(t.stats().online_tunes, 0);
+        assert_eq!(a, mg_autotune::fallback_config(&problem(64)));
+        // The fallback entry was persisted: no second resolution.
+        t.choose(&problem(64), 8);
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().fallbacks, 1);
+    }
+
+    #[test]
+    fn tuned_exec_matches_the_dispatch_policy() {
+        for (stream, exec) in [
+            (StreamPolicy::Serial, ExecPolicy::Serial),
+            (StreamPolicy::RoleStreams, ExecPolicy::RoleStreams),
+            (StreamPolicy::Pipelined, ExecPolicy::Pipelined),
+        ] {
+            let mut t = Tuner::new(
+                TunePolicy {
+                    strategy: Strategy::Exhaustive,
+                    online_budget_s: 1.0,
+                    db: TuningDb::new(),
+                },
+                DeviceSpec::a100(),
+                stream,
+            );
+            let config = t.choose(&problem(64), 8);
+            // Single-stream methods map Serial to its enumerated
+            // equivalent; the fused method is policy-free.
+            let ok = config.exec == exec
+                || (config.method != multigrain::Method::Multigrain
+                    && config.exec == ExecPolicy::RoleStreams);
+            assert!(ok, "{} under {}", config.label(), exec.label());
+        }
+    }
+}
