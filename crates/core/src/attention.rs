@@ -564,8 +564,10 @@ impl Attention {
     /// Launches this attention's kernels with kernel-level dependencies
     /// but does not synchronize; the caller owns the barrier.
     fn launch_pipelined_dag(&self, gpu: &mut Gpu, spec: &mg_gpusim::DeviceSpec) {
-        let mut ids: std::collections::HashMap<String, mg_gpusim::KernelId> =
-            std::collections::HashMap::new();
+        // Kernel-name -> id table. Lookup-only today, but a BTreeMap
+        // keeps even accidental iteration deterministic (mg-lint D1).
+        let mut ids: std::collections::BTreeMap<String, mg_gpusim::KernelId> =
+            std::collections::BTreeMap::new();
         for op in [Op::Sddmm, Op::Softmax, Op::Spmm, Op::Merge] {
             for (role, profile) in self.phase_profiles(spec, op) {
                 let stream = Self::stream_of(gpu, role);

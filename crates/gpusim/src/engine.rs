@@ -420,6 +420,7 @@ impl Gpu {
         let mut active: Vec<Active> = Vec::new();
         // Drain queues front-first; keep cursor per queue.
         let mut cursors = vec![0usize; self.queues.len()];
+        // mg-lint: allow(D1): membership-only set (insert/contains), never iterated
         let mut completed: std::collections::HashSet<KernelId> = std::collections::HashSet::new();
 
         loop {

@@ -1,0 +1,197 @@
+//! Diagnostic types, lint codes, and the suppression directive.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Stable lint codes. `D` codes guard the determinism contract the
+/// MG_THREADS=1 bit-equality CI gates rely on; `H` codes are hard
+/// hygiene requirements of the workspace; `A` codes police the
+/// suppression mechanism itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintCode {
+    /// Hash-ordered collection (`HashMap`/`HashSet`) in non-test
+    /// library code: declaration, construction, or iteration.
+    D1,
+    /// Wall-clock time source (`Instant`, `SystemTime`) outside
+    /// `crates/bench`.
+    D2,
+    /// Unseeded randomness (`thread_rng`, `from_entropy`) outside test
+    /// code.
+    D3,
+    /// Missing `#![forbid(unsafe_code)]` in a crate's `lib.rs`.
+    H1,
+    /// `parallel` feature of a workspace dependency not forwarded
+    /// through the dependent crate's `Cargo.toml`.
+    H2,
+    /// `print!`/`println!`/`eprint!`/`eprintln!` in library code
+    /// outside `crates/bench`.
+    H3,
+    /// Malformed suppression: `mg-lint: allow(...)` without a reason,
+    /// or with an unknown code.
+    A1,
+    /// Suppression that suppressed nothing — stale allows must be
+    /// removed, or the audit trail rots.
+    A2,
+}
+
+impl LintCode {
+    /// All codes, in severity-report order.
+    pub const ALL: [LintCode; 8] = [
+        LintCode::D1,
+        LintCode::D2,
+        LintCode::D3,
+        LintCode::H1,
+        LintCode::H2,
+        LintCode::H3,
+        LintCode::A1,
+        LintCode::A2,
+    ];
+
+    /// Parses a code name (`"D1"`), case-sensitively.
+    pub fn parse(s: &str) -> Option<LintCode> {
+        LintCode::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+
+    /// The stable textual name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LintCode::D1 => "D1",
+            LintCode::D2 => "D2",
+            LintCode::D3 => "D3",
+            LintCode::H1 => "H1",
+            LintCode::H2 => "H2",
+            LintCode::H3 => "H3",
+            LintCode::A1 => "A1",
+            LintCode::A2 => "A2",
+        }
+    }
+
+    /// Whether an `// mg-lint: allow(..)` comment may silence this
+    /// code. Structural requirements (H1, H2) and the allow-audit
+    /// codes themselves (A1, A2) can only be fixed, not waived.
+    pub fn suppressible(&self) -> bool {
+        matches!(
+            self,
+            LintCode::D1 | LintCode::D2 | LintCode::D3 | LintCode::H3
+        )
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding: a code anchored to a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub code: LintCode,
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file.display(),
+            self.line,
+            self.code,
+            self.message
+        )
+    }
+}
+
+/// A parsed `mg-lint: allow(CODE): reason` directive.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// Line the comment is on.
+    pub line: u32,
+    /// Line the directive applies to: its own line when trailing code,
+    /// the next line when the comment stands alone.
+    pub target_line: u32,
+    /// The parsed code; `None` when unknown.
+    pub code: Option<LintCode>,
+    /// Whether a non-empty reason followed the code.
+    pub has_reason: bool,
+}
+
+/// Parses one comment body (leading slashes already stripped) into a
+/// directive, or `None` when the comment is not a directive at all.
+///
+/// Grammar: `mg-lint: allow(CODE): reason text`.
+pub fn parse_directive(text: &str, line: u32, alone: bool) -> Option<Directive> {
+    let rest = text.trim().strip_prefix("mg-lint:")?.trim_start();
+    let target_line = if alone { line + 1 } else { line };
+    let Some(rest) = rest.strip_prefix("allow") else {
+        // `mg-lint:` followed by anything else is a malformed directive,
+        // not a plain comment — surface it rather than silently ignore.
+        return Some(Directive {
+            line,
+            target_line,
+            code: None,
+            has_reason: false,
+        });
+    };
+    let rest = rest.trim_start();
+    let malformed = Directive {
+        line,
+        target_line,
+        code: None,
+        has_reason: false,
+    };
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Some(malformed);
+    };
+    let Some(close) = rest.find(')') else {
+        return Some(malformed);
+    };
+    let code = LintCode::parse(rest[..close].trim());
+    let after = rest[close + 1..].trim_start();
+    let has_reason = after
+        .strip_prefix(':')
+        .is_some_and(|reason| !reason.trim().is_empty());
+    Some(Directive {
+        line,
+        target_line,
+        code,
+        has_reason,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formed_directive_parses() {
+        let d = parse_directive("mg-lint: allow(D1): lookup-only map", 10, false).unwrap();
+        assert_eq!(d.code, Some(LintCode::D1));
+        assert!(d.has_reason);
+        assert_eq!(d.target_line, 10);
+    }
+
+    #[test]
+    fn standalone_directive_targets_the_next_line() {
+        let d = parse_directive("mg-lint: allow(D2): trace timestamps", 4, true).unwrap();
+        assert_eq!(d.target_line, 5);
+    }
+
+    #[test]
+    fn bare_and_unknown_directives_are_flagged_not_ignored() {
+        let bare = parse_directive("mg-lint: allow(D1)", 1, false).unwrap();
+        assert!(!bare.has_reason);
+        let unknown = parse_directive("mg-lint: allow(Z9): whatever", 1, false).unwrap();
+        assert_eq!(unknown.code, None);
+        let empty = parse_directive("mg-lint: allow(D1):   ", 1, false).unwrap();
+        assert!(!empty.has_reason);
+        assert!(parse_directive("just a comment", 1, false).is_none());
+    }
+}

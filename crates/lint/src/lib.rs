@@ -1,0 +1,195 @@
+//! # mg-lint — the determinism contract, statically enforced
+//!
+//! Every headline number this workspace produces (who-wins crossovers,
+//! tuned-vs-fixed tables, the `MG_THREADS=1` bit-equality CI gates)
+//! rests on one promise: **the same inputs produce the same bits, on
+//! any machine, at any thread count**. Runtime spot checks can only
+//! sample that promise; this crate proves a useful chunk of it
+//! statically, by scanning every workspace crate for the constructs
+//! that historically break it.
+//!
+//! The analyzer is built from scratch on a hand-rolled lexer (the
+//! build environment has no registry access, so no `syn`): good enough
+//! to strip comments and strings, track `#[cfg(test)]` regions, and
+//! match the token shapes of the rules below — and honest about being
+//! an over-approximation. Anything it cannot prove safe is a finding;
+//! the escape hatch is an *audited* suppression comment on the
+//! offending line (or the line directly above):
+//!
+//! ```text
+//! // mg-lint: allow(D1): membership-only set, never iterated
+//! ```
+//!
+//! | Code | Meaning |
+//! |------|---------|
+//! | D1 | hash-ordered `HashMap`/`HashSet` in non-test library code |
+//! | D2 | wall-clock `Instant`/`SystemTime` outside `crates/bench` |
+//! | D3 | unseeded RNG (`thread_rng`, `from_entropy`) outside tests |
+//! | H1 | missing `#![forbid(unsafe_code)]` in a crate's `lib.rs` |
+//! | H2 | `parallel` feature not forwarded through a dependent manifest |
+//! | H3 | `print!`-family macro in library code outside `crates/bench` |
+//! | A1 | bare/unknown/non-suppressible `allow` directive |
+//! | A2 | `allow` directive that suppressed nothing |
+//!
+//! D/H3 findings are suppressible with a reasoned `allow`; H1/H2 are
+//! structural and must be fixed; A-codes audit the allows themselves.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod manifest;
+pub mod rustlint;
+
+pub use diag::{Diagnostic, LintCode};
+pub use rustlint::{lint_rust, FileClass};
+
+use manifest::{lint_feature_forwarding, parse_manifest, workspace_members, ManifestInfo};
+use std::path::{Path, PathBuf};
+
+/// Walks every workspace member crate and returns all findings, sorted
+/// by `(file, line, code)`.
+///
+/// Per crate, the scan covers `Cargo.toml` (H2) and every `.rs` file
+/// under `src/` (D-codes, H1, H3, A-codes). Tests, benches, examples,
+/// and fixture corpora live outside `src/` and are exempt by
+/// construction; `#[cfg(test)]` regions inside `src/` are exempted by
+/// the analyzer itself.
+///
+/// # Errors
+///
+/// Returns a message when the root manifest or a member source file
+/// cannot be read.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let root_manifest_path = root.join("Cargo.toml");
+    let root_manifest = std::fs::read_to_string(&root_manifest_path)
+        .map_err(|e| format!("{}: {e}", root_manifest_path.display()))?;
+    let members = workspace_members(root, &root_manifest);
+    if members.is_empty() {
+        return Err(format!(
+            "{}: no workspace members found",
+            root_manifest_path.display()
+        ));
+    }
+
+    let mut manifests: Vec<(PathBuf, ManifestInfo)> = Vec::new();
+    let mut findings: Vec<Diagnostic> = Vec::new();
+    for dir in &members {
+        let manifest_path = dir.join("Cargo.toml");
+        let manifest_src = std::fs::read_to_string(&manifest_path)
+            .map_err(|e| format!("{}: {e}", manifest_path.display()))?;
+        let info = parse_manifest(&manifest_src);
+        let crate_name = info.name.clone();
+        manifests.push((rel(root, &manifest_path), info));
+
+        let src_dir = dir.join("src");
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        files.sort();
+        for file in files {
+            let src =
+                std::fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
+            let class = classify(&src_dir, &file, &crate_name);
+            findings.extend(lint_rust(&rel(root, &file), &src, &class));
+        }
+    }
+    findings.extend(lint_feature_forwarding(&manifests));
+    findings.sort_by(|a, b| {
+        (a.file.as_path(), a.line, a.code).cmp(&(b.file.as_path(), b.line, b.code))
+    });
+    Ok(findings)
+}
+
+/// Derives a file's [`FileClass`] from its path under `src/`.
+fn classify(src_dir: &Path, file: &Path, crate_name: &str) -> FileClass {
+    let rel = file.strip_prefix(src_dir).unwrap_or(file);
+    let is_bin = rel.starts_with("bin") || rel == Path::new("main.rs");
+    FileClass {
+        crate_name: crate_name.to_string(),
+        is_bin,
+        is_lib_rs: rel == Path::new("lib.rs"),
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Reports paths relative to the workspace root so diagnostics are
+/// stable across machines (and CI log lines are clickable).
+fn rel(root: &Path, path: &Path) -> PathBuf {
+    path.strip_prefix(root).unwrap_or(path).to_path_buf()
+}
+
+/// Renders findings as the hand-rolled JSON the `--json` mode emits:
+/// an object with a `findings` array and a `count`.
+pub fn to_json(findings: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"file\": \"");
+        json_escape(&f.file.display().to_string(), &mut out);
+        out.push_str("\", \"line\": ");
+        out.push_str(&f.line.to_string());
+        out.push_str(", \"code\": \"");
+        out.push_str(f.code.as_str());
+        out.push_str("\", \"message\": \"");
+        json_escape(&f.message, &mut out);
+        out.push_str("\"}");
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"count\": ");
+    out.push_str(&findings.len().to_string());
+    out.push_str("\n}\n");
+    out
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_is_sound() {
+        let d = Diagnostic {
+            code: LintCode::D1,
+            file: PathBuf::from("a\\b.rs"),
+            line: 3,
+            message: "say \"hi\"\n".to_string(),
+        };
+        let j = to_json(&[d]);
+        assert!(j.contains("a\\\\b.rs"));
+        assert!(j.contains("say \\\"hi\\\"\\n"));
+        assert!(j.contains("\"count\": 1"));
+        assert_eq!(to_json(&[]), "{\n  \"findings\": [],\n  \"count\": 0\n}\n");
+    }
+}

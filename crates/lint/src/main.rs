@@ -1,0 +1,101 @@
+//! The `mg-lint` CLI.
+//!
+//! ```text
+//! mg-lint [--root PATH] [--json] [--deny] [--list-codes]
+//! ```
+//!
+//! Scans the workspace rooted at `--root` (default: walked up from the
+//! current directory to the first `Cargo.toml` containing
+//! `[workspace]`) and prints findings as `file:line: CODE: message`
+//! lines, or as a JSON object with `--json`. With `--deny` a non-empty
+//! finding set exits with status 1 — the CI gate. IO or usage errors
+//! exit with status 2.
+
+use mg_lint::{lint_workspace, to_json, LintCode};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut deny = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("mg-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--deny" => deny = true,
+            "--list-codes" => {
+                for code in LintCode::ALL {
+                    println!("{code}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: mg-lint [--root PATH] [--json] [--deny] [--list-codes]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("mg-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.map(Ok).unwrap_or_else(find_workspace_root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mg-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("mg-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        eprintln!(
+            "mg-lint: {} finding{} in {}",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+            root.display()
+        );
+    }
+    if deny && !findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml`
+/// declaring `[workspace]`.
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(src) = std::fs::read_to_string(&manifest) {
+            if src.lines().any(|l| l.trim() == "[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace root found; run inside the repo or pass --root".to_string());
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! The fixture corpus: one known-bad file per lint code (plus the
+//! suppression cases), each asserting the exact diagnostic codes and
+//! line numbers, and the pre-fix `PlanCache` eviction replica that
+//! motivated the whole pass.
+
+use mg_lint::{lint_rust, lint_workspace, FileClass, LintCode};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> (PathBuf, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    (path, src)
+}
+
+fn lib_class() -> FileClass {
+    FileClass {
+        crate_name: "fixture".to_string(),
+        is_bin: false,
+        is_lib_rs: false,
+    }
+}
+
+fn lint_fixture(name: &str, class: &FileClass) -> Vec<(LintCode, u32)> {
+    let (path, src) = fixture(name);
+    lint_rust(&path, &src, class)
+        .into_iter()
+        .map(|d| (d.code, d.line))
+        .collect()
+}
+
+#[test]
+fn d1_declaration_fires_at_the_decl_line() {
+    assert_eq!(
+        lint_fixture("d1_decl.rs", &lib_class()),
+        vec![(LintCode::D1, 3)]
+    );
+}
+
+#[test]
+fn d1_prefix_cache_eviction_fires_at_decl_and_eviction_site() {
+    // The acceptance case: the pre-fix crates/serve/src/cache.rs shape
+    // must trigger D1 at the eviction's `.iter()` feeding min_by_key,
+    // not just at the map declaration.
+    let got = lint_fixture("d1_prefix_cache_eviction.rs", &lib_class());
+    assert_eq!(got, vec![(LintCode::D1, 8), (LintCode::D1, 17)]);
+    let (path, src) = fixture("d1_prefix_cache_eviction.rs");
+    let eviction = lint_rust(&path, &src, &lib_class())
+        .into_iter()
+        .find(|d| d.line == 17)
+        .unwrap();
+    assert!(
+        eviction.message.contains("min_by_key"),
+        "the eviction-site diagnostic should name the tie-breaking hazard: {}",
+        eviction.message
+    );
+}
+
+#[test]
+fn d2_wall_clock_fires_outside_bench_only() {
+    assert_eq!(
+        lint_fixture("d2_wall_clock.rs", &lib_class()),
+        vec![(LintCode::D2, 3), (LintCode::D2, 6), (LintCode::D2, 7)]
+    );
+    // The same file inside crates/bench is fine: the harness owns the
+    // wall clock.
+    let bench = FileClass {
+        crate_name: "mg-bench".to_string(),
+        ..lib_class()
+    };
+    assert_eq!(lint_fixture("d2_wall_clock.rs", &bench), vec![]);
+}
+
+#[test]
+fn d3_unseeded_rng_fires() {
+    assert_eq!(
+        lint_fixture("d3_unseeded_rng.rs", &lib_class()),
+        vec![(LintCode::D3, 4), (LintCode::D3, 5)]
+    );
+}
+
+#[test]
+fn h1_missing_forbid_fires_on_lib_rs() {
+    let lib_rs = FileClass {
+        is_lib_rs: true,
+        ..lib_class()
+    };
+    assert_eq!(
+        lint_fixture("h1_missing_forbid.rs", &lib_rs),
+        vec![(LintCode::H1, 1)]
+    );
+    // The same file as a non-root module is not a finding.
+    assert_eq!(lint_fixture("h1_missing_forbid.rs", &lib_class()), vec![]);
+}
+
+#[test]
+fn h3_prints_fire_in_library_code_only() {
+    assert_eq!(
+        lint_fixture("h3_println.rs", &lib_class()),
+        vec![(LintCode::H3, 4), (LintCode::H3, 5)]
+    );
+    let bin = FileClass {
+        is_bin: true,
+        ..lib_class()
+    };
+    assert_eq!(lint_fixture("h3_println.rs", &bin), vec![]);
+}
+
+#[test]
+fn a1_bare_unknown_and_unwaivable_allows_fire() {
+    assert_eq!(
+        lint_fixture("a1_bare_allow.rs", &lib_class()),
+        vec![
+            (LintCode::A1, 5),
+            (LintCode::D1, 6),
+            (LintCode::A1, 8),
+            (LintCode::A1, 11),
+        ]
+    );
+}
+
+#[test]
+fn a2_stale_allow_fires() {
+    assert_eq!(
+        lint_fixture("a2_unused_allow.rs", &lib_class()),
+        vec![(LintCode::A2, 4)]
+    );
+}
+
+#[test]
+fn audited_suppressions_silence_their_line_exactly() {
+    assert_eq!(lint_fixture("suppressed_clean.rs", &lib_class()), vec![]);
+}
+
+#[test]
+fn h2_missing_forward_fires_in_the_fixture_workspace() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/h2_ws");
+    let findings = lint_workspace(&root).expect("fixture workspace lints");
+    let got: Vec<(LintCode, String, u32)> = findings
+        .iter()
+        .map(|d| (d.code, d.file.display().to_string(), d.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![(LintCode::H2, "crates/beta/Cargo.toml".to_string(), 13)]
+    );
+    assert!(findings[0].message.contains("alpha/parallel"));
+}
+
+#[test]
+fn every_bad_fixture_would_fail_a_deny_run() {
+    // The --deny contract: each known-bad fixture contributes at least
+    // one finding of its advertised code.
+    for (name, code) in [
+        ("d1_decl.rs", LintCode::D1),
+        ("d1_prefix_cache_eviction.rs", LintCode::D1),
+        ("d2_wall_clock.rs", LintCode::D2),
+        ("d3_unseeded_rng.rs", LintCode::D3),
+        ("h3_println.rs", LintCode::H3),
+        ("a1_bare_allow.rs", LintCode::A1),
+        ("a2_unused_allow.rs", LintCode::A2),
+    ] {
+        let got = lint_fixture(name, &lib_class());
+        assert!(
+            got.iter().any(|(c, _)| *c == code),
+            "{name} should contain {code:?}, got {got:?}"
+        );
+    }
+}

@@ -1,0 +1,8 @@
+// Known-bad: a hash-ordered map declared in library code (D1 at line 3).
+pub fn histogram(xs: &[u32]) -> usize {
+    let mut counts: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts.len()
+}

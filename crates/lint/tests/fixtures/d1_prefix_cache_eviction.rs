@@ -1,0 +1,24 @@
+// Known-bad: a faithful replica of the pre-fix `PlanCache` eviction in
+// crates/serve/src/cache.rs — the bug that motivated mg-lint. The map
+// declaration fires D1 (line 8), and the eviction's `.iter()` feeding
+// `min_by_key` fires D1 again at the eviction site (line 17): ties in
+// `last_used` resolved by hasher iteration order, so which plan got
+// evicted varied run to run.
+pub struct PlanCache {
+    entries: std::collections::HashMap<u64, (String, u64)>,
+    capacity: usize,
+}
+
+impl PlanCache {
+    pub fn evict_oldest(&mut self) {
+        if self.entries.len() >= self.capacity {
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| *k)
+                .expect("non-empty at capacity");
+            self.entries.remove(&oldest);
+        }
+    }
+}

@@ -1,0 +1,10 @@
+// Known-bad: wall-clock time outside crates/bench (D2 at lines 3, 6, 7).
+// Simulated time (`Gpu::elapsed`) is the only clock library code may read.
+use std::time::Instant;
+
+pub fn measure<F: FnOnce()>(f: F) -> std::time::Duration {
+    let start = Instant::now();
+    let _ = std::time::SystemTime::now();
+    f();
+    start.elapsed()
+}

@@ -1,0 +1,7 @@
+// Known-bad: entropy-seeded randomness outside tests (D3 at lines 4, 5).
+// Every stream must derive from an explicit `StdRng::seed_from_u64`.
+pub fn jitter() -> (u64, u64) {
+    let a = rand::thread_rng().next_u64();
+    let b = rand::rngs::SmallRng::from_entropy().next_u64();
+    (a, b)
+}

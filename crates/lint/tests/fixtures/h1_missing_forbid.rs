@@ -1,0 +1,4 @@
+// Known-bad: a crate lib.rs without `#![forbid(unsafe_code)]` (H1 at line 1).
+pub fn identity(x: u64) -> u64 {
+    x
+}

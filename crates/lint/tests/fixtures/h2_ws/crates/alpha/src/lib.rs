@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+//! Fixture crate: exposes a `parallel` feature dependents must forward.
+
+/// Identity, so the fixture has a body.
+pub fn alpha(x: u64) -> u64 {
+    x
+}

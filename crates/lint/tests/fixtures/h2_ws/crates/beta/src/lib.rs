@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+//! Fixture crate: depends on `alpha` without forwarding its feature.
+
+/// Calls through, so the fixture has a body.
+pub fn beta(x: u64) -> u64 {
+    x
+}

@@ -1,0 +1,6 @@
+// Known-bad: stdout/stderr prints in library code (H3 at lines 4, 5).
+// Library crates return data; only crates/bench binaries own stdout.
+pub fn report(total: usize) {
+    println!("total = {total}");
+    eprintln!("warning: {total} is large");
+}

@@ -1,0 +1,24 @@
+//! The self-gate: the real workspace must lint clean. This is the same
+//! check CI runs via `mg-lint --deny`, wired into `cargo test` so a
+//! regression is caught even without the CI step.
+
+use mg_lint::lint_workspace;
+use std::path::Path;
+
+#[test]
+fn the_real_workspace_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root");
+    let findings = lint_workspace(root).expect("workspace lints");
+    assert!(
+        findings.is_empty(),
+        "the determinism contract is violated:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

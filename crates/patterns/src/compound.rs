@@ -235,16 +235,15 @@ pub(crate) fn blocked_from_coords(
     block_coords.dedup();
     let structure = Bsr::<Half>::from_block_coords(seq_len, seq_len, block_size, &block_coords)?;
 
-    // Index of each stored block in storage order.
-    let index_of: std::collections::HashMap<(usize, usize), usize> = block_coords
-        .iter()
-        .enumerate()
-        .map(|(i, &coord)| (coord, i))
-        .collect();
+    // `block_coords` is sorted and deduplicated — storage order — so a
+    // binary search resolves each element's block index without a
+    // hash-ordered side table (mg-lint D1).
     let sq = block_size * block_size;
     let mut mask = vec![f32::NEG_INFINITY; structure.nnz_blocks() * sq];
     for &(r, c) in coords {
-        let i = index_of[&(r / block_size, c / block_size)];
+        let i = block_coords
+            .binary_search(&(r / block_size, c / block_size))
+            .expect("every coord's block is in block_coords");
         mask[i * sq + (r % block_size) * block_size + (c % block_size)] = 0.0;
     }
     Ok(BlockedPattern { structure, mask })

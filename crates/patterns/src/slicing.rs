@@ -64,10 +64,12 @@ impl SlicedPattern {
         }
         let seq_len = pattern.seq_len();
         let global_rows = pattern.global_rows();
+        // mg-lint: allow(D1): membership-only set (contains), never iterated
         let global_set: HashSet<usize> = global_rows.iter().copied().collect();
 
         // 1. Coarse part: blocks touched by coarse-grain parts, global rows
         //    excluded. The blocks own every compound element inside them.
+        // mg-lint: allow(D1): membership-only set (insert/contains), never iterated
         let mut coarse_blocks: HashSet<(usize, usize)> = HashSet::new();
         for part in pattern.parts_of_grain(Grain::Coarse) {
             for r in 0..pattern.valid_len() {

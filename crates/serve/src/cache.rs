@@ -16,14 +16,19 @@ use mg_models::SparseTransformer;
 use mg_sparse::SparseError;
 use multigrain::{Attention, AttentionProblem, Method};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Key identifying one cached plan: the method, a structural signature of
 /// the canonical pattern, the bucketed valid length, and a hash of the
 /// canonical special-token layout.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// Keys are totally ordered (`Ord`) so the cache can live in a
+/// `BTreeMap` and eviction ties can break by key order — the map's
+/// iteration order must never leak hasher state into which plan gets
+/// dropped (mg-lint D1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PlanKey {
     /// Attention method the plan was built for.
     pub method: Method,
@@ -171,7 +176,7 @@ pub struct PlanCache {
     model: SparseTransformer,
     capacity: usize,
     len_bucket: usize,
-    entries: HashMap<PlanKey, (Arc<Attention>, u64)>,
+    entries: BTreeMap<PlanKey, (Arc<Attention>, u64)>,
     tick: u64,
     stats: CacheStats,
     tuner: Option<Tuner>,
@@ -189,7 +194,7 @@ impl PlanCache {
             model,
             capacity: capacity.max(1),
             len_bucket: len_bucket.max(1),
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             tick: 0,
             stats: CacheStats::default(),
             tuner: None,
@@ -317,10 +322,13 @@ impl PlanCache {
                 .plan_attention_with_block(method, &canon, 1, block_size)?,
         );
         if self.entries.len() >= self.capacity {
+            // Ties in `last_used` break by PlanKey order, explicitly:
+            // eviction must not depend on insertion order (let alone
+            // hasher state, which the BTreeMap rules out wholesale).
             let oldest = self
                 .entries
                 .iter()
-                .min_by_key(|(_, (_, used))| *used)
+                .min_by_key(|(k, (_, used))| (*used, **k))
                 .map(|(k, _)| *k)
                 .expect("non-empty at capacity");
             self.entries.remove(&oldest);
@@ -477,6 +485,58 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.misses, 3); // first touches of 8, 30, 60
+    }
+
+    #[test]
+    fn equal_tick_eviction_is_key_ordered_not_insertion_ordered() {
+        // Regression for the D1 finding that motivated mg-lint: with
+        // the cache full of entries whose `last_used` ticks are all
+        // equal, the evicted plan must be the smallest PlanKey — for
+        // every insertion order. The pre-fix HashMap broke ties by
+        // hasher iteration order, so the victim varied run to run.
+        let lens = [8usize, 30, 60];
+        let orders: [[usize; 3]; 6] = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        let s = |valid_len| WorkloadSample {
+            valid_len,
+            special_tokens: vec![0, 1],
+        };
+        let mut victims = Vec::new();
+        for order in orders {
+            let mut cache = tiny_cache(3);
+            for &i in &order {
+                cache
+                    .get_or_plan_sample(Method::Multigrain, &s(lens[i]))
+                    .unwrap();
+            }
+            // Force an exact tie on every resident entry.
+            for (_, used) in cache.entries.values_mut() {
+                *used = 7;
+            }
+            let resident: Vec<PlanKey> = cache.entries.keys().copied().collect();
+            let expected_victim = *resident.iter().min().unwrap();
+            // A fourth distinct bucket (40 -> 40; the others land on
+            // 8, 32, 64) evicts exactly one tied entry.
+            cache
+                .get_or_plan_sample(Method::Multigrain, &s(40))
+                .unwrap();
+            assert_eq!(cache.stats().evictions, 1);
+            let evicted: Vec<PlanKey> = resident
+                .iter()
+                .copied()
+                .filter(|k| !cache.entries.contains_key(k))
+                .collect();
+            assert_eq!(evicted, vec![expected_victim], "order {order:?}");
+            victims.push(evicted[0]);
+        }
+        // Insertion order never changed the victim.
+        assert!(victims.windows(2).all(|w| w[0] == w[1]), "{victims:?}");
     }
 
     #[test]

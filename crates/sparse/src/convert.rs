@@ -49,16 +49,15 @@ pub fn csr_to_bsr<T: Scalar>(csr: &Csr<T>, block_size: usize) -> Result<Bsr<T>, 
     coords.dedup();
     let mut bsr = Bsr::from_block_coords(csr.rows(), csr.cols(), block_size, &coords)?;
 
-    // Scatter values into blocks. Precompute the storage index of every
-    // block coordinate (coords are sorted, matching BSR storage order).
-    let index_of: std::collections::HashMap<(usize, usize), usize> = coords
-        .iter()
-        .enumerate()
-        .map(|(i, &coord)| (coord, i))
-        .collect();
+    // Scatter values into blocks. `coords` is sorted and deduplicated —
+    // matching BSR storage order — so a binary search resolves each
+    // element's block index without a hash-ordered side table
+    // (mg-lint D1).
     for (r, c, v) in csr.iter() {
         let key = (r / block_size, c / block_size);
-        let i = index_of[&key];
+        let i = coords
+            .binary_search(&key)
+            .expect("every stored element's block is in coords");
         let (lr, lc) = (r % block_size, c % block_size);
         bsr.block_mut(i)[lr * block_size + lc] = v;
     }
