@@ -1,0 +1,480 @@
+//! Perf study: naive vs packed numeric kernel paths over the four
+//! workload classes.
+//!
+//! Every compute kernel in the workspace now routes its operands through
+//! the packed-panel microkernel layer (`mg_tensor::pack`): FP16 operands
+//! are decoded into f32 panels once per kernel invocation instead of per
+//! element inside the inner loops. This study times the retained naive
+//! references (per-element LUT decode inside the loop — the pre-packing
+//! structure) against the packed production kernels on patterns derived
+//! from the four dataset-style workload classes, asserts the two paths
+//! agree bit-for-bit, and records the speedups.
+//!
+//! Usage: `cargo run --release -p mg-bench --bin perf_study --
+//!   [--smoke] [--json] [--threads N] [--digest FILE]`
+//!
+//! * `--smoke`       — short sequence length; seconds, for CI.
+//! * `--json`        — also write the results to `BENCH_5.json`.
+//! * `--threads N`   — pin the parallel layer to N threads (default:
+//!   `MG_THREADS`, then all cores).
+//! * `--digest FILE` — write one line per (class, kernel) with an FNV-1a
+//!   digest of the packed output bits. Timing-free, so two runs at any
+//!   thread counts must produce byte-identical files.
+
+use mg_bench::runners::{BLOCK, HEAD_DIM, SEED};
+use mg_bench::{threads, Table};
+use mg_kernels::{
+    coarse_sddmm_compute, coarse_spmm_compute, compound_softmax_compute, fine_sddmm_compute,
+    fine_spmm_compute, fused_attention_compute,
+};
+use mg_models::workload;
+use mg_patterns::{presets, CompoundPattern};
+use mg_serve::RequestClass;
+use mg_sparse::{Bsr, Csr};
+use mg_tensor::{dot, naive, Half, Matrix};
+use std::time::Instant;
+
+struct Args {
+    smoke: bool,
+    json: bool,
+    threads: Option<usize>,
+    digest: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        json: false,
+        threads: None,
+        digest: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--json" => args.json = true,
+            "--threads" => {
+                let n = it.next().ok_or("--threads needs a count")?;
+                args.threads = Some(n.parse().map_err(|_| format!("bad thread count: {n}"))?);
+            }
+            "--digest" => args.digest = Some(it.next().ok_or("--digest needs a path")?),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+// ---------------------------------------------------------------------
+// Naive references: the pre-packing kernel structure, decoding FP16
+// operands per element inside the loops. Bit-identical to the packed
+// kernels by construction (decode is exact and accumulation order is
+// unchanged); the study asserts it on every output.
+// ---------------------------------------------------------------------
+
+fn naive_fine_sddmm(q: &Matrix<Half>, k: &Matrix<Half>, structure: &Csr<Half>) -> Csr<Half> {
+    let mut out = structure.clone();
+    for r in 0..structure.rows() {
+        for i in structure.row_range(r) {
+            let c = structure.col_indices()[i];
+            out.values_mut()[i] = Half::from_f32(dot(q.row(r), k.row(c)));
+        }
+    }
+    out
+}
+
+fn naive_fine_spmm(p: &Csr<Half>, v: &Matrix<Half>) -> Matrix<Half> {
+    let dh = v.cols();
+    let mut acc = Matrix::<f32>::zeros(p.rows(), dh);
+    for r in 0..p.rows() {
+        let out_row = acc.row_mut(r);
+        for i in p.row_range(r) {
+            let c = p.col_indices()[i];
+            let pv = p.values()[i].to_f32();
+            if pv == 0.0 {
+                continue;
+            }
+            let v_row = v.row(c);
+            for (d, out_val) in out_row.iter_mut().enumerate() {
+                *out_val += pv * v_row[d].to_f32();
+            }
+        }
+    }
+    acc.cast()
+}
+
+fn naive_coarse_sddmm(q: &Matrix<Half>, k: &Matrix<Half>, structure: &Bsr<Half>) -> Bsr<Half> {
+    let b = structure.block_size();
+    let mut out = structure.clone();
+    for br in 0..structure.block_rows() {
+        for i in structure.block_row_range(br) {
+            let bc = structure.block_col_indices()[i];
+            let blk = out.block_mut(i);
+            for r in 0..b {
+                for c in 0..b {
+                    blk[r * b + c] = Half::from_f32(dot(q.row(br * b + r), k.row(bc * b + c)));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn naive_coarse_spmm(p: &Bsr<Half>, v: &Matrix<Half>) -> Matrix<Half> {
+    let b = p.block_size();
+    let dh = v.cols();
+    let mut acc = Matrix::<f32>::zeros(p.rows(), dh);
+    for br in 0..p.block_rows() {
+        for i in p.block_row_range(br) {
+            let bc = p.block_col_indices()[i];
+            let blk = p.block(i);
+            for r in 0..b {
+                let out_row = acc.row_mut(br * b + r);
+                for c in 0..b {
+                    let pv = blk[r * b + c].to_f32();
+                    if pv == 0.0 {
+                        continue;
+                    }
+                    let v_row = v.row(bc * b + c);
+                    for (d, out_val) in out_row.iter_mut().enumerate() {
+                        *out_val += pv * v_row[d].to_f32();
+                    }
+                }
+            }
+        }
+    }
+    acc.cast()
+}
+
+fn naive_fused(
+    q: &Matrix<Half>,
+    k: &Matrix<Half>,
+    v: &Matrix<Half>,
+    pattern: &CompoundPattern,
+    scale: f32,
+) -> Matrix<Half> {
+    let l = pattern.seq_len();
+    let dh = q.cols();
+    let mut out = Matrix::<Half>::zeros(l, dh);
+    for r in 0..l {
+        let cols = pattern.row_columns(r);
+        if cols.is_empty() {
+            continue;
+        }
+        let mut running_max = f32::NEG_INFINITY;
+        let mut running_sum = 0.0f32;
+        let mut acc = vec![0.0f32; dh];
+        for &c in &cols {
+            let s = Half::from_f32(dot(q.row(r), k.row(c))).to_f32() * scale;
+            let new_max = running_max.max(s);
+            let correction = (running_max - new_max).exp();
+            let p = (s - new_max).exp();
+            running_sum = running_sum * correction + p;
+            let v_row = v.row(c);
+            for (d, slot) in acc.iter_mut().enumerate() {
+                *slot = *slot * correction + p * v_row[d].to_f32();
+            }
+            running_max = new_max;
+        }
+        let inv = 1.0 / running_sum;
+        let out_row = out.row_mut(r);
+        for (d, &slot) in acc.iter().enumerate() {
+            out_row[d] = Half::from_f32(slot * inv);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_fold(digest: u64, bits: u16) -> u64 {
+    let mut d = digest;
+    for byte in bits.to_le_bytes() {
+        d ^= u64::from(byte);
+        d = d.wrapping_mul(FNV_PRIME);
+    }
+    d
+}
+
+fn digest_matrix(m: &Matrix<Half>) -> u64 {
+    m.as_slice()
+        .iter()
+        .fold(FNV_OFFSET, |d, v| fnv_fold(d, v.to_bits()))
+}
+
+fn digest_slice(values: &[Half]) -> u64 {
+    values
+        .iter()
+        .fold(FNV_OFFSET, |d, v| fnv_fold(d, v.to_bits()))
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let started = Instant::now();
+    let out = f();
+    (out, started.elapsed().as_secs_f64())
+}
+
+/// One kernel's naive-vs-packed measurement, plus a digest of the packed
+/// output bits (the naive output is asserted bit-equal before this is
+/// recorded).
+struct KernelResult {
+    kernel: &'static str,
+    naive_s: f64,
+    packed_s: f64,
+    digest: u64,
+}
+
+struct ClassResult {
+    class: &'static str,
+    kernels: Vec<KernelResult>,
+}
+
+impl ClassResult {
+    fn naive_s(&self) -> f64 {
+        self.kernels.iter().map(|k| k.naive_s).sum()
+    }
+    fn packed_s(&self) -> f64 {
+        self.kernels.iter().map(|k| k.packed_s).sum()
+    }
+    fn speedup(&self) -> f64 {
+        self.naive_s() / self.packed_s()
+    }
+}
+
+fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult {
+    let samples = class.samples(seq_len, 8, SEED);
+    let sample = workload::representative(&samples);
+    let pattern = presets::longformer(seq_len, window, &sample.special_tokens)
+        .with_valid_len(sample.valid_len);
+    let csr: Csr<Half> = pattern.to_csr();
+    let blocked = pattern.to_blocked(BLOCK).expect("block-aligned seq len");
+    let scale = 1.0 / (HEAD_DIM as f32).sqrt();
+
+    let class_seed = SEED + class as u64 * 100;
+    let q = Matrix::<Half>::random(seq_len, HEAD_DIM, class_seed + 1);
+    let k = Matrix::<Half>::random(seq_len, HEAD_DIM, class_seed + 2);
+    let v = Matrix::<Half>::random(seq_len, HEAD_DIM, class_seed + 3);
+
+    let mut kernels = Vec::new();
+
+    // Dense pair: S = QKᵀ (gemm_nt), C = S·V (gemm).
+    let (s_dense, packed_s) = time(|| -> Matrix<Half> { mg_tensor::gemm_nt(&q, &k) });
+    let (s_dense_naive, naive_s) = time(|| -> Matrix<Half> { naive::gemm_nt(&q, &k) });
+    assert_bits_eq(&s_dense, &s_dense_naive, "dense_gemm_nt");
+    kernels.push(KernelResult {
+        kernel: "dense_gemm_nt",
+        naive_s,
+        packed_s,
+        digest: digest_matrix(&s_dense),
+    });
+
+    let (c_dense, packed_s) = time(|| -> Matrix<Half> { mg_tensor::gemm(&s_dense, &v) });
+    let (c_dense_naive, naive_s) = time(|| -> Matrix<Half> { naive::gemm(&s_dense, &v) });
+    assert_bits_eq(&c_dense, &c_dense_naive, "dense_gemm");
+    kernels.push(KernelResult {
+        kernel: "dense_gemm",
+        naive_s,
+        packed_s,
+        digest: digest_matrix(&c_dense),
+    });
+
+    // Fine (Sputnik-style) pair over the pattern's CSR rendering; the
+    // compound softmax between them is shared code, not part of the
+    // naive/packed delta, so it is not timed.
+    let (s_fine, packed_s) = time(|| fine_sddmm_compute(&q, &k, &csr));
+    let (s_fine_naive, naive_s) = time(|| naive_fine_sddmm(&q, &k, &csr));
+    assert_eq!(
+        s_fine.values().len(),
+        s_fine_naive.values().len(),
+        "fine_sddmm nnz"
+    );
+    assert_values_bits_eq(s_fine.values(), s_fine_naive.values(), "fine_sddmm");
+    kernels.push(KernelResult {
+        kernel: "fine_sddmm",
+        naive_s,
+        packed_s,
+        digest: digest_slice(s_fine.values()),
+    });
+
+    let (_, p_fine) = compound_softmax_compute(None, Some(&s_fine), scale);
+    let p_fine = p_fine.expect("fine part present");
+    let (c_fine, packed_s) = time(|| fine_spmm_compute(&p_fine, &v));
+    let (c_fine_naive, naive_s) = time(|| naive_fine_spmm(&p_fine, &v));
+    assert_bits_eq(&c_fine, &c_fine_naive, "fine_spmm");
+    kernels.push(KernelResult {
+        kernel: "fine_spmm",
+        naive_s,
+        packed_s,
+        digest: digest_matrix(&c_fine),
+    });
+
+    // Coarse (Triton-style) pair over the blocked rendering.
+    let (s_coarse, packed_s) = time(|| coarse_sddmm_compute(&q, &k, &blocked.structure));
+    let (s_coarse_naive, naive_s) = time(|| naive_coarse_sddmm(&q, &k, &blocked.structure));
+    assert_values_bits_eq(s_coarse.values(), s_coarse_naive.values(), "coarse_sddmm");
+    kernels.push(KernelResult {
+        kernel: "coarse_sddmm",
+        naive_s,
+        packed_s,
+        digest: digest_slice(s_coarse.values()),
+    });
+
+    let (p_coarse, _) = compound_softmax_compute(Some((&s_coarse, &blocked.mask)), None, scale);
+    let p_coarse = p_coarse.expect("coarse part present");
+    let (c_coarse, packed_s) = time(|| coarse_spmm_compute(&p_coarse, &v));
+    let (c_coarse_naive, naive_s) = time(|| naive_coarse_spmm(&p_coarse, &v));
+    assert_bits_eq(&c_coarse, &c_coarse_naive, "coarse_spmm");
+    kernels.push(KernelResult {
+        kernel: "coarse_spmm",
+        naive_s,
+        packed_s,
+        digest: digest_matrix(&c_coarse),
+    });
+
+    // Fused (FlashAttention-style) pair over the compound pattern.
+    let (c_fused, packed_s) = time(|| fused_attention_compute(&q, &k, &v, &pattern, scale));
+    let (c_fused_naive, naive_s) = time(|| naive_fused(&q, &k, &v, &pattern, scale));
+    assert_bits_eq(&c_fused, &c_fused_naive, "fused");
+    kernels.push(KernelResult {
+        kernel: "fused",
+        naive_s,
+        packed_s,
+        digest: digest_matrix(&c_fused),
+    });
+
+    ClassResult {
+        class: class.label(),
+        kernels,
+    }
+}
+
+fn assert_bits_eq(packed: &Matrix<Half>, naive: &Matrix<Half>, kernel: &str) {
+    assert_eq!(packed.rows(), naive.rows(), "{kernel}: row count");
+    assert_values_bits_eq(packed.as_slice(), naive.as_slice(), kernel);
+}
+
+fn assert_values_bits_eq(packed: &[Half], naive: &[Half], kernel: &str) {
+    for (i, (p, n)) in packed.iter().zip(naive.iter()).enumerate() {
+        assert_eq!(
+            p.to_bits(),
+            n.to_bits(),
+            "{kernel}: packed and naive diverge at element {i}"
+        );
+    }
+}
+
+fn json_report(results: &[ClassResult], smoke: bool, seq_len: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"perf_study\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"seq_len\": {seq_len},\n"));
+    out.push_str(&format!(
+        "  \"threads\": {},\n  \"classes\": [\n",
+        threads::effective_threads()
+    ));
+    for (i, class) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"class\": \"{}\",\n", class.class));
+        out.push_str(&format!("      \"naive_s\": {:.6},\n", class.naive_s()));
+        out.push_str(&format!("      \"packed_s\": {:.6},\n", class.packed_s()));
+        out.push_str(&format!("      \"speedup\": {:.3},\n", class.speedup()));
+        out.push_str("      \"kernels\": [\n");
+        for (j, k) in class.kernels.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"kernel\": \"{}\", \"naive_s\": {:.6}, \"packed_s\": {:.6}, \
+                 \"speedup\": {:.3}}}{}\n",
+                k.kernel,
+                k.naive_s,
+                k.packed_s,
+                k.naive_s / k.packed_s,
+                if j + 1 < class.kernels.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn digest_report(results: &[ClassResult]) -> String {
+    // Bit-level checksums only — no timings — so runs at different
+    // thread counts must produce byte-identical files.
+    let mut out = String::new();
+    for class in results {
+        for k in &class.kernels {
+            out.push_str(&format!("{} {} {:016x}\n", class.class, k.kernel, k.digest));
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("perf_study: {e}");
+            std::process::exit(2);
+        }
+    };
+    threads::init_threads(args.threads);
+
+    // BLOCK-aligned so the coarse rendering exists; the window scales
+    // with the length the way the Longformer-style presets do.
+    let (seq_len, window) = if args.smoke { (256, 64) } else { (2048, 256) };
+
+    let started = Instant::now();
+    let results: Vec<ClassResult> = RequestClass::ALL
+        .iter()
+        .map(|&class| run_class(class, seq_len, window))
+        .collect();
+    let elapsed = started.elapsed();
+
+    let mut t = Table::new(
+        format!("Perf study — naive vs packed, seq len {seq_len}, head dim {HEAD_DIM}"),
+        &["Class", "Naive ms", "Packed ms", "Speedup", "Best kernel"],
+    );
+    for class in &results {
+        let best = class
+            .kernels
+            .iter()
+            .max_by(|a, b| {
+                (a.naive_s / a.packed_s)
+                    .partial_cmp(&(b.naive_s / b.packed_s))
+                    .expect("finite timings")
+            })
+            .expect("kernels measured");
+        t.push(vec![
+            class.class.to_string(),
+            format!("{:.2}", class.naive_s() * 1e3),
+            format!("{:.2}", class.packed_s() * 1e3),
+            format!("{:.2}x", class.speedup()),
+            format!("{} {:.2}x", best.kernel, best.naive_s / best.packed_s),
+        ]);
+    }
+    t.print();
+    println!(
+        "{} classes in {:.3} s on {} thread(s); all packed outputs bit-identical to naive",
+        results.len(),
+        elapsed.as_secs_f64(),
+        threads::effective_threads(),
+    );
+
+    if args.json {
+        let path = "BENCH_5.json";
+        std::fs::write(path, json_report(&results, args.smoke, seq_len))
+            .expect("BENCH_5.json is writable");
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.digest {
+        std::fs::write(path, digest_report(&results)).expect("digest path is writable");
+        println!("wrote {path}");
+    }
+}

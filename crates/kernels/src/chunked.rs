@@ -12,7 +12,7 @@
 use crate::cache::apply_writeback_filter;
 use crate::{dense_gemm_profile, AttnDims};
 use mg_gpusim::{DeviceSpec, KernelProfile, LaunchConfig, TbWork};
-use mg_tensor::{dot, softmax_row_in_place, Half, Matrix};
+use mg_tensor::{dot_f32, pack::Panel, scratch, softmax_row_in_place, Half, Matrix};
 
 /// Functional sliding-chunk attention: computes exactly the local-window
 /// attention `softmax(scale·QKᵀ + band_mask) V` with half-window
@@ -38,6 +38,10 @@ pub fn sliding_chunk_attention_compute(
     let dh = q.cols();
     let chunks = l / h;
     let mut out = Matrix::<Half>::zeros(l, dh);
+    // Operands staged as f32 panels once for the whole computation.
+    let q_panel = Panel::from_matrix(q);
+    let k_panel = Panel::from_matrix(k);
+    let v_panel = Panel::from_matrix(v);
 
     for ci in 0..chunks {
         // Key/value span: chunks ci-1, ci, ci+1 (clipped at the edges).
@@ -46,23 +50,29 @@ pub fn sliding_chunk_attention_compute(
         let span = span_hi - span_lo;
         // Scores for the chunk's rows over the span, band-masked.
         for r in ci * h..(ci + 1) * h {
-            let mut row = vec![f32::NEG_INFINITY; span];
+            let mut row = scratch::take_zeroed(span);
+            row.fill(f32::NEG_INFINITY);
             for (j, slot) in row.iter_mut().enumerate() {
                 let c = span_lo + j;
                 if (r as isize - c as isize).unsigned_abs() <= h {
                     // Same FP16 rounding as the sparse kernels: S is
                     // stored in FP16 before the softmax.
-                    *slot = Half::from_f32(dot(q.row(r), k.row(c))).to_f32() * scale;
+                    let s = Half::from_f32(dot_f32(q_panel.row(r), k_panel.row(c)));
+                    // mg-lint: allow(P1): single rounding of an f32 score, not an operand decode
+                    *slot = s.to_f32() * scale;
                 }
             }
             softmax_row_in_place(&mut row);
+            // P is rounded through FP16 like the sparse pipeline's stored
+            // probabilities before the context GEMM.
+            // mg-lint: allow(P1): intentional FP16 round-trip of P, not an operand decode
             let p: Vec<f32> = row.iter().map(|&x| Half::from_f32(x).to_f32()).collect();
             let out_row = out.row_mut(r);
             for (d, out_val) in out_row.iter_mut().enumerate().take(dh) {
                 let mut acc = 0.0f32;
                 for (j, &pj) in p.iter().enumerate() {
                     if pj != 0.0 {
-                        acc += pj * v.get(span_lo + j, d).to_f32();
+                        acc += pj * v_panel.row(span_lo + j)[d];
                     }
                 }
                 *out_val = Half::from_f32(acc);

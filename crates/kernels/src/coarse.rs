@@ -17,7 +17,7 @@ use crate::cache::{apply_cache_model, apply_writeback_filter, CacheHints};
 use crate::{tuning, AttnDims};
 use mg_gpusim::{DeviceSpec, KernelProfile, LaunchConfig, TbWork};
 use mg_sparse::Bsr;
-use mg_tensor::{dot, par, Half, Matrix};
+use mg_tensor::{pack::Panel, par, Half, Matrix, NR};
 
 /// Thread-block mapping for the coarse kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +126,13 @@ pub fn coarse_sddmm_compute(
     assert_eq!(q.cols(), k.cols(), "head dimension mismatch");
     let b = structure.block_size();
     let sq = b * b;
+    // Q and K staged as f32 panels once per invocation (shared-memory
+    // analogue); decode is exact so scores are bit-identical. K is packed
+    // transposed (d-major), so a block's NR adjacent columns sit in one
+    // contiguous slice per d step instead of NR strided rows.
+    let q_panel = Panel::from_matrix(q);
+    let kt_panel = Panel::from_matrix_transposed(k);
+    let n = k.rows();
     // Stored blocks are independent: map block index -> owning block row
     // once, then fill each block's contiguous value slice in parallel.
     let block_rows_of: Vec<usize> = (0..structure.block_rows())
@@ -135,10 +142,43 @@ pub fn coarse_sddmm_compute(
     par::for_each_chunk_mut(out.values_mut(), sq, |i, blk| {
         let br = block_rows_of[i];
         let bc = structure.block_col_indices()[i];
+        let kt = kt_panel.as_slice();
         for r in 0..b {
-            for c in 0..b {
-                let v = dot(q.row(br * b + r), k.row(bc * b + c));
-                blk[r * b + c] = Half::from_f32(v);
+            let q_row = q_panel.row(br * b + r);
+            // NR-wide register blocks over the block's columns: the NR
+            // accumulator chains are independent, so they vectorize and
+            // pipeline, while each score still sums its products in
+            // ascending-d order with the -0.0 seed `dot`'s `Sum` fold
+            // uses — bit-identical to per-element dots.
+            let mut c0 = 0;
+            while c0 < b {
+                let cw = NR.min(b - c0);
+                let base = bc * b + c0;
+                let mut regs = [-0.0f32; NR];
+                if cw == NR {
+                    for (d, &qv) in q_row.iter().enumerate() {
+                        let k_blk: &[f32; NR] = kt[d * n + base..d * n + base + NR]
+                            .try_into()
+                            .expect("full register block");
+                        for (reg, &kv) in regs.iter_mut().zip(k_blk) {
+                            *reg += qv * kv;
+                        }
+                    }
+                } else {
+                    for (d, &qv) in q_row.iter().enumerate() {
+                        let k_blk = &kt[d * n + base..d * n + base + cw];
+                        for (reg, &kv) in regs[..cw].iter_mut().zip(k_blk.iter()) {
+                            *reg += qv * kv;
+                        }
+                    }
+                }
+                for (slot, &v) in blk[r * b + c0..r * b + c0 + cw]
+                    .iter_mut()
+                    .zip(regs[..cw].iter())
+                {
+                    *slot = Half::from_f32(v);
+                }
+                c0 += cw;
             }
         }
     });
@@ -228,6 +268,14 @@ pub fn coarse_spmm_compute(p: &Bsr<Half>, v: &Matrix<Half>) -> Matrix<Half> {
     assert_eq!(v.rows(), p.cols(), "V rows mismatch");
     let b = p.block_size();
     let dh = v.cols();
+    // Stage V as an f32 panel once. P is deliberately NOT pre-decoded:
+    // masked positions make most block elements exactly zero after the
+    // compound softmax, and the zero test below skips them before their
+    // value is ever needed — a staged P panel would pay a full decode
+    // pass (plus the panel's memory traffic) for elements the loop then
+    // discards. Each surviving element is decoded exactly once.
+    let v_panel = Panel::from_matrix(v);
+    let sq = b * b;
     let mut acc = Matrix::<f32>::zeros(p.rows(), dh);
     // A block row's blocks only touch output rows br*b..(br+1)*b, so block
     // rows parallelize cleanly. Within a block row, blocks accumulate in
@@ -236,17 +284,20 @@ pub fn coarse_spmm_compute(p: &Bsr<Half>, v: &Matrix<Half>) -> Matrix<Half> {
     par::for_each_chunk_mut(acc.as_mut_slice(), b * dh, |br, out_rows| {
         for i in p.block_row_range(br) {
             let bc = p.block_col_indices()[i];
-            let elems = p.block(i);
+            let elems = &p.values()[i * sq..(i + 1) * sq];
             for r in 0..b {
                 let out_row = &mut out_rows[r * dh..(r + 1) * dh];
                 for c in 0..b {
+                    // mg-lint: allow(P1): one decode per surviving element; a staged panel would decode the skipped zeros too
                     let pv = elems[r * b + c].to_f32();
+                    // Post-softmax values are finite; zero-skipping is
+                    // safe here (cannot hide a NaN/Inf product).
                     if pv == 0.0 {
                         continue;
                     }
-                    let v_row = v.row(bc * b + c);
+                    let v_row = v_panel.row(bc * b + c);
                     for (d, out_val) in out_row.iter_mut().enumerate() {
-                        *out_val += pv * v_row[d].to_f32();
+                        *out_val += pv * v_row[d];
                     }
                 }
             }

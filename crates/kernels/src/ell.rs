@@ -8,7 +8,7 @@ use crate::cache::{apply_cache_model, apply_writeback_filter, CacheHints};
 use crate::{tuning, AttnDims};
 use mg_gpusim::{DeviceSpec, KernelProfile, LaunchConfig, TbWork};
 use mg_sparse::BlockedEll;
-use mg_tensor::{Half, Matrix};
+use mg_tensor::{pack::Panel, Half, Matrix};
 
 fn ell_launch(block: usize, head_dim: usize) -> LaunchConfig {
     LaunchConfig {
@@ -71,18 +71,21 @@ pub fn ell_spmm_compute(p: &BlockedEll<Half>, v: &Matrix<Half>) -> Matrix<Half> 
     let dh = v.cols();
     let mut acc = Matrix::<f32>::zeros(p.rows(), dh);
     // The format's semantics are its dense rendering; padded slots
-    // (column index ELL_PAD) contribute nothing.
+    // (column index ELL_PAD) contribute nothing. Both operands are
+    // decoded into f32 panels once up front.
     let dense = p.to_dense();
+    let dense_panel = Panel::from_matrix(&dense);
+    let v_panel = Panel::from_matrix(v);
     for r in 0..p.rows() {
         let out_row = acc.row_mut(r);
-        for c in 0..p.cols() {
-            let pv = dense.get(r, c).to_f32();
+        let p_row = dense_panel.row(r);
+        for (c, &pv) in p_row.iter().enumerate() {
             if pv == 0.0 {
                 continue;
             }
-            let v_row = v.row(c);
+            let v_row = v_panel.row(c);
             for (d, out_val) in out_row.iter_mut().enumerate() {
-                *out_val += pv * v_row[d].to_f32();
+                *out_val += pv * v_row[d];
             }
         }
     }

@@ -17,7 +17,7 @@ use crate::cache::{apply_cache_model, apply_writeback_filter, CacheHints};
 use crate::{tuning, AttnDims};
 use mg_gpusim::{DeviceSpec, KernelProfile, LaunchConfig, TbWork};
 use mg_sparse::Csr;
-use mg_tensor::{dot, par, Half, Matrix};
+use mg_tensor::{pack::Panel, par, Half, Matrix, NR};
 
 /// Output mapping of the fine SDDMM kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,6 +173,12 @@ pub fn fine_sddmm_compute(q: &Matrix<Half>, k: &Matrix<Half>, structure: &Csr<Ha
     assert_eq!(k.rows(), structure.cols(), "K rows mismatch");
     assert_eq!(q.cols(), k.cols(), "head dimension mismatch");
     let mut out = structure.clone();
+    // Q and K are decoded into f32 panels once per kernel invocation, not
+    // once per non-zero inside the dot — the CPU analogue of staging
+    // operand tiles in shared memory. Decode is exact, so results are
+    // bit-identical to dotting the FP16 rows directly.
+    let q_panel = Panel::from_matrix(q);
+    let k_panel = Panel::from_matrix(k);
     // Each CSR row owns a contiguous run of the value array; split there
     // and fill the runs in parallel.
     let rows = structure.rows();
@@ -187,9 +193,29 @@ pub fn fine_sddmm_compute(q: &Matrix<Half>, k: &Matrix<Half>, structure: &Csr<Ha
         .collect();
     par::for_each_part_mut(out.values_mut(), &bounds, |r, vals| {
         let base = bounds[r];
-        for (off, slot) in vals.iter_mut().enumerate() {
-            let c = structure.col_indices()[base + off];
-            *slot = Half::from_f32(dot(q.row(r), k.row(c)));
+        let q_row = q_panel.row(r);
+        // NR-wide register blocks over the row's non-zeros: the NR
+        // accumulator chains interleave and pipeline, while each stored
+        // element still sums its products in ascending-d order with the
+        // -0.0 seed `dot`'s `Sum` fold uses — bit-identical to dotting
+        // the FP16 rows one non-zero at a time.
+        let mut o0 = 0;
+        while o0 < vals.len() {
+            let ow = NR.min(vals.len() - o0);
+            let mut k_rows: [&[f32]; NR] = [&[]; NR];
+            for (oo, row) in k_rows[..ow].iter_mut().enumerate() {
+                *row = k_panel.row(structure.col_indices()[base + o0 + oo]);
+            }
+            let mut regs = [-0.0f32; NR];
+            for (d, &qv) in q_row.iter().enumerate() {
+                for (reg, k_row) in regs[..ow].iter_mut().zip(k_rows[..ow].iter()) {
+                    *reg += qv * k_row[d];
+                }
+            }
+            for (slot, &v) in vals[o0..o0 + ow].iter_mut().zip(regs[..ow].iter()) {
+                *slot = Half::from_f32(v);
+            }
+            o0 += ow;
         }
     });
     out
@@ -251,19 +277,26 @@ pub fn fine_spmm_profile(
 pub fn fine_spmm_compute(p: &Csr<Half>, v: &Matrix<Half>) -> Matrix<Half> {
     assert_eq!(v.rows(), p.cols(), "V rows mismatch");
     let dh = v.cols();
+    // Decode V and the stored probabilities once up front; the inner loop
+    // then runs purely on f32 panels.
+    let v_panel = Panel::from_matrix(v);
+    let p_panel = Panel::from_slice(p.values(), 1);
+    let p_vals = p_panel.as_slice();
     let mut acc = Matrix::<f32>::zeros(p.rows(), dh);
     // Output rows are independent; per-row accumulation order follows the
     // CSR storage order either way, so parallel runs are bit-identical.
     par::for_each_chunk_mut(acc.as_mut_slice(), dh, |r, out_row| {
         for i in p.row_range(r) {
             let c = p.col_indices()[i];
-            let pv = p.values()[i].to_f32();
+            let pv = p_vals[i];
+            // Post-softmax probabilities are finite, so skipping exact
+            // zeros cannot drop a NaN/Inf contribution here.
             if pv == 0.0 {
                 continue;
             }
-            let v_row = v.row(c);
+            let v_row = v_panel.row(c);
             for (d, out_val) in out_row.iter_mut().enumerate() {
-                *out_val += pv * v_row[d].to_f32();
+                *out_val += pv * v_row[d];
             }
         }
     });

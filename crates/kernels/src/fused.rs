@@ -12,7 +12,7 @@ use crate::fine::fine_reuse_footprint;
 use crate::{tuning, AttnDims};
 use mg_gpusim::{DeviceSpec, KernelProfile, LaunchConfig, TbWork};
 use mg_patterns::CompoundPattern;
-use mg_tensor::{dot, Half, Matrix};
+use mg_tensor::{dot_f32, pack::Panel, scratch, Half, Matrix};
 
 /// Functionally computes fused sparse attention with an online softmax:
 /// for each row, a single sweep over the pattern's columns maintains the
@@ -35,6 +35,12 @@ pub fn fused_attention_compute(
     assert_eq!(v.rows(), l, "V rows mismatch");
     let dh = q.cols();
     let mut out = Matrix::<Half>::zeros(l, dh);
+    // Q, K, and V staged as f32 panels once for the whole kernel; the
+    // per-row accumulator comes from the pooled scratch arena instead of
+    // a fresh allocation per row.
+    let q_panel = Panel::from_matrix(q);
+    let k_panel = Panel::from_matrix(k);
+    let v_panel = Panel::from_matrix(v);
 
     for r in 0..l {
         let cols = pattern.row_columns(r);
@@ -43,23 +49,25 @@ pub fn fused_attention_compute(
         }
         let mut running_max = f32::NEG_INFINITY;
         let mut running_sum = 0.0f32;
-        let mut acc = vec![0.0f32; dh];
+        let mut acc = scratch::take_zeroed(dh);
         for &c in &cols {
-            // Score in FP16 like the pipeline's stored S, then scaled.
-            let s = Half::from_f32(dot(q.row(r), k.row(c))).to_f32() * scale;
+            // Score rounded through FP16 like the pipeline's stored S,
+            // then scaled.
+            // mg-lint: allow(P1): single rounding of an f32 score, not a per-element operand decode
+            let s = Half::from_f32(dot_f32(q_panel.row(r), k_panel.row(c))).to_f32() * scale;
             let new_max = running_max.max(s);
             let correction = (running_max - new_max).exp();
             let p = (s - new_max).exp();
             running_sum = running_sum * correction + p;
-            let v_row = v.row(c);
+            let v_row = v_panel.row(c);
             for (d, slot) in acc.iter_mut().enumerate() {
-                *slot = *slot * correction + p * v_row[d].to_f32();
+                *slot = *slot * correction + p * v_row[d];
             }
             running_max = new_max;
         }
         let inv = 1.0 / running_sum;
         let out_row = out.row_mut(r);
-        for (d, slot) in acc.iter().enumerate() {
+        for (d, &slot) in acc.iter().enumerate() {
             out_row[d] = Half::from_f32(slot * inv);
         }
     }

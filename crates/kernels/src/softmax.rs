@@ -344,6 +344,7 @@ fn softmax_one_row(
             for lc in 0..block {
                 let valid = mask[i * sq + lr * block + lc] == 0.0;
                 let out = if valid && inv > 0.0 {
+                    // mg-lint: allow(P1): in-place softmax over FP16 storage; each value is decoded once per pass
                     Half::from_f32((src[lr * block + lc].to_f32() * scale - max).exp() * inv)
                 } else {
                     Half::ZERO
@@ -354,6 +355,7 @@ fn softmax_one_row(
     }
     if let (Some(csr), Some((vals, base))) = (fine, fine_vals) {
         for i in csr.row_range(r) {
+            // mg-lint: allow(P1): in-place softmax over FP16 storage; each value is decoded once per pass
             let v = csr.values()[i].to_f32();
             vals[i - base] = if inv > 0.0 {
                 Half::from_f32((v * scale - max).exp() * inv)
@@ -380,12 +382,14 @@ fn for_each_row_element(
             let blk = bsr.block(i);
             for lc in 0..block {
                 let valid = mask[i * sq + lr * block + lc] == 0.0;
+                // mg-lint: allow(P1): streaming reduction over FP16 storage; one decode per visit
                 f(blk[lr * block + lc].to_f32(), valid);
             }
         }
     }
     if let Some(csr) = fine {
         for i in csr.row_range(r) {
+            // mg-lint: allow(P1): streaming reduction over FP16 storage; one decode per visit
             f(csr.values()[i].to_f32(), true);
         }
     }

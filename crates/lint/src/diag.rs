@@ -32,17 +32,23 @@ pub enum LintCode {
     /// Suppression that suppressed nothing — stale allows must be
     /// removed, or the audit trail rots.
     A2,
+    /// Per-element `Half::to_f32` decode inside a loop in
+    /// `crates/kernels`: the packed-panel helpers
+    /// (`mg_tensor::pack`) are the sanctioned route for the numeric
+    /// hot path. Suppressible for intentional single decodes.
+    P1,
 }
 
 impl LintCode {
     /// All codes, in severity-report order.
-    pub const ALL: [LintCode; 8] = [
+    pub const ALL: [LintCode; 9] = [
         LintCode::D1,
         LintCode::D2,
         LintCode::D3,
         LintCode::H1,
         LintCode::H2,
         LintCode::H3,
+        LintCode::P1,
         LintCode::A1,
         LintCode::A2,
     ];
@@ -63,6 +69,7 @@ impl LintCode {
             LintCode::H3 => "H3",
             LintCode::A1 => "A1",
             LintCode::A2 => "A2",
+            LintCode::P1 => "P1",
         }
     }
 
@@ -72,7 +79,7 @@ impl LintCode {
     pub fn suppressible(&self) -> bool {
         matches!(
             self,
-            LintCode::D1 | LintCode::D2 | LintCode::D3 | LintCode::H3
+            LintCode::D1 | LintCode::D2 | LintCode::D3 | LintCode::H3 | LintCode::P1
         )
     }
 }

@@ -28,11 +28,16 @@
 //! | H1 | missing `#![forbid(unsafe_code)]` in a crate's `lib.rs` |
 //! | H2 | `parallel` feature not forwarded through a dependent manifest |
 //! | H3 | `print!`-family macro in library code outside `crates/bench` |
+//! | P1 | per-element `Half::to_f32` inside a loop in `crates/kernels` |
 //! | A1 | bare/unknown/non-suppressible `allow` directive |
 //! | A2 | `allow` directive that suppressed nothing |
 //!
-//! D/H3 findings are suppressible with a reasoned `allow`; H1/H2 are
-//! structural and must be fixed; A-codes audit the allows themselves.
+//! D/H3/P1 findings are suppressible with a reasoned `allow`; H1/H2
+//! are structural and must be fixed; A-codes audit the allows
+//! themselves. P1 is a perf guard rather than a correctness one: the
+//! packed-panel helpers in `mg_tensor::pack` decode an operand once
+//! per kernel invocation, and a per-element decode inside a kernel
+//! loop silently reverts that optimisation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

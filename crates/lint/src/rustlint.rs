@@ -40,6 +40,7 @@ pub fn lint_rust(path: &Path, src: &str, class: &FileClass) -> Vec<Diagnostic> {
     let toks = &lexed.toks;
     let in_test = test_token_mask(toks);
     let in_use = use_token_mask(toks);
+    let in_loop = loop_body_mask(toks);
     let hash_idents = hash_typed_idents(toks);
 
     let mut findings: Vec<Diagnostic> = Vec::new();
@@ -117,6 +118,25 @@ pub fn lint_rust(path: &Path, src: &str, class: &FileClass) -> Vec<Diagnostic> {
                          only crates/bench binaries own stdout",
                         t.text
                     ),
+                );
+            }
+            // P1: per-element FP16 decode inside a kernel loop — the
+            // packed-panel helpers are the sanctioned hot-path route.
+            "to_f32"
+                if class.crate_name == "mg-kernels"
+                    && in_loop[i]
+                    && i > 0
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).is_some_and(|n| n.text == "(") =>
+            {
+                push_once(
+                    &mut findings,
+                    LintCode::P1,
+                    t.line,
+                    "per-element `to_f32` inside a loop: decode the operand once into an \
+                     f32 panel (`mg_tensor::pack`) outside the loop, or add \
+                     `// mg-lint: allow(P1): <reason>` for an intentional single decode"
+                        .to_string(),
                 );
             }
             _ => {}
@@ -344,6 +364,59 @@ fn item_end(toks: &[Tok], j: usize) -> usize {
         k += 1;
     }
     k
+}
+
+/// Marks every token inside the brace body of a `for`, `while`, or
+/// `loop` expression (nested bodies included). Used by P1 to tell a
+/// one-off decode from one that repeats per iteration.
+fn loop_body_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident
+            || !matches!(toks[i].text.as_str(), "for" | "while" | "loop")
+        {
+            continue;
+        }
+        // Find the body's `{`: the first brace past the loop header,
+        // skipping over parenthesized/bracketed header expressions.
+        let mut depth = 0i32;
+        let mut j = i + 1;
+        let mut open = None;
+        while let Some(t) = toks.get(j) {
+            match t.text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                ";" if depth == 0 => break, // not a loop header after all
+                _ => {}
+            }
+            if j - i > 60 {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let mut brace = 0usize;
+        let mut k = open;
+        while let Some(t) = toks.get(k) {
+            match t.text.as_str() {
+                "{" => brace += 1,
+                "}" => {
+                    brace -= 1;
+                    if brace == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            mask[k] = true;
+            k += 1;
+        }
+    }
+    mask
 }
 
 /// Marks tokens inside `use ...;` statements — an import alone is not a
@@ -600,6 +673,47 @@ pub fn f() {
         };
         assert_eq!(codes("pub fn f() {}\n", &lib), vec![(LintCode::H1, 1)]);
         assert!(codes("#![forbid(unsafe_code)]\npub fn f() {}\n", &lib).is_empty());
+    }
+
+    #[test]
+    fn per_element_decode_in_kernel_loop_fires_p1() {
+        let kernels = FileClass {
+            crate_name: "mg-kernels".to_string(),
+            is_bin: false,
+            is_lib_rs: false,
+        };
+        let src = "\
+pub fn f(xs: &[Half], out: &mut [f32]) {
+    for (i, x) in xs.iter().enumerate() {
+        out[i] = x.to_f32();
+    }
+}
+";
+        assert_eq!(codes(src, &kernels), vec![(LintCode::P1, 3)]);
+        // The same decode outside a loop, or in any other crate, is fine.
+        let one_off = "pub fn g(x: Half) -> f32 { x.to_f32() }\n";
+        assert!(codes(one_off, &kernels).is_empty());
+        assert!(codes(src, &lib_class()).is_empty());
+    }
+
+    #[test]
+    fn p1_is_suppressible_with_a_reason() {
+        let kernels = FileClass {
+            crate_name: "mg-kernels".to_string(),
+            is_bin: false,
+            is_lib_rs: false,
+        };
+        let src = "\
+pub fn f(xs: &[Half]) -> f32 {
+    let mut acc = 0.0f32;
+    for x in xs {
+        // mg-lint: allow(P1): single score decode, not an operand sweep
+        acc += x.to_f32();
+    }
+    acc
+}
+";
+        assert!(codes(src, &kernels).is_empty());
     }
 
     #[test]

@@ -134,6 +134,23 @@ fn audited_suppressions_silence_their_line_exactly() {
 }
 
 #[test]
+fn p1_decode_in_loop_fires_in_kernels_only() {
+    let kernels = FileClass {
+        crate_name: "mg-kernels".to_string(),
+        ..lib_class()
+    };
+    // Line 4: CSR value decode per non-zero; line 7: V row decode per
+    // output element. The one-off decode and the panel-staged loop are
+    // clean.
+    assert_eq!(
+        lint_fixture("p1_decode_in_loop.rs", &kernels),
+        vec![(LintCode::P1, 4), (LintCode::P1, 7)]
+    );
+    // Outside crates/kernels the perf guard does not apply.
+    assert_eq!(lint_fixture("p1_decode_in_loop.rs", &lib_class()), vec![]);
+}
+
+#[test]
 fn h2_missing_forward_fires_in_the_fixture_workspace() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/h2_ws");
     let findings = lint_workspace(&root).expect("fixture workspace lints");
@@ -167,4 +184,15 @@ fn every_bad_fixture_would_fail_a_deny_run() {
             "{name} should contain {code:?}, got {got:?}"
         );
     }
+    // P1 only applies inside crates/kernels, so its fixture is checked
+    // under that crate's class.
+    let kernels = FileClass {
+        crate_name: "mg-kernels".to_string(),
+        ..lib_class()
+    };
+    let got = lint_fixture("p1_decode_in_loop.rs", &kernels);
+    assert!(
+        got.iter().any(|(c, _)| *c == LintCode::P1),
+        "p1_decode_in_loop.rs should contain P1, got {got:?}"
+    );
 }

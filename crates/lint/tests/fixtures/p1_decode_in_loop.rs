@@ -1,0 +1,27 @@
+//! P1: per-element FP16 decode inside kernel loops.
+pub fn spmm_row(vals: &[Half], v_rows: &[&[Half]], out: &mut [f32]) {
+    for (i, pv) in vals.iter().enumerate() {
+        let p = pv.to_f32();
+        let v_row = v_rows[i];
+        for (d, slot) in out.iter_mut().enumerate() {
+            *slot += p * v_row[d].to_f32();
+        }
+    }
+}
+
+pub fn decode_once(x: Half) -> f32 {
+    x.to_f32()
+}
+
+pub fn sanctioned(vals: &[Half], out: &mut [f32]) {
+    // Decoding through the panel helpers happens outside the loop, so
+    // nothing here fires.
+    let decoded: Vec<f32> = {
+        let mut buf = vec![0.0f32; vals.len()];
+        mg_tensor::pack::decode_slice(vals, &mut buf);
+        buf
+    };
+    for (slot, v) in out.iter_mut().zip(decoded.iter()) {
+        *slot = *v;
+    }
+}

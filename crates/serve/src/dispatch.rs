@@ -10,7 +10,7 @@ use crate::batch::Batch;
 use crate::cache::PlanCache;
 use mg_gpusim::{DeviceSpec, Gpu, KernelRecord};
 use mg_sparse::SparseError;
-use mg_tensor::par;
+use mg_tensor::{par, Half, Matrix};
 use multigrain::{Attention, Op};
 use std::sync::Arc;
 
@@ -55,6 +55,10 @@ pub struct BatchOutcome {
     pub finished_s: f64,
     /// Whether each member's plan came from the cache (admission order).
     pub cache_hits: Vec<bool>,
+    /// FNV-1a digest over the bits of every member's numerically executed
+    /// attention output, in admission order. `0` when the dispatcher runs
+    /// with numeric execution off (the default).
+    pub numeric_digest: u64,
 }
 
 struct Worker {
@@ -80,6 +84,7 @@ type WorkUnit = (Worker, Vec<Assignment>, Vec<(usize, BatchOutcome)>);
 pub struct Dispatcher {
     workers: Vec<Worker>,
     policy: StreamPolicy,
+    numeric: bool,
     next: usize,
 }
 
@@ -99,8 +104,26 @@ impl Dispatcher {
         Dispatcher {
             workers,
             policy,
+            numeric: false,
             next: 0,
         }
+    }
+
+    /// Enables or disables numeric execution: besides timing each batch,
+    /// every member's plan is executed numerically on request-seeded
+    /// Q/K/V through the packed compute kernels, and the output bits are
+    /// folded into [`BatchOutcome::numeric_digest`]. The digest depends
+    /// only on the batch contents, so it is bit-identical at any worker
+    /// or thread count.
+    #[must_use]
+    pub fn with_numeric_execution(mut self, on: bool) -> Dispatcher {
+        self.numeric = on;
+        self
+    }
+
+    /// Whether numeric execution is in force.
+    pub fn numeric_execution(&self) -> bool {
+        self.numeric
     }
 
     /// The stream policy in force.
@@ -166,6 +189,7 @@ impl Dispatcher {
         }
 
         let policy = self.policy;
+        let numeric = self.numeric;
         let workers = std::mem::take(&mut self.workers);
         let mut units: Vec<WorkUnit> = workers
             .into_iter()
@@ -189,6 +213,11 @@ impl Dispatcher {
                 }
                 let finished_s = worker.gpu.elapsed();
                 worker.free_at = finished_s;
+                let numeric_digest = if numeric {
+                    batch_numeric_digest(&a.plans, &a.request_ids)
+                } else {
+                    0
+                };
                 done.push((
                     a.batch_idx,
                     BatchOutcome {
@@ -198,6 +227,7 @@ impl Dispatcher {
                         started_s,
                         finished_s,
                         cache_hits: a.cache_hits,
+                        numeric_digest,
                     },
                 ));
             }
@@ -236,6 +266,31 @@ impl Dispatcher {
     pub fn worker_busy_seconds(&self, worker: usize, until: f64) -> f64 {
         mg_gpusim::busy_seconds(self.workers[worker].gpu.records(), 0.0, until)
     }
+}
+
+/// Executes every plan in a batch numerically on request-seeded Q/K/V
+/// and folds the FP16 output bits into one FNV-1a digest. The operands
+/// are a pure function of each request's id and plan dimensions, so the
+/// digest is reproducible across runs, workers, and thread counts.
+fn batch_numeric_digest(plans: &[Arc<Attention>], request_ids: &[usize]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut digest = FNV_OFFSET;
+    for (plan, &id) in plans.iter().zip(request_ids) {
+        let dims = plan.problem().dims();
+        let seed = id as u64;
+        let q = Matrix::<Half>::random(dims.seq_len, dims.head_dim, seed * 3 + 1);
+        let k = Matrix::<Half>::random(dims.seq_len, dims.head_dim, seed * 3 + 2);
+        let v = Matrix::<Half>::random(dims.seq_len, dims.head_dim, seed * 3 + 3);
+        let context = plan.execute_numeric(&q, &k, &v);
+        for value in context.as_slice() {
+            for byte in value.to_bits().to_le_bytes() {
+                digest ^= u64::from(byte);
+                digest = digest.wrapping_mul(FNV_PRIME);
+            }
+        }
+    }
+    digest
 }
 
 /// The serial baseline: the batch's merged phase profiles launch on the
@@ -329,6 +384,44 @@ mod tests {
             multi_time <= serial_time + 1e-12,
             "streams can only help: serial {serial_time} vs multi {multi_time}"
         );
+    }
+
+    #[test]
+    fn numeric_digest_is_zero_off_and_thread_invariant_on() {
+        let off = Dispatcher::new(&DeviceSpec::a100(), 2, StreamPolicy::RoleStreams);
+        assert!(!off.numeric_execution());
+        let mut cache = tiny_cache();
+        let mut off = off;
+        let o = off.dispatch(&tiny_batch(0..2, 0.0), &mut cache).unwrap();
+        assert_eq!(o.numeric_digest, 0, "digest stays zero when disabled");
+
+        // With numeric execution on, the digest is nonzero and
+        // bit-identical across reruns and thread counts.
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    let mut cache = tiny_cache();
+                    let mut d = Dispatcher::new(&DeviceSpec::a100(), 2, StreamPolicy::RoleStreams)
+                        .with_numeric_execution(true);
+                    let batches = [tiny_batch(0..2, 0.0), tiny_batch(2..4, 0.0)];
+                    d.dispatch_many(&batches, &mut cache)
+                        .unwrap()
+                        .iter()
+                        .map(|o| o.numeric_digest)
+                        .collect::<Vec<u64>>()
+                })
+        };
+        let serial = run(1);
+        assert!(
+            serial.iter().all(|&d| d != 0),
+            "digests are live: {serial:?}"
+        );
+        assert_ne!(serial[0], serial[1], "distinct requests, distinct bits");
+        assert_eq!(serial, run(4), "digest is thread-count invariant");
+        assert_eq!(serial, run(1), "digest is reproducible");
     }
 
     #[test]

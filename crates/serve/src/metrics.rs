@@ -47,6 +47,10 @@ pub struct ServeReport {
     pub tuning: TuneStats,
     /// Fraction of the makespan each worker spent executing kernels.
     pub worker_busy_fraction: Vec<f64>,
+    /// The executed batches, in dispatch order — carries per-batch
+    /// timing and, when numeric execution is on, each batch's
+    /// [`BatchOutcome::numeric_digest`].
+    pub batches: Vec<BatchOutcome>,
 }
 
 impl ServeReport {
@@ -85,6 +89,7 @@ impl ServeReport {
                 cache,
                 tuning,
                 worker_busy_fraction: vec![0.0; dispatcher.worker_count()],
+                batches: batches.to_vec(),
             };
         }
         let t0 = requests
@@ -102,7 +107,24 @@ impl ServeReport {
             cache,
             tuning,
             worker_busy_fraction,
+            batches: batches.to_vec(),
         }
+    }
+
+    /// One digest over the whole run: the batches' numeric digests folded
+    /// together in dispatch order. `0` when numeric execution was off.
+    pub fn numeric_digest(&self) -> u64 {
+        if self.batches.iter().all(|b| b.numeric_digest == 0) {
+            return 0;
+        }
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        for batch in &self.batches {
+            for byte in batch.numeric_digest.to_le_bytes() {
+                digest ^= u64::from(byte);
+                digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        digest
     }
 
     /// The `p`-th percentile (0–100) of total latency, by the
@@ -223,6 +245,7 @@ mod tests {
             },
             tuning: TuneStats::default(),
             worker_busy_fraction: vec![0.5, 0.25],
+            batches: Vec::new(),
         }
     }
 

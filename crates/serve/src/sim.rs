@@ -39,6 +39,12 @@ pub struct ServeConfig {
     /// instead of the request's. `None` (the default) serves requests
     /// as addressed.
     pub tuning: Option<TunePolicy>,
+    /// When `true`, every dispatched plan is also executed numerically
+    /// on request-seeded Q/K/V through the packed compute kernels, and
+    /// the output bits are folded into each batch's
+    /// [`BatchOutcome::numeric_digest`]. Off by default — timing-only
+    /// simulation.
+    pub numeric: bool,
 }
 
 impl ServeConfig {
@@ -60,6 +66,7 @@ impl ServeConfig {
             cache_capacity: 64,
             cache_len_bucket: bucket,
             tuning: None,
+            numeric: false,
         }
     }
 
@@ -67,6 +74,13 @@ impl ServeConfig {
     #[must_use]
     pub fn with_tuning(mut self, policy: TunePolicy) -> ServeConfig {
         self.tuning = Some(policy);
+        self
+    }
+
+    /// The same stack with numeric execution enabled.
+    #[must_use]
+    pub fn with_numeric_execution(mut self) -> ServeConfig {
+        self.numeric = true;
         self
     }
 }
@@ -91,7 +105,8 @@ impl ServeSim {
                 config.stream_policy,
             ));
         }
-        let dispatcher = Dispatcher::new(&config.device, config.workers, config.stream_policy);
+        let dispatcher = Dispatcher::new(&config.device, config.workers, config.stream_policy)
+            .with_numeric_execution(config.numeric);
         ServeSim {
             config,
             cache,
@@ -191,6 +206,25 @@ mod tests {
         assert_eq!(a.outcomes, b.outcomes);
         assert_eq!(a.cache, b.cache);
         assert_eq!(a.makespan_s, b.makespan_s);
+    }
+
+    #[test]
+    fn numeric_serving_digests_every_batch_deterministically() {
+        let config = tiny_config().with_numeric_execution();
+        let t = traffic(300.0, 12, 9);
+        let a = ServeSim::new(config.clone()).run(&t).unwrap();
+        let digests: Vec<u64> = a.batches.iter().map(|b| b.numeric_digest).collect();
+        assert!(!digests.is_empty());
+        assert!(
+            digests.iter().all(|&d| d != 0),
+            "every batch carries a live digest: {digests:?}"
+        );
+        let b = ServeSim::new(config).run(&t).unwrap();
+        let replay: Vec<u64> = b.batches.iter().map(|b| b.numeric_digest).collect();
+        assert_eq!(digests, replay, "numeric outputs replay bit-identically");
+        // The timing-only simulation is unchanged by numeric execution.
+        let plain = ServeSim::new(tiny_config()).run(&t).unwrap();
+        assert_eq!(a.outcomes, plain.outcomes);
     }
 
     #[test]

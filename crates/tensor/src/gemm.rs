@@ -5,13 +5,73 @@
 //! GEMM restricted to the pattern's non-zero positions. Accumulation happens
 //! in `f32` regardless of the storage type, matching the tensor-core
 //! `HMMA.16816.F32` semantics the paper relies on.
+//!
+//! ## Packed-panel microkernels
+//!
+//! [`gemm`] and [`gemm_nt`] stage the B operand into a packed `f32`
+//! [`crate::pack::Panel`] **once** and decode each A row once, instead of
+//! re-converting every FP16 element inside the MAC loop. The inner loops
+//! are register-tiled over [`NR`]-wide output blocks with the k-loop kept
+//! whole and sequential, so every output element still accumulates its
+//! products in ascending-k order — exactly the order the retained
+//! [`naive`] reference uses. Decode is exact and the per-element
+//! accumulation order is unchanged, so the packed path is bit-identical
+//! to the reference by construction (property-tested in
+//! `tests/pack_props.rs` over subnormals, ±Inf, and NaN at multiple
+//! thread counts).
 
-use crate::{par, Matrix, Scalar};
+use crate::{pack, par, scratch, Matrix, Scalar};
+
+/// Register-tile width of the packed GEMM microkernels: each inner loop
+/// accumulates up to this many output columns in a local register block.
+pub const NR: usize = 8;
+
+/// The shared row microkernel: multiplies one decoded A row against a
+/// k-major packed panel (`bp[kk * n + j]` holds `B[kk][j]`), producing
+/// `n` outputs in `NR`-wide register blocks.
+///
+/// Full blocks go through fixed-size `[f32; NR]` windows so the compiler
+/// can keep the `NR` accumulator chains in vector registers — the lanes
+/// are *independent* sums, so vectorizing across them reorders nothing:
+/// each output element still accumulates its products in ascending-k
+/// order from a `+0.0` seed, exactly like [`naive::gemm`] /
+/// [`naive::gemm_nt`].
+#[inline]
+fn mul_row_panel<O: Scalar>(a_f: &[f32], bp: &[f32], n: usize, out_row: &mut [O]) {
+    let mut j0 = 0;
+    while j0 < n {
+        let jw = NR.min(n - j0);
+        let mut regs = [0.0f32; NR];
+        if jw == NR {
+            for (kk, &av) in a_f.iter().enumerate() {
+                let b_blk: &[f32; NR] = bp[kk * n + j0..kk * n + j0 + NR]
+                    .try_into()
+                    .expect("full register block");
+                for (reg, &bv) in regs.iter_mut().zip(b_blk) {
+                    *reg += av * bv;
+                }
+            }
+        } else {
+            for (kk, &av) in a_f.iter().enumerate() {
+                let b_blk = &bp[kk * n + j0..kk * n + j0 + jw];
+                for (reg, &bv) in regs[..jw].iter_mut().zip(b_blk.iter()) {
+                    *reg += av * bv;
+                }
+            }
+        }
+        for (slot, &v) in out_row[j0..j0 + jw].iter_mut().zip(regs[..jw].iter()) {
+            *slot = O::from_f32(v);
+        }
+        j0 += jw;
+    }
+}
 
 /// Computes `A × B` where `A` is `m×k` and `B` is `k×n`.
 ///
 /// Inputs may be `Half` or `f32`; products are accumulated in `f32` and the
-/// result is rounded to the output scalar type `O`.
+/// result is rounded to the output scalar type `O`. `B` is packed into an
+/// `f32` panel once up front; results are bit-identical to
+/// [`naive::gemm`].
 ///
 /// # Panics
 ///
@@ -38,26 +98,16 @@ pub fn gemm<A: Scalar, B: Scalar, O: Scalar>(a: &Matrix<A>, b: &Matrix<B>) -> Ma
         b.cols()
     );
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let b_panel = pack::Panel::from_matrix(b);
     let mut out = Matrix::<O>::zeros(m, n);
-    // Rows are independent; i-k-j loop order within a row for row-major
-    // locality. The per-row f32 accumulation order is the same whether the
-    // rows run serially or in parallel, so results are bit-identical.
+    // Rows are independent. Within a row, the output is produced in NR-wide
+    // register blocks; the k-loop stays whole and sequential per block, so
+    // each output element accumulates in ascending-k order — the same order
+    // as the naive reference, hence bit-identical at any thread count.
     par::for_each_chunk_mut(out.as_mut_slice(), n, |i, out_row| {
-        let a_row = a.row(i);
-        let mut acc = vec![0.0f32; n];
-        for (kk, &a_ik) in a_row.iter().enumerate().take(k) {
-            let a_val = a_ik.to_f32();
-            if a_val == 0.0 {
-                continue;
-            }
-            let b_row = b.row(kk);
-            for (j, &b_kj) in b_row.iter().enumerate() {
-                acc[j] += a_val * b_kj.to_f32();
-            }
-        }
-        for (j, &v) in acc.iter().enumerate() {
-            out_row[j] = O::from_f32(v);
-        }
+        let mut a_f = scratch::take_zeroed(k);
+        pack::decode_slice(a.row(i), &mut a_f);
+        mul_row_panel(&a_f, b_panel.as_slice(), n, out_row);
     });
     out
 }
@@ -65,7 +115,9 @@ pub fn gemm<A: Scalar, B: Scalar, O: Scalar>(a: &Matrix<A>, b: &Matrix<B>) -> Ma
 /// Computes `A × Bᵀ` where `A` is `m×k` and `B` is `n×k`.
 ///
 /// This is the shape of the attention-score computation `Q × Kᵀ`, provided
-/// directly so callers do not materialise the transpose.
+/// directly so callers do not materialise the transpose. `B` is packed into
+/// an `f32` panel once up front; results are bit-identical to
+/// [`naive::gemm_nt`].
 ///
 /// # Panics
 ///
@@ -81,19 +133,15 @@ pub fn gemm_nt<A: Scalar, B: Scalar, O: Scalar>(a: &Matrix<A>, b: &Matrix<B>) ->
         b.cols()
     );
     let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    // Packing Bᵀ in k-major order turns A × Bᵀ into the exact memory shape
+    // of A × B: the microkernel reads contiguous NR-wide column blocks
+    // instead of walking NR separate B rows in lockstep.
+    let b_panel = pack::Panel::from_matrix_transposed(b);
     let mut out = Matrix::<O>::zeros(m, n);
-    // One output row per work item; each (i, j) dot accumulates in the same
-    // order as the serial path, so parallel runs are bit-identical.
     par::for_each_chunk_mut(out.as_mut_slice(), n, |i, out_row| {
-        let a_row = a.row(i);
-        for (j, slot) in out_row.iter_mut().enumerate() {
-            let b_row = b.row(j);
-            let mut acc = 0.0f32;
-            for kk in 0..k {
-                acc += a_row[kk].to_f32() * b_row[kk].to_f32();
-            }
-            *slot = O::from_f32(acc);
-        }
+        let mut a_f = scratch::take_zeroed(k);
+        pack::decode_slice(a.row(i), &mut a_f);
+        mul_row_panel(&a_f, b_panel.as_slice(), n, out_row);
     });
     out
 }
@@ -110,6 +158,105 @@ pub fn dot<A: Scalar, B: Scalar>(a: &[A], b: &[B]) -> f32 {
         .zip(b.iter())
         .map(|(x, y)| x.to_f32() * y.to_f32())
         .sum()
+}
+
+/// Dot product of two already-decoded `f32` slices, in the same
+/// left-to-right accumulation order as [`dot`]. Kernels that stage their
+/// operands in [`crate::pack::Panel`]s use this on panel rows; because
+/// FP16→FP32 decode is exact, `dot_f32` over decoded rows is bit-identical
+/// to [`dot`] over the original storage.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// The pre-packing reference implementations, retained verbatim as the
+/// bit-exactness oracle for the packed microkernels.
+///
+/// The only semantic change from their original form is the removal of a
+/// `continue` that skipped zero A elements in [`naive::gemm`]: skipping
+/// dropped `0.0 × Inf = NaN` contributions, so the skip made the optimised
+/// dense path disagree with an IEEE GEMM whenever B carried non-finite
+/// values (e.g. mask-propagated `-Inf`). For finite data the skip was
+/// value-neutral (`acc + ±0.0` cannot change a finite accumulator that is
+/// never `-0.0`, and an f32 sum starting at `+0.0` never becomes `-0.0`),
+/// so removing it changes no finite result.
+pub mod naive {
+    use crate::{par, Matrix, Scalar};
+
+    /// Reference `A × B`: re-decodes every B element per output row.
+    /// See [`crate::gemm`] for the packed equivalent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions do not match.
+    pub fn gemm<A: Scalar, B: Scalar, O: Scalar>(a: &Matrix<A>, b: &Matrix<B>) -> Matrix<O> {
+        assert_eq!(
+            a.cols(),
+            b.rows(),
+            "inner dimension mismatch: {}x{} * {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        );
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        let mut out = Matrix::<O>::zeros(m, n);
+        // Rows are independent; i-k-j loop order within a row for row-major
+        // locality. The per-row f32 accumulation order is the same whether
+        // the rows run serially or in parallel, so results are bit-identical.
+        par::for_each_chunk_mut(out.as_mut_slice(), n, |i, out_row| {
+            let a_row = a.row(i);
+            let mut acc = vec![0.0f32; n];
+            for (kk, &a_ik) in a_row.iter().enumerate().take(k) {
+                let a_val = a_ik.to_f32();
+                let b_row = b.row(kk);
+                for (j, &b_kj) in b_row.iter().enumerate() {
+                    acc[j] += a_val * b_kj.to_f32();
+                }
+            }
+            for (j, &v) in acc.iter().enumerate() {
+                out_row[j] = O::from_f32(v);
+            }
+        });
+        out
+    }
+
+    /// Reference `A × Bᵀ`: re-decodes both operands inside the k-loop.
+    /// See [`crate::gemm_nt`] for the packed equivalent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.cols()`.
+    pub fn gemm_nt<A: Scalar, B: Scalar, O: Scalar>(a: &Matrix<A>, b: &Matrix<B>) -> Matrix<O> {
+        assert_eq!(
+            a.cols(),
+            b.cols(),
+            "inner dimension mismatch for A*B^T: {}x{} * ({}x{})^T",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        );
+        let (m, k, n) = (a.rows(), a.cols(), b.rows());
+        let mut out = Matrix::<O>::zeros(m, n);
+        par::for_each_chunk_mut(out.as_mut_slice(), n, |i, out_row| {
+            let a_row = a.row(i);
+            for (j, slot) in out_row.iter_mut().enumerate() {
+                let b_row = b.row(j);
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a_row[kk].to_f32() * b_row[kk].to_f32();
+                }
+                *slot = O::from_f32(acc);
+            }
+        });
+        out
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +302,52 @@ mod tests {
     #[test]
     fn dot_basic() {
         assert_eq!(dot(&[1.0f32, 2.0, 3.0], &[4.0f32, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_f32_matches_dot_over_decoded_rows() {
+        let a: Vec<Half> = (0..37)
+            .map(|i| Half::from_f32(i as f32 * 0.37 - 3.0))
+            .collect();
+        let b: Vec<Half> = (0..37)
+            .map(|i| Half::from_f32(2.5 - i as f32 * 0.11))
+            .collect();
+        let a_f: Vec<f32> = a.iter().map(|v| v.to_f32()).collect();
+        let b_f: Vec<f32> = b.iter().map(|v| v.to_f32()).collect();
+        assert_eq!(dot(&a, &b).to_bits(), dot_f32(&a_f, &b_f).to_bits());
+    }
+
+    #[test]
+    fn zero_times_inf_propagates_nan() {
+        // A zero in A multiplied against an Inf in B must produce NaN, not
+        // silently drop the contribution (IEEE 754 semantics). A skip that
+        // special-cased `a_val == 0.0` used to lose this.
+        let a = Matrix::<f32>::from_vec(1, 2, vec![0.0, 1.0]);
+        let b = Matrix::<f32>::from_vec(2, 1, vec![f32::INFINITY, 2.0]);
+        let c: Matrix<f32> = gemm(&a, &b);
+        assert!(c.get(0, 0).is_nan(), "0 × Inf must contaminate the sum");
+        let c_ref: Matrix<f32> = naive::gemm(&a, &b);
+        assert!(c_ref.get(0, 0).is_nan());
+    }
+
+    #[test]
+    fn non_finite_b_matches_naive_bitwise() {
+        let mut b = Matrix::<Half>::random(3, 4, 9);
+        b.set(0, 1, Half::INFINITY);
+        b.set(2, 2, Half::NEG_INFINITY);
+        b.set(1, 3, Half::NAN);
+        let a = Matrix::<Half>::from_fn(2, 3, |r, c| {
+            if (r + c) % 2 == 0 {
+                Half::ZERO
+            } else {
+                Half::from_f32(0.5)
+            }
+        });
+        let packed: Matrix<f32> = gemm(&a, &b);
+        let reference: Matrix<f32> = naive::gemm(&a, &b);
+        for (p, r) in packed.as_slice().iter().zip(reference.as_slice()) {
+            assert_eq!(p.to_bits(), r.to_bits());
+        }
     }
 
     #[test]

@@ -121,31 +121,15 @@ impl Half {
     }
 
     /// Converts this `Half` to `f32` exactly (every `Half` is representable).
+    ///
+    /// A single indexed load from [`F16_LUT`], the compile-time table of
+    /// all 65,536 decoded bit patterns — the software analogue of the
+    /// hardware `cvt.f32.f16` unit. The packed-panel kernels go further
+    /// and hoist even this load out of their inner loops via
+    /// [`crate::pack::decode_slice`].
+    #[inline]
     pub fn to_f32(self) -> f32 {
-        let sign = ((self.0 & 0x8000) as u32) << 16;
-        let exp = ((self.0 >> 10) & 0x1F) as u32;
-        let man = (self.0 & 0x03FF) as u32;
-
-        let bits = if exp == 0 {
-            if man == 0 {
-                sign // signed zero
-            } else {
-                // Subnormal: normalize.
-                let lead = man.leading_zeros() - 22; // zeros within the 10-bit field
-                let exp32 = 127 - 15 - lead;
-                let man32 = (man << (lead + 1)) & 0x03FF;
-                sign | (exp32 << 23) | (man32 << 13)
-            }
-        } else if exp == 0x1F {
-            if man == 0 {
-                sign | 0x7F80_0000
-            } else {
-                sign | 0x7FC0_0000 | (man << 13)
-            }
-        } else {
-            sign | ((exp + 127 - 15) << 23) | (man << 13)
-        };
-        f32::from_bits(bits)
+        F16_LUT[self.0 as usize]
     }
 
     /// Returns `true` if this value is NaN.
@@ -191,6 +175,48 @@ impl Half {
         Half::from_f32(self.to_f32().min(other.to_f32()))
     }
 }
+
+/// Bit-level decode of one binary16 pattern into the equivalent `f32`
+/// bit pattern. Const so [`F16_LUT`] can be built at compile time; kept
+/// as the computed ground truth the exhaustive LUT test checks against.
+const fn decode_f16_bits(h: u16) -> u32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let man = (h & 0x03FF) as u32;
+    if exp == 0 {
+        if man == 0 {
+            sign // signed zero
+        } else {
+            // Subnormal: normalize.
+            let lead = man.leading_zeros() - 22; // zeros within the 10-bit field
+            let exp32 = 127 - 15 - lead;
+            let man32 = (man << (lead + 1)) & 0x03FF;
+            sign | (exp32 << 23) | (man32 << 13)
+        }
+    } else if exp == 0x1F {
+        if man == 0 {
+            sign | 0x7F80_0000
+        } else {
+            sign | 0x7FC0_0000 | (man << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (man << 13)
+    }
+}
+
+/// Every binary16 bit pattern decoded to `f32`, built at compile time
+/// (256 KiB). Decode is exact, so reading the table is bit-identical to
+/// computing the conversion — the LUT only removes the branchy bit
+/// manipulation from the hot path.
+static F16_LUT: [f32; 1 << 16] = {
+    let mut lut = [0.0f32; 1 << 16];
+    let mut i = 0usize;
+    while i < lut.len() {
+        lut[i] = f32::from_bits(decode_f16_bits(i as u16));
+        i += 1;
+    }
+    lut
+};
 
 impl fmt::Debug for Half {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -346,6 +372,27 @@ mod tests {
         let vals = [-2.0f32, -0.5, 0.0, 0.25, 1.0, 100.0];
         for w in vals.windows(2) {
             assert!(Half::from_f32(w[0]) < Half::from_f32(w[1]));
+        }
+    }
+
+    #[test]
+    fn lut_decodes_every_bit_pattern_exactly() {
+        // Exhaustive: all 65,536 patterns, LUT load vs. computed decode,
+        // compared at the bit level (so NaN payloads count too).
+        for bits in 0..=u16::MAX {
+            let via_lut = Half::from_bits(bits).to_f32().to_bits();
+            let computed = decode_f16_bits(bits);
+            assert_eq!(via_lut, computed, "pattern {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn finite_values_round_trip_through_the_lut() {
+        for bits in 0..=u16::MAX {
+            let h = Half::from_bits(bits);
+            if h.is_finite() {
+                assert_eq!(Half::from_f32(h.to_f32()), h, "pattern {bits:#06x}");
+            }
         }
     }
 

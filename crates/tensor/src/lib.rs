@@ -27,11 +27,13 @@ mod gemm;
 mod half;
 mod matrix;
 mod ops;
+pub mod pack;
 pub mod par;
 mod scalar;
+pub mod scratch;
 mod softmax;
 
-pub use gemm::{dot, gemm, gemm_nt};
+pub use gemm::{dot, dot_f32, gemm, gemm_nt, naive, NR};
 pub use half::Half;
 pub use matrix::Matrix;
 pub use ops::{add, apply_mask, gelu, layer_norm, scale};

@@ -1,6 +1,6 @@
 //! Element-wise matrix operations used by attention pipelines.
 
-use crate::{Matrix, Scalar};
+use crate::{pack, scratch, Matrix, Scalar};
 
 /// Returns `a + b` element-wise, accumulating in `f32`.
 ///
@@ -58,7 +58,8 @@ pub fn layer_norm<T: Scalar, O: Scalar>(x: &Matrix<T>, gamma: &[f32], beta: &[f3
     let cols = x.cols();
     let mut out = Matrix::<O>::zeros(x.rows(), cols);
     for r in 0..x.rows() {
-        let row: Vec<f32> = x.row(r).iter().map(|v| v.to_f32()).collect();
+        let mut row = scratch::take_zeroed(cols);
+        pack::decode_slice(x.row(r), &mut row);
         let mean = row.iter().sum::<f32>() / cols as f32;
         let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
         let inv_std = 1.0 / (var + 1e-5).sqrt();

@@ -1,0 +1,197 @@
+//! Packed `f32` operand panels: decode an FP16 operand once, reuse it
+//! everywhere.
+//!
+//! The naive kernels re-convert every FP16 element on every use — a
+//! GEMM touches each element of `B` once per output row, so the same
+//! bits go through `Half::to_f32` `m` times. Real sparse-attention
+//! kernels (SPLAT, Fused3S) win by staging operands into registers or
+//! shared memory once and running the MAC loop over the staged tile;
+//! this module is the CPU analogue. [`decode_slice`] converts a slice in
+//! one pass, and [`Panel`] stages a whole matrix as a row-major `f32`
+//! panel in a pooled [`crate::scratch`] buffer.
+//!
+//! Bit-identity: FP16→FP32 decode is exact, so replacing a per-use
+//! conversion with a staged panel changes *where* the conversion
+//! happens, never the value — provided the consumer keeps its
+//! accumulation order, results are bit-identical by construction.
+
+use crate::scratch::{self, ScratchF32};
+use crate::{Matrix, Scalar};
+
+/// Decodes `src` into `dst` element-wise (exact for both scalar types).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn decode_slice<T: Scalar>(src: &[T], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "decode length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = s.to_f32();
+    }
+}
+
+/// Rounds `src` into `dst` element-wise (round-to-nearest-even for
+/// `Half` outputs, identity for `f32`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn encode_slice<O: Scalar>(src: &[f32], dst: &mut [O]) {
+    assert_eq!(src.len(), dst.len(), "encode length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = O::from_f32(*s);
+    }
+}
+
+/// A matrix decoded once into a row-major `f32` panel.
+///
+/// The backing buffer comes from the per-thread [`crate::scratch`] pool
+/// and returns there when the panel drops, so repeated kernel calls
+/// (e.g. the serve simulator's request loop) reuse the same allocation.
+///
+/// # Examples
+///
+/// ```
+/// use mg_tensor::{pack::Panel, Half, Matrix};
+///
+/// let m = Matrix::<Half>::random(4, 8, 1);
+/// let panel = Panel::from_matrix(&m);
+/// assert_eq!(panel.row(2)[3], m.get(2, 3).to_f32());
+/// ```
+pub struct Panel {
+    buf: ScratchF32,
+    cols: usize,
+}
+
+impl Panel {
+    /// Decodes every element of `m` into a pooled row-major panel.
+    pub fn from_matrix<T: Scalar>(m: &Matrix<T>) -> Panel {
+        let mut buf = scratch::take_zeroed(m.rows() * m.cols());
+        decode_slice(m.as_slice(), &mut buf);
+        Panel {
+            buf,
+            cols: m.cols(),
+        }
+    }
+
+    /// Decodes `m` into a **column-major** panel: row `c` of the panel is
+    /// column `c` of the matrix. `A × Bᵀ`-shaped kernels pack `B` this way
+    /// so their inner loops read the same contiguous `n`-major layout a
+    /// plain [`Panel::from_matrix`] of an untransposed `B` would give —
+    /// one transpose at pack time instead of `n` strided walks per output
+    /// row. Decode is exact, so consumers stay bit-identical.
+    pub fn from_matrix_transposed<T: Scalar>(m: &Matrix<T>) -> Panel {
+        let (rows, cols) = (m.rows(), m.cols());
+        let mut buf = scratch::take_zeroed(rows * cols);
+        let src = m.as_slice();
+        for r in 0..rows {
+            for (c, v) in src[r * cols..(r + 1) * cols].iter().enumerate() {
+                buf[c * rows + r] = v.to_f32();
+            }
+        }
+        Panel { buf, cols: rows }
+    }
+
+    /// Decodes a flat slice as a `rows × cols` panel (e.g. CSR values
+    /// with `cols == 1`, or BSR block storage with `cols == block²`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len()` is not a multiple of `cols`.
+    pub fn from_slice<T: Scalar>(src: &[T], cols: usize) -> Panel {
+        let cols = cols.max(1);
+        assert_eq!(
+            src.len() % cols,
+            0,
+            "slice length must be a multiple of cols"
+        );
+        let mut buf = scratch::take_zeroed(src.len());
+        decode_slice(src, &mut buf);
+        Panel { buf, cols }
+    }
+
+    /// Row `r` of the panel.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.buf[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Number of columns per row.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The whole panel, row-major.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Half;
+
+    #[test]
+    fn decode_and_encode_round_trip() {
+        let src = vec![Half::from_f32(1.5), Half::NEG_INFINITY, Half::ZERO];
+        let mut mid = vec![0.0f32; 3];
+        decode_slice(&src, &mut mid);
+        assert_eq!(mid, vec![1.5, f32::NEG_INFINITY, 0.0]);
+        let mut back = vec![Half::ZERO; 3];
+        encode_slice(&mid, &mut back);
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "decode length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut dst = vec![0.0f32; 2];
+        decode_slice(&[Half::ONE], &mut dst);
+    }
+
+    #[test]
+    fn panel_rows_match_matrix_rows() {
+        let m = Matrix::<Half>::random(5, 7, 3);
+        let p = Panel::from_matrix(&m);
+        for r in 0..5 {
+            for c in 0..7 {
+                assert_eq!(p.row(r)[c], m.get(r, c).to_f32());
+            }
+        }
+        assert_eq!(p.cols(), 7);
+        assert_eq!(p.as_slice().len(), 35);
+    }
+
+    #[test]
+    fn from_slice_panels_flat_storage() {
+        let vals = vec![Half::ONE, Half::ZERO, Half::from_f32(2.0), Half::ONE];
+        let p = Panel::from_slice(&vals, 2);
+        assert_eq!(p.row(0), &[1.0, 0.0]);
+        assert_eq!(p.row(1), &[2.0, 1.0]);
+        // cols = 0 is clamped to 1 (a flat value vector).
+        let flat = Panel::from_slice(&vals, 1);
+        assert_eq!(flat.as_slice(), &[1.0, 0.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn transposed_panel_rows_are_matrix_columns() {
+        let m = Matrix::<Half>::random(5, 7, 4);
+        let t = Panel::from_matrix_transposed(&m);
+        assert_eq!(t.cols(), 5);
+        for c in 0..7 {
+            for r in 0..5 {
+                assert_eq!(t.row(c)[r], m.get(r, c).to_f32());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_panels_cleanly() {
+        let m = Matrix::<Half>::zeros(0, 4);
+        let p = Panel::from_matrix(&m);
+        assert!(p.as_slice().is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Reusable per-thread `f32` scratch buffers.
+//!
+//! The numeric hot path used to allocate a fresh `vec![0.0f32; n]`
+//! accumulator per output row and a fresh pack buffer per kernel call —
+//! and the serve simulator repeats those calls for every request it
+//! executes. This module pools the buffers per thread instead:
+//! [`take_zeroed`] hands out a zero-filled buffer (reusing a pooled
+//! allocation when one is available) and the returned guard gives the
+//! allocation back to the pool on drop.
+//!
+//! Determinism: a pooled buffer is indistinguishable from a fresh
+//! allocation because every handout is zero-filled before the caller
+//! sees it. The pool is `thread_local`, so no cross-thread state exists
+//! and results stay bit-identical at any thread count.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+/// Pooled allocations kept per thread. Bounded so a one-off huge kernel
+/// cannot pin its buffers forever on every worker thread.
+const MAX_POOLED: usize = 16;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A zero-initialized `f32` buffer borrowed from the thread's pool.
+///
+/// Dereferences to `[f32]`; the allocation returns to the pool when the
+/// guard drops. Guards nest freely — each [`take_zeroed`] pops (or
+/// creates) a distinct allocation.
+///
+/// # Examples
+///
+/// ```
+/// let mut acc = mg_tensor::scratch::take_zeroed(4);
+/// acc[0] = 1.5;
+/// assert_eq!(&acc[..], &[1.5, 0.0, 0.0, 0.0]);
+/// ```
+pub struct ScratchF32 {
+    buf: Vec<f32>,
+}
+
+/// Takes a zero-filled buffer of `len` elements from the current
+/// thread's pool, allocating only when the pool is empty.
+pub fn take_zeroed(len: usize) -> ScratchF32 {
+    let mut buf = POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    buf.clear();
+    buf.resize(len, 0.0);
+    ScratchF32 { buf }
+}
+
+impl Deref for ScratchF32 {
+    type Target = [f32];
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+impl DerefMut for ScratchF32 {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.buf
+    }
+}
+
+impl Drop for ScratchF32 {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < MAX_POOLED {
+                pool.push(buf);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_zeroed_even_after_dirty_reuse() {
+        {
+            let mut a = take_zeroed(8);
+            a.iter_mut().for_each(|v| *v = f32::NAN);
+        }
+        let b = take_zeroed(8);
+        assert!(b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn allocation_is_reused_across_takes() {
+        let ptr = {
+            let mut a = take_zeroed(128);
+            a[0] = 1.0;
+            a.as_ptr()
+        };
+        let b = take_zeroed(64); // smaller fits the pooled capacity
+        assert_eq!(b.as_ptr(), ptr, "pooled allocation should be reused");
+    }
+
+    #[test]
+    fn nested_guards_get_distinct_buffers() {
+        let mut a = take_zeroed(4);
+        let mut b = take_zeroed(4);
+        a[0] = 1.0;
+        b[0] = 2.0;
+        assert_eq!(a[0], 1.0);
+        assert_eq!(b[0], 2.0);
+    }
+
+    #[test]
+    fn zero_length_works() {
+        let a = take_zeroed(0);
+        assert!(a.is_empty());
+    }
+}

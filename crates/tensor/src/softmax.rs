@@ -5,7 +5,7 @@
 //! exponential sum, normalization. Scaling and masking are fused in front,
 //! exactly as the compound sparse-softmax kernel does.
 
-use crate::{par, Matrix, Scalar};
+use crate::{pack, par, scratch, Matrix, Scalar};
 
 /// Applies `softmax(scale * x + mask)` row by row, in `f32`, rounding the
 /// result to the output scalar type.
@@ -41,18 +41,16 @@ pub fn softmax_rows<T: Scalar, O: Scalar>(
     // Rows are independent distributions; each row's three-pass reduction
     // runs in its serial order, so parallel runs are bit-identical.
     par::for_each_chunk_mut(out.as_mut_slice(), cols, |r, out_row| {
-        let mut scratch = vec![0.0f32; cols];
-        for (c, slot) in scratch.iter_mut().enumerate() {
-            let mut v = x.get(r, c).to_f32() * scale;
+        let mut row = scratch::take_zeroed(cols);
+        pack::decode_slice(x.row(r), &mut row);
+        for (c, v) in row.iter_mut().enumerate() {
+            *v *= scale;
             if let Some(m) = mask {
-                v += m.get(r, c);
+                *v += m.get(r, c);
             }
-            *slot = v;
         }
-        softmax_row_in_place(&mut scratch);
-        for (c, &v) in scratch.iter().enumerate() {
-            out_row[c] = O::from_f32(v);
-        }
+        softmax_row_in_place(&mut row);
+        pack::encode_slice(&row, out_row);
     });
     out
 }
