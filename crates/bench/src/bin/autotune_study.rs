@@ -1,6 +1,6 @@
 //! Autotune study: the tuned execution configuration versus every
-//! fixed-method baseline, over the paper's Fig. 9 pattern suite on both
-//! reference devices.
+//! fixed-method baseline, over the paper's Fig. 9 pattern suite on the
+//! three reference devices (A100, RTX 3090, H100).
 //!
 //! For each `(pattern, seq len, device)` cell the study runs the
 //! pruned-grid search over the full method × block × exec-policy space
@@ -8,7 +8,7 @@
 //! default block size under role streams — the configuration a
 //! non-tuning user would run. It prints per-device crossover tables
 //! (the tuned winner shifts between methods as the cell changes, and
-//! differently on the two devices), reports how many requests each
+//! differently across the devices), reports how many requests each
 //! search needs to amortize its own cost, and emits the accumulated
 //! tuning database as versioned JSON.
 //!
@@ -26,7 +26,7 @@
 //!
 //! The study exits non-zero if the tuned winner loses to any fixed
 //! baseline anywhere, or if no cell selects different winning methods
-//! on the two devices.
+//! on at least one pair of devices.
 
 use mg_autotune::{
     candidates, evaluate, tune, ExecPolicy, Strategy, TuneConfig, TuneEntry, TuneKey, TuningDb,
@@ -104,7 +104,11 @@ fn main() {
     };
     threads::init_threads(args.threads);
 
-    let devices = [DeviceSpec::a100(), DeviceSpec::rtx3090()];
+    let devices = [
+        DeviceSpec::a100(),
+        DeviceSpec::rtx3090(),
+        DeviceSpec::h100(),
+    ];
     let seq_lens: Vec<usize> = if args.smoke {
         vec![256, 512]
     } else {
@@ -238,34 +242,40 @@ fn main() {
         );
     }
 
-    // The headline claim: the winning *method* crosses over between the
-    // two devices on at least one (pattern, seq len) cell.
-    let crossovers: Vec<String> = cells
-        .iter()
-        .filter(|c| c.device == 0)
-        .filter_map(|a| {
-            let b = cells
-                .iter()
-                .find(|c| c.device == 1 && c.pattern == a.pattern && c.seq_len == a.seq_len)?;
-            (a.entry.config.method != b.entry.config.method).then(|| {
-                format!(
-                    "  {} seq {}: {} on {} vs {} on {}",
-                    PATTERN_NAMES[a.pattern],
-                    a.seq_len,
-                    a.entry.config.label(),
-                    devices[0].name,
-                    b.entry.config.label(),
-                    devices[1].name,
-                )
-            })
-        })
-        .collect();
-    println!("\nMethod crossovers between devices: {}", crossovers.len());
+    // The headline claim: the winning *method* crosses over between at
+    // least one device pair on at least one (pattern, seq len) cell.
+    let mut crossovers: Vec<String> = Vec::new();
+    for da in 0..devices.len() {
+        for db_idx in da + 1..devices.len() {
+            for a in cells.iter().filter(|c| c.device == da) {
+                let Some(b) = cells.iter().find(|c| {
+                    c.device == db_idx && c.pattern == a.pattern && c.seq_len == a.seq_len
+                }) else {
+                    continue;
+                };
+                if a.entry.config.method != b.entry.config.method {
+                    crossovers.push(format!(
+                        "  {} seq {}: {} on {} vs {} on {}",
+                        PATTERN_NAMES[a.pattern],
+                        a.seq_len,
+                        a.entry.config.label(),
+                        devices[da].name,
+                        b.entry.config.label(),
+                        devices[db_idx].name,
+                    ));
+                }
+            }
+        }
+    }
+    println!(
+        "\nMethod crossovers between device pairs: {}",
+        crossovers.len()
+    );
     for line in &crossovers {
         println!("{line}");
     }
     if crossovers.is_empty() {
-        eprintln!("FAIL: no cell selects different winning methods on the two devices");
+        eprintln!("FAIL: no cell selects different winning methods on any device pair");
         failures += 1;
     }
 

@@ -14,7 +14,9 @@
 //!   [--smoke] [--json] [--threads N] [--digest FILE]`
 //!
 //! * `--smoke`       — short sequence length; seconds, for CI.
-//! * `--json`        — also write the results to `BENCH_5.json`.
+//! * `--json`        — also write the results to `BENCH_5.json`,
+//!   including packed-path GFLOP/s per kernel (useful-work flops over
+//!   measured time; multiply-adds count as two).
 //! * `--threads N`   — pin the parallel layer to N threads (default:
 //!   `MG_THREADS`, then all cores).
 //! * `--digest FILE` — write one line per (class, kernel) with an FNV-1a
@@ -225,7 +227,17 @@ struct KernelResult {
     kernel: &'static str,
     naive_s: f64,
     packed_s: f64,
+    /// Useful floating-point work the kernel performs (multiply-adds
+    /// counted as two), independent of the path that executes it.
+    flops: f64,
     digest: u64,
+}
+
+impl KernelResult {
+    /// Packed-path throughput in GFLOP/s.
+    fn gflops(&self) -> f64 {
+        self.flops / self.packed_s / 1e9
+    }
 }
 
 struct ClassResult {
@@ -242,6 +254,9 @@ impl ClassResult {
     }
     fn speedup(&self) -> f64 {
         self.naive_s() / self.packed_s()
+    }
+    fn gflops(&self) -> f64 {
+        self.kernels.iter().map(|k| k.flops).sum::<f64>() / self.packed_s() / 1e9
     }
 }
 
@@ -261,6 +276,18 @@ fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult 
 
     let mut kernels = Vec::new();
 
+    // Useful-work flop counts (multiply-add = 2 flops): the dense pair
+    // does L·L dot products of length D; the sparse pairs only touch
+    // stored entries; the fused path both scores and accumulates every
+    // pattern entry (plus the online-softmax bookkeeping, which is O(1)
+    // per entry and not counted).
+    let l = seq_len as f64;
+    let d = HEAD_DIM as f64;
+    let dense_flops = 2.0 * l * l * d;
+    let fine_flops = 2.0 * csr.values().len() as f64 * d;
+    let coarse_flops = 2.0 * blocked.structure.values().len() as f64 * d;
+    let fused_flops = 2.0 * fine_flops;
+
     // Dense pair: S = QKᵀ (gemm_nt), C = S·V (gemm).
     let (s_dense, packed_s) = time(|| -> Matrix<Half> { mg_tensor::gemm_nt(&q, &k) });
     let (s_dense_naive, naive_s) = time(|| -> Matrix<Half> { naive::gemm_nt(&q, &k) });
@@ -269,6 +296,7 @@ fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult 
         kernel: "dense_gemm_nt",
         naive_s,
         packed_s,
+        flops: dense_flops,
         digest: digest_matrix(&s_dense),
     });
 
@@ -279,6 +307,7 @@ fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult 
         kernel: "dense_gemm",
         naive_s,
         packed_s,
+        flops: dense_flops,
         digest: digest_matrix(&c_dense),
     });
 
@@ -297,6 +326,7 @@ fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult 
         kernel: "fine_sddmm",
         naive_s,
         packed_s,
+        flops: fine_flops,
         digest: digest_slice(s_fine.values()),
     });
 
@@ -309,6 +339,7 @@ fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult 
         kernel: "fine_spmm",
         naive_s,
         packed_s,
+        flops: fine_flops,
         digest: digest_matrix(&c_fine),
     });
 
@@ -320,6 +351,7 @@ fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult 
         kernel: "coarse_sddmm",
         naive_s,
         packed_s,
+        flops: coarse_flops,
         digest: digest_slice(s_coarse.values()),
     });
 
@@ -332,6 +364,7 @@ fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult 
         kernel: "coarse_spmm",
         naive_s,
         packed_s,
+        flops: coarse_flops,
         digest: digest_matrix(&c_coarse),
     });
 
@@ -343,6 +376,7 @@ fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult 
         kernel: "fused",
         naive_s,
         packed_s,
+        flops: fused_flops,
         digest: digest_matrix(&c_fused),
     });
 
@@ -382,15 +416,17 @@ fn json_report(results: &[ClassResult], smoke: bool, seq_len: usize) -> String {
         out.push_str(&format!("      \"naive_s\": {:.6},\n", class.naive_s()));
         out.push_str(&format!("      \"packed_s\": {:.6},\n", class.packed_s()));
         out.push_str(&format!("      \"speedup\": {:.3},\n", class.speedup()));
+        out.push_str(&format!("      \"gflops\": {:.3},\n", class.gflops()));
         out.push_str("      \"kernels\": [\n");
         for (j, k) in class.kernels.iter().enumerate() {
             out.push_str(&format!(
                 "        {{\"kernel\": \"{}\", \"naive_s\": {:.6}, \"packed_s\": {:.6}, \
-                 \"speedup\": {:.3}}}{}\n",
+                 \"speedup\": {:.3}, \"gflops\": {:.3}}}{}\n",
                 k.kernel,
                 k.naive_s,
                 k.packed_s,
                 k.naive_s / k.packed_s,
+                k.gflops(),
                 if j + 1 < class.kernels.len() { "," } else { "" }
             ));
         }
@@ -439,7 +475,14 @@ fn main() {
 
     let mut t = Table::new(
         format!("Perf study — naive vs packed, seq len {seq_len}, head dim {HEAD_DIM}"),
-        &["Class", "Naive ms", "Packed ms", "Speedup", "Best kernel"],
+        &[
+            "Class",
+            "Naive ms",
+            "Packed ms",
+            "Speedup",
+            "GFLOP/s",
+            "Best kernel",
+        ],
     );
     for class in &results {
         let best = class
@@ -456,6 +499,7 @@ fn main() {
             format!("{:.2}", class.naive_s() * 1e3),
             format!("{:.2}", class.packed_s() * 1e3),
             format!("{:.2}x", class.speedup()),
+            format!("{:.2}", class.gflops()),
             format!("{} {:.2}x", best.kernel, best.naive_s / best.packed_s),
         ]);
     }

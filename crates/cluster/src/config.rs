@@ -1,0 +1,234 @@
+//! Cluster configuration: pools, routing, admission, autoscaling, and
+//! the failure model.
+
+use mg_autotune::TuningDb;
+use mg_gpusim::DeviceSpec;
+use mg_models::ModelConfig;
+use mg_serve::{BatchPolicy, StreamPolicy};
+
+/// One device pool: a homogeneous group of workers simulating the same
+/// [`DeviceSpec`], with its own batcher and plan cache.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Device every worker in the pool simulates.
+    pub device: DeviceSpec,
+    /// Workers the pool starts with.
+    pub workers: usize,
+    /// Autoscaling floor: the pool never parks below this many online
+    /// workers.
+    pub min_workers: usize,
+    /// Autoscaling ceiling: the pool never grows past this many workers
+    /// (failed workers still count against it — capacity lost to a
+    /// failure is not silently re-provisioned).
+    pub max_workers: usize,
+}
+
+impl PoolConfig {
+    /// A fixed-size pool of `workers` devices (no autoscaling headroom).
+    pub fn new(device: DeviceSpec, workers: usize) -> PoolConfig {
+        let workers = workers.max(1);
+        PoolConfig {
+            device,
+            workers,
+            min_workers: workers,
+            max_workers: workers,
+        }
+    }
+
+    /// The same pool with autoscaling bounds `[min, max]`.
+    #[must_use]
+    pub fn with_scaling(mut self, min: usize, max: usize) -> PoolConfig {
+        self.min_workers = min.max(1);
+        self.max_workers = max.max(self.min_workers);
+        self.workers = self.workers.clamp(self.min_workers, self.max_workers);
+        self
+    }
+}
+
+/// How the cluster picks a pool for each admitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Routing {
+    /// Consult the shared [`TuningDb`]: estimate each pool's completion
+    /// time as its backlog plus the tuned service time recorded for the
+    /// request's canonical problem on that pool's device, and pick the
+    /// minimum. Pools with no tuned entry for the problem are skipped;
+    /// when no pool has one, falls back to [`Routing::LeastQueueDepth`].
+    TunedAffinity,
+    /// Pick the pool with the fewest queued requests (ties break to the
+    /// lowest pool index). Device speed is invisible to this policy —
+    /// the baseline tuned-affinity routing must beat.
+    LeastQueueDepth,
+    /// Cycle through pools in index order regardless of load — the
+    /// homogeneous-cluster baseline.
+    RoundRobin,
+}
+
+impl Routing {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Routing::TunedAffinity => "tuned-affinity",
+            Routing::LeastQueueDepth => "least-queue-depth",
+            Routing::RoundRobin => "round-robin",
+        }
+    }
+}
+
+/// Admission control: when the cluster refuses a request outright
+/// (sheds it) instead of queueing it.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Bound on the total number of requests queued across every pool's
+    /// batcher; arrivals beyond it are shed.
+    pub queue_capacity: usize,
+    /// SLO-pressure shedding: when every pool's earliest-free worker is
+    /// more than `shed_pressure x slo_s` away, the request cannot
+    /// plausibly meet its deadline and is shed. `0.0` disables.
+    pub shed_pressure: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            queue_capacity: usize::MAX,
+            shed_pressure: 0.0,
+        }
+    }
+}
+
+/// Queue-depth-driven autoscaling of each pool, evaluated at every
+/// simulated event instant.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoscaleConfig {
+    /// Scale up when a pool's mean per-online-worker backlog exceeds
+    /// this many seconds.
+    pub high_watermark_s: f64,
+    /// Scale down (park the idlest worker) when the backlog falls below
+    /// this many seconds.
+    pub low_watermark_s: f64,
+    /// Simulated warm-up: a newly added or unparked worker takes no
+    /// batch until `now + warmup_s`.
+    pub warmup_s: f64,
+    /// Minimum simulated seconds between scaling actions in one pool.
+    pub cooldown_s: f64,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> AutoscaleConfig {
+        AutoscaleConfig {
+            high_watermark_s: 0.050,
+            low_watermark_s: 0.005,
+            warmup_s: 0.020,
+            cooldown_s: 0.010,
+        }
+    }
+}
+
+/// Seeded worker-failure injection.
+///
+/// Every worker draws one failure time at creation — exponentially
+/// distributed with mean `mtbf_s`, from a per-pool deterministic stream —
+/// so the failure schedule is a pure function of the configuration. A
+/// failure that would leave the whole cluster without a single online
+/// worker is skipped: a dead cluster has no latency distribution worth
+/// reporting, and the zero-loss contract needs someone left to run the
+/// re-dispatched requests.
+#[derive(Debug, Clone, Copy)]
+pub struct FailureConfig {
+    /// Mean time between failures per worker, simulated seconds.
+    pub mtbf_s: f64,
+    /// Seed of the failure-time stream.
+    pub seed: u64,
+}
+
+/// Configuration of one cluster simulation.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// The served model (shared by every pool).
+    pub model: ModelConfig,
+    /// The device pools.
+    pub pools: Vec<PoolConfig>,
+    /// Request-to-pool routing policy.
+    pub routing: Routing,
+    /// Batching policy of every pool's batcher.
+    pub batch_policy: BatchPolicy,
+    /// Stream policy of every worker.
+    pub stream_policy: StreamPolicy,
+    /// Per-pool plan-cache capacity (plans, not bytes).
+    pub cache_capacity: usize,
+    /// Plan-cache valid-length bucket, tokens.
+    pub cache_len_bucket: usize,
+    /// Shared tuning database: the router reads it to estimate per-pool
+    /// service times, and every pool's planner consults it (read-mostly,
+    /// zero online-tune budget) so plans follow the tuned
+    /// `(method, block size)` where an entry exists.
+    pub tuning_db: TuningDb,
+    /// Admission control.
+    pub admission: AdmissionConfig,
+    /// Autoscaling; `None` keeps every pool at its configured size.
+    pub autoscale: Option<AutoscaleConfig>,
+    /// Failure injection; `None` runs failure-free.
+    pub failures: Option<FailureConfig>,
+}
+
+impl ClusterConfig {
+    /// A cluster over `pools` with sensible defaults: tuned-affinity
+    /// routing over a shared empty tuning database, FIFO batching of up
+    /// to 4 with a 10 ms wait budget, role-stream dispatch, unlimited
+    /// admission, no autoscaling, no failures.
+    pub fn new(model: ModelConfig, pools: Vec<PoolConfig>) -> ClusterConfig {
+        assert!(!pools.is_empty(), "a cluster needs at least one pool");
+        let bucket = (model.max_seq_len / 8).max(1);
+        ClusterConfig {
+            model,
+            pools,
+            routing: Routing::TunedAffinity,
+            batch_policy: BatchPolicy::FifoTimeout {
+                max_batch: 4,
+                max_wait_s: 0.010,
+            },
+            stream_policy: StreamPolicy::RoleStreams,
+            cache_capacity: 64,
+            cache_len_bucket: bucket,
+            tuning_db: TuningDb::new(),
+            admission: AdmissionConfig::default(),
+            autoscale: None,
+            failures: None,
+        }
+    }
+
+    /// The same cluster under a different routing policy.
+    #[must_use]
+    pub fn with_routing(mut self, routing: Routing) -> ClusterConfig {
+        self.routing = routing;
+        self
+    }
+
+    /// The same cluster routing over `db`.
+    #[must_use]
+    pub fn with_tuning_db(mut self, db: TuningDb) -> ClusterConfig {
+        self.tuning_db = db;
+        self
+    }
+
+    /// The same cluster under `admission` control.
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> ClusterConfig {
+        self.admission = admission;
+        self
+    }
+
+    /// The same cluster with autoscaling enabled.
+    #[must_use]
+    pub fn with_autoscale(mut self, autoscale: AutoscaleConfig) -> ClusterConfig {
+        self.autoscale = Some(autoscale);
+        self
+    }
+
+    /// The same cluster with failure injection enabled.
+    #[must_use]
+    pub fn with_failures(mut self, failures: FailureConfig) -> ClusterConfig {
+        self.failures = Some(failures);
+        self
+    }
+}

@@ -1,0 +1,282 @@
+//! # mg-cluster — deterministic heterogeneous multi-GPU cluster simulation
+//!
+//! The serving layer ([`mg_serve`]) models one homogeneous pool. This
+//! crate composes many of them into a simulated fleet of *different*
+//! device classes — the regime the autotune crossover tables motivate,
+//! where A100, RTX 3090, and H100 each prefer different compound-sparse
+//! methods per workload — and adds the cluster-level mechanisms around
+//! them:
+//!
+//! 1. **Affinity routing** ([`Routing::TunedAffinity`]): each request is
+//!    steered to the pool whose shared [`TuningDb`](mg_autotune::TuningDb)
+//!    entry promises the earliest completion for the request's canonical
+//!    problem on that pool's device — backlog plus tuned service time —
+//!    falling back to least-queue-depth when no entry exists.
+//! 2. **Admission control** ([`AdmissionConfig`]): a bounded global queue
+//!    and SLO-pressure shedding refuse requests the cluster cannot serve
+//!    in time, trading completed-request count for tail latency.
+//! 3. **Autoscaling** ([`AutoscaleConfig`]): queue-depth watermarks park
+//!    and revive pool workers with a configurable warm-up cost.
+//! 4. **Failure injection** ([`FailureConfig`]): each worker draws one
+//!    exponential failure time from a seeded stream; a worker that dies
+//!    mid-batch halts its device (records clipped at the failure), and
+//!    the in-flight requests are re-dispatched **exactly once** onto the
+//!    soonest-free surviving worker. A completed-set guard turns any
+//!    double execution into a panic instead of silent double counting.
+//!
+//! **Determinism contract.** The control loop — routing, shedding,
+//! scaling, failing, dispatching — is serial and runs at simulated event
+//! instants in a fixed order, over containers with deterministic
+//! iteration order. Thread count (`MG_THREADS`) only parallelizes the
+//! kernel-timing and planning layers underneath, which are themselves
+//! bit-deterministic, so a million-event trace and its
+//! [`ClusterReport::digest`] replay bit-identically at any thread count.
+//!
+//! # Examples
+//!
+//! ```
+//! use mg_cluster::{ClusterConfig, ClusterSim, PoolConfig};
+//! use mg_gpusim::DeviceSpec;
+//! use mg_models::ModelConfig;
+//! use mg_serve::TrafficConfig;
+//! use multigrain::Method;
+//!
+//! let config = ClusterConfig::new(
+//!     ModelConfig::tiny(),
+//!     vec![
+//!         PoolConfig::new(DeviceSpec::a100(), 1),
+//!         PoolConfig::new(DeviceSpec::rtx3090(), 1),
+//!     ],
+//! );
+//! let traffic = TrafficConfig::poisson(200.0, 16, Method::Multigrain, 0.5, 42);
+//! let mut sim = ClusterSim::new(config);
+//! let report = sim.run(&traffic)?;
+//! assert_eq!(report.completed(), 16);
+//! assert!(report.lost.is_empty());
+//! # Ok::<(), mg_sparse::SparseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod report;
+mod sim;
+
+pub use config::{
+    AdmissionConfig, AutoscaleConfig, ClusterConfig, FailureConfig, PoolConfig, Routing,
+};
+pub use report::{ClusterOutcome, ClusterReport, PoolReport};
+pub use sim::ClusterSim;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_autotune::{ExecPolicy, TuneConfig, TuneEntry, TuneKey, TuningDb};
+    use mg_gpusim::DeviceSpec;
+    use mg_models::{ModelConfig, SparseTransformer};
+    use mg_serve::{canonicalize, RequestClass, TrafficConfig};
+    use multigrain::{AttentionProblem, Method};
+
+    fn two_pool_config() -> ClusterConfig {
+        ClusterConfig::new(
+            ModelConfig::tiny(),
+            vec![
+                PoolConfig::new(DeviceSpec::a100(), 2),
+                PoolConfig::new(DeviceSpec::rtx3090(), 2),
+            ],
+        )
+    }
+
+    fn traffic(rate: f64, n: usize, seed: u64) -> TrafficConfig {
+        TrafficConfig::poisson(rate, n, Method::Multigrain, 0.5, seed)
+    }
+
+    /// A tuning database covering every canonical problem `traffic`'s
+    /// classes produce for `model`, with a synthetic service time per
+    /// device: the routing layer sees `a100_s` on the A100 and
+    /// `rtx3090_s` on the RTX 3090.
+    fn synthetic_db(model: &ModelConfig, a100_s: f64, rtx3090_s: f64) -> TuningDb {
+        let transformer = SparseTransformer::new(model.clone());
+        let bucket = (model.max_seq_len / 8).max(1);
+        let mut db = TuningDb::new();
+        for class in RequestClass::ALL {
+            for sample in class.samples(model.max_seq_len, 64, 7) {
+                let canon = canonicalize(&sample, model.max_seq_len, bucket);
+                let problem = AttentionProblem::new(
+                    transformer.pattern_for(&canon),
+                    model.head_dim,
+                    1,
+                    model.heads,
+                    model.block_size,
+                );
+                for (device, time_s) in [
+                    (DeviceSpec::a100(), a100_s),
+                    (DeviceSpec::rtx3090(), rtx3090_s),
+                ] {
+                    db.insert(
+                        TuneKey::for_problem(&problem, bucket, &device),
+                        TuneEntry {
+                            config: TuneConfig {
+                                method: Method::Multigrain,
+                                block_size: model.block_size,
+                                exec: ExecPolicy::RoleStreams,
+                            },
+                            time_s,
+                            evals: 1,
+                            tune_cost_s: 0.0,
+                            strategy: "synthetic",
+                        },
+                    );
+                }
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn heterogeneous_cluster_completes_everything_deterministically() {
+        let t = traffic(300.0, 40, 1);
+        let a = ClusterSim::new(two_pool_config()).run(&t).unwrap();
+        assert_eq!(a.completed(), 40);
+        assert!(a.shed.is_empty() && a.lost.is_empty());
+        assert_eq!(a.outcomes.len(), 40);
+        for (i, o) in a.outcomes.iter().enumerate() {
+            assert_eq!(o.id, i);
+            assert!(o.queue_s >= 0.0 && o.service_s > 0.0);
+        }
+        assert!(a.p99() >= a.p50());
+        let b = ClusterSim::new(two_pool_config()).run(&t).unwrap();
+        assert_eq!(a.digest(), b.digest(), "replay is bit-identical");
+    }
+
+    #[test]
+    fn tuned_affinity_follows_the_database() {
+        let model = ModelConfig::tiny();
+        let t = traffic(200.0, 24, 3);
+        // The database says the A100 pool is 100x faster: every request
+        // should land there despite round-robin-equal capacity.
+        let fast_a100 = synthetic_db(&model, 1e-6, 1e-4);
+        let report = ClusterSim::new(
+            two_pool_config()
+                .with_routing(Routing::TunedAffinity)
+                .with_tuning_db(fast_a100),
+        )
+        .run(&t)
+        .unwrap();
+        assert!(
+            report.pools[0].completed > report.pools[1].completed,
+            "affinity ignored the database: {:?}",
+            report.pools.iter().map(|p| p.completed).collect::<Vec<_>>()
+        );
+        // Flip the database and the traffic flips with it.
+        let fast_3090 = synthetic_db(&model, 1e-4, 1e-6);
+        let flipped = ClusterSim::new(
+            two_pool_config()
+                .with_routing(Routing::TunedAffinity)
+                .with_tuning_db(fast_3090),
+        )
+        .run(&t)
+        .unwrap();
+        assert!(
+            flipped.pools[1].completed > flipped.pools[0].completed,
+            "affinity must follow the tuned times, not the device order"
+        );
+    }
+
+    #[test]
+    fn failures_redispatch_exactly_once_and_lose_nothing() {
+        let t = traffic(400.0, 60, 5);
+        let config = two_pool_config().with_failures(FailureConfig {
+            mtbf_s: 0.02,
+            seed: 11,
+        });
+        let report = ClusterSim::new(config).run(&t).unwrap();
+        assert!(report.failures > 0, "the failure model never fired");
+        assert!(report.lost.is_empty(), "lost: {:?}", report.lost);
+        assert_eq!(report.completed() + report.shed.len(), 60);
+        if report.redispatched > 0 {
+            assert!(
+                report.outcomes.iter().any(|o| o.retried),
+                "re-dispatched requests must be marked"
+            );
+        }
+        // Deterministic replay, failure schedule included.
+        let again = ClusterSim::new(two_pool_config().with_failures(FailureConfig {
+            mtbf_s: 0.02,
+            seed: 11,
+        }))
+        .run(&t)
+        .unwrap();
+        assert_eq!(report.digest(), again.digest());
+    }
+
+    #[test]
+    fn autoscaler_grows_under_load_and_parks_when_idle() {
+        let config = ClusterConfig::new(
+            ModelConfig::tiny(),
+            vec![PoolConfig::new(DeviceSpec::a100(), 1).with_scaling(1, 4)],
+        )
+        .with_autoscale(AutoscaleConfig {
+            high_watermark_s: 1e-6,
+            low_watermark_s: 1e-9,
+            warmup_s: 1e-5,
+            cooldown_s: 0.0,
+        });
+        let report = ClusterSim::new(config)
+            .run(&traffic(50_000.0, 80, 9))
+            .unwrap();
+        assert_eq!(report.completed(), 80);
+        assert!(report.scale_ups > 0, "load never triggered a scale-up");
+        assert!(
+            report.pools[0].workers > 1,
+            "the pool should have grown: {:?}",
+            report.pools[0]
+        );
+    }
+
+    #[test]
+    fn all_shed_run_reports_inert_zeros() {
+        let config = two_pool_config().with_admission(AdmissionConfig {
+            queue_capacity: 0,
+            shed_pressure: 0.0,
+        });
+        let report = ClusterSim::new(config).run(&traffic(100.0, 12, 2)).unwrap();
+        assert_eq!(report.completed(), 0);
+        assert_eq!(report.shed.len(), 12);
+        assert_eq!(report.shed_rate(), 1.0);
+        assert!(report.lost.is_empty(), "shed is refusal, not loss");
+        assert_eq!(report.p50(), 0.0);
+        assert_eq!(report.p99(), 0.0);
+        assert_eq!(report.mean_latency(), 0.0);
+        assert_eq!(report.makespan_s, 0.0);
+        assert_eq!(report.slo_violation_rate(), 0.0);
+        assert!(report
+            .pools
+            .iter()
+            .all(|p| p.busy_fraction.iter().all(|&f| f == 0.0)));
+    }
+
+    #[test]
+    fn digest_and_trace_are_thread_count_invariant() {
+        let t = traffic(300.0, 30, 13);
+        let run = |threads: usize| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    let mut sim = ClusterSim::new(two_pool_config().with_failures(FailureConfig {
+                        mtbf_s: 0.05,
+                        seed: 4,
+                    }));
+                    let report = sim.run(&t).unwrap();
+                    (report.digest(), sim.chrome_trace().unwrap().to_string())
+                })
+        };
+        let (digest_1, trace_1) = run(1);
+        let (digest_4, trace_4) = run(4);
+        assert_eq!(digest_1, digest_4, "digest varies with thread count");
+        assert_eq!(trace_1, trace_4, "trace varies with thread count");
+    }
+}

@@ -1,0 +1,577 @@
+//! The cluster simulation loop.
+//!
+//! A [`ClusterSim`] composes one [`Dispatcher`] + [`Batcher`] +
+//! [`PlanCache`] stack per device pool and drives them all from a single
+//! serial control loop on the shared virtual clock. The control loop is
+//! serial *by design*: every routing, shedding, autoscaling, and failure
+//! decision happens at a simulated event instant in a fixed order, so
+//! the whole run — batch timings, kernel records, the report digest — is
+//! a pure function of the configuration. Thread count only changes how
+//! fast the already-deterministic kernel-timing and planning layers
+//! compute, never what they compute.
+
+use crate::config::{ClusterConfig, FailureConfig, PoolConfig, Routing};
+use crate::report::{ClusterOutcome, ClusterReport, PoolReport};
+use mg_autotune::{Strategy, TuneKey, GREEDY_BUDGET};
+use mg_gpusim::export_chrome_trace_grouped;
+use mg_models::SparseTransformer;
+use mg_serve::{
+    canonicalize, Batch, Batcher, Dispatcher, PlanCache, Request, TrafficConfig, TunePolicy, Tuner,
+    WorkerState,
+};
+use mg_sparse::SparseError;
+use multigrain::AttentionProblem;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// One device pool at run time.
+struct Pool {
+    cfg: PoolConfig,
+    dispatcher: Dispatcher,
+    cache: PlanCache,
+    batcher: Batcher,
+    /// Pre-drawn failure time of each worker (`INFINITY` = never fails).
+    fail_at: Vec<f64>,
+    /// Deterministic stream for failure draws of autoscaled workers.
+    rng: StdRng,
+    /// Earliest simulated time the next scaling action may happen.
+    next_scale_s: f64,
+    completed: usize,
+}
+
+impl Pool {
+    /// The online worker that would start a batch soonest (earliest
+    /// `free_at`, ties to the lowest index).
+    fn best_worker(&self) -> Option<usize> {
+        (0..self.dispatcher.worker_count())
+            .filter(|&w| self.dispatcher.worker_state(w) == WorkerState::Online)
+            .min_by(|&a, &b| {
+                self.dispatcher
+                    .worker_free_at(a)
+                    .total_cmp(&self.dispatcher.worker_free_at(b))
+            })
+    }
+
+    /// Seconds until the pool's earliest-free online worker frees up.
+    fn earliest_wait_s(&self, now: f64) -> Option<f64> {
+        self.best_worker()
+            .map(|w| (self.dispatcher.worker_free_at(w) - now).max(0.0))
+    }
+
+    /// Mean backlog-seconds per online worker — the autoscaler's signal.
+    fn backlog_s(&self, now: f64) -> f64 {
+        let online: Vec<usize> = (0..self.dispatcher.worker_count())
+            .filter(|&w| self.dispatcher.worker_state(w) == WorkerState::Online)
+            .collect();
+        if online.is_empty() {
+            return f64::INFINITY;
+        }
+        online
+            .iter()
+            .map(|&w| (self.dispatcher.worker_free_at(w) - now).max(0.0))
+            .sum::<f64>()
+            / online.len() as f64
+    }
+}
+
+/// One cluster simulation instance; see the crate docs for the flow.
+pub struct ClusterSim {
+    config: ClusterConfig,
+    /// The routing model (shared across pools; per-pool caches hold
+    /// their own planning instances).
+    model: SparseTransformer,
+    pools: Vec<Pool>,
+    /// Round-robin cursor of [`Routing::RoundRobin`].
+    rr_next: usize,
+    /// Ids that completed, with double-execution detection.
+    completed: BTreeSet<usize>,
+    outcomes: Vec<ClusterOutcome>,
+    shed: Vec<usize>,
+    lost: Vec<usize>,
+    failures: usize,
+    redispatched: usize,
+    scale_ups: usize,
+    scale_downs: usize,
+    trace: Option<String>,
+}
+
+/// Draws an exponential failure offset with mean `mtbf_s`.
+fn draw_fail_offset(rng: &mut StdRng, mtbf_s: f64) -> f64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    -mtbf_s * (1.0 - u).ln()
+}
+
+impl ClusterSim {
+    /// Builds the cluster described by `config`.
+    pub fn new(config: ClusterConfig) -> ClusterSim {
+        let model = SparseTransformer::new(config.model.clone());
+        let pools = config
+            .pools
+            .iter()
+            .enumerate()
+            .map(|(i, pool_cfg)| {
+                let dispatcher =
+                    Dispatcher::new(&pool_cfg.device, pool_cfg.workers, config.stream_policy);
+                // Read-mostly tuning: zero online budget means a miss
+                // takes the deterministic fallback heuristic instead of
+                // spending simulated time searching mid-serve.
+                let tuner = Tuner::new(
+                    TunePolicy {
+                        strategy: Strategy::Greedy {
+                            budget: GREEDY_BUDGET,
+                        },
+                        online_budget_s: 0.0,
+                        db: config.tuning_db.clone(),
+                    },
+                    pool_cfg.device.clone(),
+                    config.stream_policy,
+                );
+                let cache = PlanCache::new(
+                    SparseTransformer::new(config.model.clone()),
+                    config.cache_capacity,
+                    config.cache_len_bucket,
+                )
+                .with_tuner(tuner);
+                let mut rng = StdRng::seed_from_u64(
+                    config.failures.map(|f| f.seed).unwrap_or(0) ^ (i as u64).wrapping_mul(0x9e37),
+                );
+                let fail_at = (0..pool_cfg.workers)
+                    .map(|_| match config.failures {
+                        Some(FailureConfig { mtbf_s, .. }) => draw_fail_offset(&mut rng, mtbf_s),
+                        None => f64::INFINITY,
+                    })
+                    .collect();
+                Pool {
+                    cfg: pool_cfg.clone(),
+                    dispatcher,
+                    cache,
+                    batcher: Batcher::new(config.batch_policy),
+                    fail_at,
+                    rng,
+                    next_scale_s: 0.0,
+                    completed: 0,
+                }
+            })
+            .collect();
+        ClusterSim {
+            config,
+            model,
+            pools,
+            rr_next: 0,
+            completed: BTreeSet::new(),
+            outcomes: Vec::new(),
+            shed: Vec::new(),
+            lost: Vec::new(),
+            failures: 0,
+            redispatched: 0,
+            scale_ups: 0,
+            scale_downs: 0,
+            trace: None,
+        }
+    }
+
+    /// Runs `traffic` to completion and reports.
+    pub fn run(&mut self, traffic: &TrafficConfig) -> Result<ClusterReport, SparseError> {
+        let requests = traffic.generate(self.config.model.max_seq_len);
+        for request in &requests {
+            let now = request.arrival_s;
+            self.sweep_idle_failures(now);
+            self.release_due(now)?;
+            self.autoscale(now);
+            if self.should_shed(request, now) {
+                self.shed.push(request.id);
+                continue;
+            }
+            let pool = self.route(request, now);
+            if let Some(batch) = self.pools[pool].batcher.push(request.clone(), now) {
+                self.execute(pool, batch)?;
+            }
+        }
+        // End of trace: release the stragglers at their deadlines.
+        let end = requests.last().map(|r| r.arrival_s).unwrap_or(0.0);
+        loop {
+            let deadline = self
+                .pools
+                .iter()
+                .filter_map(|p| p.batcher.next_deadline())
+                .min_by(f64::total_cmp);
+            let Some(deadline) = deadline else { break };
+            let now = deadline.max(end);
+            self.sweep_idle_failures(now);
+            self.release_due(now)?;
+        }
+
+        // Anything admitted but never completed was lost — the failure
+        // model's re-dispatch contract makes this impossible, and the
+        // study binaries assert on it.
+        for r in &requests {
+            if !self.completed.contains(&r.id) && !self.shed.contains(&r.id) {
+                self.lost.push(r.id);
+            }
+        }
+
+        self.outcomes.sort_by_key(|o| o.id);
+        let t0 = requests
+            .iter()
+            .map(|r| r.arrival_s)
+            .fold(f64::INFINITY, f64::min);
+        let t1 = self
+            .outcomes
+            .iter()
+            .map(|o| o.arrival_s + o.total_s())
+            .fold(0.0f64, f64::max);
+        let makespan_s = if self.outcomes.is_empty() {
+            0.0
+        } else {
+            (t1 - t0).max(f64::MIN_POSITIVE)
+        };
+        let pools = self
+            .pools
+            .iter()
+            .map(|p| PoolReport {
+                device: p.cfg.device.name,
+                workers: p.dispatcher.worker_count(),
+                online_workers: p.dispatcher.online_workers(),
+                completed: p.completed,
+                busy_fraction: (0..p.dispatcher.worker_count())
+                    .map(|w| {
+                        if makespan_s > 0.0 {
+                            p.dispatcher.worker_busy_seconds(w, t1) / makespan_s
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        // One Chrome-trace lane per pool worker, on the shared timeline.
+        let names: Vec<String> = self
+            .pools
+            .iter()
+            .enumerate()
+            .flat_map(|(i, p)| {
+                (0..p.dispatcher.worker_count())
+                    .map(move |w| format!("pool{i}-{}/worker-{w}", p.cfg.device.name))
+            })
+            .collect();
+        let mut groups = Vec::new();
+        let mut name_idx = 0;
+        for p in &self.pools {
+            for w in 0..p.dispatcher.worker_count() {
+                groups.push((names[name_idx].as_str(), p.dispatcher.worker_records(w)));
+                name_idx += 1;
+            }
+        }
+        self.trace = Some(export_chrome_trace_grouped(&groups));
+
+        Ok(ClusterReport {
+            routing: self.config.routing,
+            n_requests: requests.len(),
+            outcomes: std::mem::take(&mut self.outcomes),
+            shed: std::mem::take(&mut self.shed),
+            lost: std::mem::take(&mut self.lost),
+            makespan_s,
+            pools,
+            failures: self.failures,
+            redispatched: self.redispatched,
+            scale_ups: self.scale_ups,
+            scale_downs: self.scale_downs,
+        })
+    }
+
+    /// Chrome-trace JSON of the last [`run`](ClusterSim::run), one
+    /// process lane per pool worker.
+    pub fn chrome_trace(&self) -> Option<&str> {
+        self.trace.as_deref()
+    }
+
+    /// Online workers across the whole cluster.
+    fn total_online(&self) -> usize {
+        self.pools
+            .iter()
+            .map(|p| p.dispatcher.online_workers())
+            .sum()
+    }
+
+    /// Kills every online worker whose pre-drawn failure time has passed
+    /// while it sat idle — unless it is the cluster's last online worker,
+    /// in which case the failure is permanently waived (someone has to
+    /// run the re-dispatched requests; see [`FailureConfig`]).
+    fn sweep_idle_failures(&mut self, now: f64) {
+        for i in 0..self.pools.len() {
+            for w in 0..self.pools[i].dispatcher.worker_count() {
+                let fail_at = self.pools[i].fail_at[w];
+                if fail_at <= now && self.pools[i].dispatcher.worker_state(w) == WorkerState::Online
+                {
+                    if self.total_online() > 1 {
+                        self.pools[i].dispatcher.fail_worker(w, fail_at);
+                        self.pools[i].fail_at[w] = f64::INFINITY;
+                        self.failures += 1;
+                    } else {
+                        self.pools[i].fail_at[w] = f64::INFINITY;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Releases every batch due by `now` in every pool, in pool order.
+    fn release_due(&mut self, now: f64) -> Result<(), SparseError> {
+        for i in 0..self.pools.len() {
+            let due = self.pools[i].batcher.poll(now);
+            for batch in due {
+                self.execute(i, batch)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the admission controller refuses `request` at `now`.
+    fn should_shed(&self, request: &Request, now: f64) -> bool {
+        let queued: usize = self.pools.iter().map(|p| p.batcher.queued()).sum();
+        if queued >= self.config.admission.queue_capacity {
+            return true;
+        }
+        let pressure = self.config.admission.shed_pressure;
+        if pressure > 0.0 {
+            let best_wait = self
+                .pools
+                .iter()
+                .filter_map(|p| p.earliest_wait_s(now))
+                .fold(f64::INFINITY, f64::min);
+            if best_wait > pressure * request.slo_s {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The canonical problem the tuning database keys `request` by.
+    fn canonical_problem(&self, request: &Request) -> AttentionProblem {
+        let cfg = &self.config.model;
+        let canon = canonicalize(
+            &request.sample,
+            cfg.max_seq_len,
+            self.config.cache_len_bucket,
+        );
+        AttentionProblem::new(
+            self.model.pattern_for(&canon),
+            cfg.head_dim,
+            1,
+            cfg.heads,
+            cfg.block_size,
+        )
+    }
+
+    /// Picks the pool for `request` under the configured routing policy.
+    /// Only pools with at least one online worker are eligible.
+    fn route(&mut self, request: &Request, now: f64) -> usize {
+        let eligible: Vec<usize> = (0..self.pools.len())
+            .filter(|&i| self.pools[i].dispatcher.online_workers() > 0)
+            .collect();
+        assert!(!eligible.is_empty(), "routing with every pool offline");
+        match self.config.routing {
+            Routing::RoundRobin => {
+                let pick = eligible[self.rr_next % eligible.len()];
+                self.rr_next = (self.rr_next + 1) % eligible.len().max(1);
+                pick
+            }
+            Routing::LeastQueueDepth => self.least_queue_depth(&eligible),
+            Routing::TunedAffinity => {
+                let problem = self.canonical_problem(request);
+                let best = eligible
+                    .iter()
+                    .filter_map(|&i| {
+                        let pool = &self.pools[i];
+                        let key = TuneKey::for_problem(
+                            &problem,
+                            self.config.cache_len_bucket,
+                            &pool.cfg.device,
+                        );
+                        let entry = self.config.tuning_db.get(&key)?;
+                        // Estimated completion: current backlog plus one
+                        // tuned service time per request already queued
+                        // ahead, plus this request's own.
+                        let wait = pool.earliest_wait_s(now).unwrap_or(f64::INFINITY);
+                        let est = wait + (pool.batcher.queued() + 1) as f64 * entry.time_s;
+                        Some((est, i))
+                    })
+                    .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+                match best {
+                    Some((_, i)) => i,
+                    // No pool has a tuned entry for this problem: fall
+                    // back to load-only routing.
+                    None => self.least_queue_depth(&eligible),
+                }
+            }
+        }
+    }
+
+    fn least_queue_depth(&self, eligible: &[usize]) -> usize {
+        *eligible
+            .iter()
+            .min_by_key(|&&i| (self.pools[i].batcher.queued(), i))
+            .expect("eligible pools")
+    }
+
+    /// Executes a released batch on its pool's soonest-free worker,
+    /// re-dispatching the members exactly once if the worker fails
+    /// mid-batch.
+    fn execute(&mut self, pool_idx: usize, batch: Batch) -> Result<(), SparseError> {
+        let worker = match self.pools[pool_idx].best_worker() {
+            Some(w) => w,
+            // The pool died between routing and release: steal the batch
+            // into the least-loaded live pool instead of losing it.
+            None => {
+                let live: Vec<usize> = (0..self.pools.len())
+                    .filter(|&i| self.pools[i].dispatcher.online_workers() > 0)
+                    .collect();
+                assert!(!live.is_empty(), "executing with every pool offline");
+                let target = self.least_queue_depth(&live);
+                return self.execute(target, batch);
+            }
+        };
+        // A failure is only armed when the cluster keeps at least one
+        // other online worker to absorb the re-dispatch; a waived
+        // failure is waived forever (the worker's clock may pass it).
+        let abort_at = {
+            let fail_at = self.pools[pool_idx].fail_at[worker];
+            if fail_at.is_finite() && self.total_online() > 1 {
+                Some(fail_at)
+            } else {
+                self.pools[pool_idx].fail_at[worker] = f64::INFINITY;
+                None
+            }
+        };
+        let pool = &mut self.pools[pool_idx];
+        let attempt = pool
+            .dispatcher
+            .dispatch_on(worker, &batch, &mut pool.cache, abort_at)?;
+        if !attempt.failed {
+            self.record(pool_idx, &batch, &attempt.outcome, false);
+            return Ok(());
+        }
+
+        // The worker died mid-batch. Re-dispatch the members exactly
+        // once, starting at the failure instant, onto the soonest-free
+        // online worker anywhere in the cluster. The retry target is
+        // exempted from its own pending failure — its clock may run past
+        // the pre-drawn time, and a second failure would mean a second
+        // re-dispatch.
+        self.failures += 1;
+        self.pools[pool_idx].fail_at[worker] = f64::INFINITY;
+        let failed_at = attempt.outcome.finished_s;
+        let retry = Batch {
+            requests: batch.requests.clone(),
+            admitted_s: failed_at,
+        };
+        let target = (0..self.pools.len())
+            .filter_map(|i| {
+                let p = &self.pools[i];
+                p.best_worker()
+                    .map(|w| (p.dispatcher.worker_free_at(w).max(failed_at), i, w))
+            })
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let Some((_, rp, rw)) = target else {
+            // Unreachable by construction (failures are only armed with
+            // a second online worker present), but account rather than
+            // panic if the invariant is ever broken.
+            return Ok(());
+        };
+        self.pools[rp].fail_at[rw] = f64::INFINITY;
+        let pool = &mut self.pools[rp];
+        let redo = pool
+            .dispatcher
+            .dispatch_on(rw, &retry, &mut pool.cache, None)?;
+        assert!(!redo.failed, "retries are failure-immune");
+        self.redispatched += retry.requests.len();
+        self.record(rp, &retry, &redo.outcome, true);
+        Ok(())
+    }
+
+    /// Books a completed batch's members into the report, enforcing the
+    /// exactly-once contract.
+    fn record(
+        &mut self,
+        pool_idx: usize,
+        batch: &Batch,
+        outcome: &mg_serve::BatchOutcome,
+        retried: bool,
+    ) {
+        for request in &batch.requests {
+            assert!(
+                self.completed.insert(request.id),
+                "request {} completed twice",
+                request.id
+            );
+            self.outcomes.push(ClusterOutcome {
+                id: request.id,
+                class: request.class,
+                pool: pool_idx,
+                worker: outcome.worker,
+                arrival_s: request.arrival_s,
+                queue_s: outcome.started_s - request.arrival_s,
+                service_s: outcome.finished_s - outcome.started_s,
+                slo_met: outcome.finished_s <= request.deadline_s(),
+                retried,
+            });
+            self.pools[pool_idx].completed += 1;
+        }
+    }
+
+    /// One autoscaling evaluation per pool at event instant `now`.
+    fn autoscale(&mut self, now: f64) {
+        let Some(cfg) = self.config.autoscale else {
+            return;
+        };
+        let failures = self.config.failures;
+        for pool in &mut self.pools {
+            if now < pool.next_scale_s {
+                continue;
+            }
+            let online = pool.dispatcher.online_workers();
+            let backlog = pool.backlog_s(now);
+            if backlog > cfg.high_watermark_s && online < pool.cfg.max_workers {
+                // Prefer reviving a parked worker; grow the pool only
+                // when none is available and headroom remains.
+                let parked = (0..pool.dispatcher.worker_count())
+                    .find(|&w| pool.dispatcher.worker_state(w) == WorkerState::Parked);
+                match parked {
+                    Some(w) => pool.dispatcher.unpark_worker(w, now + cfg.warmup_s),
+                    None => {
+                        if pool.dispatcher.worker_count() >= pool.cfg.max_workers {
+                            continue;
+                        }
+                        pool.dispatcher.add_worker(now + cfg.warmup_s);
+                        pool.fail_at.push(match failures {
+                            Some(FailureConfig { mtbf_s, .. }) => {
+                                now + cfg.warmup_s + draw_fail_offset(&mut pool.rng, mtbf_s)
+                            }
+                            None => f64::INFINITY,
+                        });
+                    }
+                }
+                self.scale_ups += 1;
+                pool.next_scale_s = now + cfg.cooldown_s;
+            } else if backlog < cfg.low_watermark_s && online > pool.cfg.min_workers {
+                // Park the idlest online worker (latest index breaks
+                // ties toward keeping the founding workers).
+                let idlest = (0..pool.dispatcher.worker_count())
+                    .filter(|&w| pool.dispatcher.worker_state(w) == WorkerState::Online)
+                    .min_by(|&a, &b| {
+                        pool.dispatcher
+                            .worker_free_at(a)
+                            .total_cmp(&pool.dispatcher.worker_free_at(b))
+                            .then(b.cmp(&a))
+                    });
+                if let Some(w) = idlest {
+                    pool.dispatcher.park_worker(w);
+                    self.scale_downs += 1;
+                    pool.next_scale_s = now + cfg.cooldown_s;
+                }
+            }
+        }
+    }
+}

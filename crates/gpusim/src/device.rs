@@ -340,9 +340,13 @@ mod tests {
         // so an accidental change to the hash (or to the A100 model)
         // must fail loudly here, not silently orphan saved entries.
         assert_eq!(DeviceSpec::a100().fingerprint(), 0x69a3_ec57_039a_79d0);
+        // The H100 fingerprint keys the heterogeneous-cluster tuning
+        // databases (mg-cluster routes on it), so it is pinned too.
+        assert_eq!(DeviceSpec::h100().fingerprint(), 0x64c9_651d_988f_e8b2);
         let a = DeviceSpec::a100();
         assert_eq!(a.fingerprint(), a.clone().fingerprint());
         assert_ne!(a.fingerprint(), DeviceSpec::rtx3090().fingerprint());
+        assert_ne!(a.fingerprint(), DeviceSpec::h100().fingerprint());
         // Any single timing-relevant field flips the fingerprint.
         let mut faster = DeviceSpec::a100();
         faster.mem_bw_bytes_per_s *= 1.01;

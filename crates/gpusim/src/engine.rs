@@ -557,6 +557,29 @@ impl Gpu {
         busy_seconds(&self.records, from, until) / (until - from).max(f64::MIN_POSITIVE)
     }
 
+    /// Halts the device at time `t`: every record that starts at or
+    /// after `t` is discarded, records spanning `t` are clipped to end
+    /// there (the kernel was cut off mid-flight and its work is lost),
+    /// and the clock is pinned to `t`.
+    ///
+    /// This models a device dropping out of a fleet — a worker failure
+    /// in a cluster simulation. The clipped trace shows exactly what the
+    /// device had finished when it died; nothing scheduled past the halt
+    /// survives. Pending (unsynchronized) kernels are dropped too. A
+    /// halt in the future (`t >= elapsed`) only advances the clock.
+    pub fn halt_at(&mut self, t: f64) {
+        self.records.retain(|r| r.start < t);
+        for r in &mut self.records {
+            if r.end > t {
+                r.end = t;
+            }
+        }
+        for q in &mut self.queues {
+            q.clear();
+        }
+        self.time = t;
+    }
+
     /// Records of every kernel completed so far, in completion order.
     pub fn records(&self) -> &[KernelRecord] {
         &self.records
@@ -630,6 +653,44 @@ mod tests {
             rec.start >= before,
             "kernel starts after the advanced clock"
         );
+    }
+
+    #[test]
+    fn halt_clips_records_and_pins_the_clock() {
+        let mut gpu = Gpu::new(DeviceSpec::a100());
+        let work = TbWork {
+            cuda_flops: 1 << 20,
+            dram_read: 1 << 16,
+            ..TbWork::default()
+        };
+        gpu.launch(
+            DEFAULT_STREAM,
+            KernelProfile::uniform("first", LaunchConfig::default(), 256, work),
+        );
+        gpu.launch(
+            DEFAULT_STREAM,
+            KernelProfile::uniform("second", LaunchConfig::default(), 256, work),
+        );
+        gpu.synchronize();
+        assert_eq!(gpu.records().len(), 2);
+        let first_end = gpu.records()[0].end;
+        let second_end = gpu.records()[1].end;
+        // Die halfway through the second kernel: the first record
+        // survives whole, the second is clipped at the halt point.
+        let halt = (first_end + second_end) / 2.0;
+        gpu.halt_at(halt);
+        assert_eq!(gpu.records().len(), 2);
+        assert_eq!(gpu.records()[0].end, first_end);
+        assert_eq!(gpu.records()[1].end, halt);
+        assert_eq!(gpu.elapsed(), halt);
+        // A halt before everything wipes the trace; pending work dies too.
+        gpu.launch(
+            DEFAULT_STREAM,
+            KernelProfile::uniform("never", LaunchConfig::default(), 16, work),
+        );
+        gpu.halt_at(0.0);
+        assert!(gpu.records().is_empty());
+        assert_eq!(gpu.synchronize(), 0.0, "pending queue was dropped");
     }
 
     #[test]

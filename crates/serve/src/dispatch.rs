@@ -61,9 +61,37 @@ pub struct BatchOutcome {
     pub numeric_digest: u64,
 }
 
+/// Lifecycle state of one pool worker.
+///
+/// The cluster layer drives workers through this state machine:
+/// autoscaling parks and unparks them, the failure injector kills them.
+/// A plain [`Dispatcher`] keeps every worker `Online` forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerState {
+    /// Eligible for new batches.
+    Online,
+    /// Scaled down: alive but not accepting work until unparked.
+    Parked,
+    /// Dropped mid-run by the failure injector; never comes back.
+    Failed,
+}
+
 struct Worker {
     gpu: Gpu,
     free_at: f64,
+    state: WorkerState,
+}
+
+/// Result of a targeted [`Dispatcher::dispatch_on`]: the batch outcome,
+/// plus whether the worker died mid-batch. On failure the outcome's
+/// `finished_s` is the failure instant and the member requests did NOT
+/// complete — the caller owns re-dispatching them (exactly once).
+#[derive(Debug, Clone)]
+pub struct DispatchAttempt {
+    /// Timing of the attempt (on failure, `finished_s` is the halt time).
+    pub outcome: BatchOutcome,
+    /// `true` when the worker failed before the batch could finish.
+    pub failed: bool,
 }
 
 /// One planned batch bound for a specific worker: everything the worker
@@ -98,7 +126,11 @@ impl Dispatcher {
             .map(|_| {
                 let mut gpu = Gpu::new(spec.clone());
                 gpu.stream(2); // materialize streams 0..=2
-                Worker { gpu, free_at: 0.0 }
+                Worker {
+                    gpu,
+                    free_at: 0.0,
+                    state: WorkerState::Online,
+                }
             })
             .collect();
         Dispatcher {
@@ -170,8 +202,7 @@ impl Dispatcher {
         let mut queues: Vec<Vec<Assignment>> =
             (0..self.workers.len()).map(|_| Vec::new()).collect();
         for (batch_idx, batch) in batches.iter().enumerate() {
-            let worker_idx = self.next;
-            self.next = (self.next + 1) % self.workers.len();
+            let worker_idx = self.next_online_worker();
             let mut plans = Vec::with_capacity(batch.requests.len());
             let mut cache_hits = Vec::with_capacity(batch.requests.len());
             for request in &batch.requests {
@@ -249,11 +280,163 @@ impl Dispatcher {
             .collect())
     }
 
-    /// When every worker is idle again.
+    /// Index of the next online worker in round-robin order, advancing
+    /// the cursor past it. Panics if the whole pool is parked or failed —
+    /// callers that manage lifecycle must route around dead pools.
+    fn next_online_worker(&mut self) -> usize {
+        let n = self.workers.len();
+        for step in 0..n {
+            let idx = (self.next + step) % n;
+            if self.workers[idx].state == WorkerState::Online {
+                self.next = (idx + 1) % n;
+                return idx;
+            }
+        }
+        panic!("dispatch with no online workers in the pool");
+    }
+
+    /// Grows the pool by one worker whose device clock starts at
+    /// `ready_at` (simulated warm-up: it can take no batch earlier).
+    /// Returns the new worker's index.
+    pub fn add_worker(&mut self, ready_at: f64) -> usize {
+        let spec = self.workers[0].gpu.spec().clone();
+        let mut gpu = Gpu::new(spec);
+        gpu.stream(2); // same stream layout as the founding workers
+        gpu.advance_to(ready_at.max(0.0));
+        self.workers.push(Worker {
+            gpu,
+            free_at: ready_at.max(0.0),
+            state: WorkerState::Online,
+        });
+        self.workers.len() - 1
+    }
+
+    /// Parks an online worker: it keeps its history but takes no new
+    /// batches until [`Dispatcher::unpark_worker`]. No-op on a failed
+    /// worker — the dead stay dead.
+    pub fn park_worker(&mut self, worker: usize) {
+        let w = &mut self.workers[worker];
+        if w.state == WorkerState::Online {
+            w.state = WorkerState::Parked;
+        }
+    }
+
+    /// Brings a parked worker back online, no earlier than `ready_at`
+    /// (simulated warm-up). No-op unless the worker is parked.
+    pub fn unpark_worker(&mut self, worker: usize, ready_at: f64) {
+        let w = &mut self.workers[worker];
+        if w.state == WorkerState::Parked {
+            w.state = WorkerState::Online;
+            w.free_at = w.free_at.max(ready_at);
+        }
+    }
+
+    /// Kills a worker at simulated time `at`: its device halts (kernel
+    /// records past `at` are clipped, pending work is dropped) and it
+    /// never takes another batch.
+    pub fn fail_worker(&mut self, worker: usize, at: f64) {
+        let w = &mut self.workers[worker];
+        w.gpu.halt_at(at);
+        w.state = WorkerState::Failed;
+        w.free_at = f64::INFINITY;
+    }
+
+    /// Lifecycle state of worker `worker`.
+    pub fn worker_state(&self, worker: usize) -> WorkerState {
+        self.workers[worker].state
+    }
+
+    /// When worker `worker` frees up (`INFINITY` once failed).
+    pub fn worker_free_at(&self, worker: usize) -> f64 {
+        self.workers[worker].free_at
+    }
+
+    /// Number of workers currently online.
+    pub fn online_workers(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| w.state == WorkerState::Online)
+            .count()
+    }
+
+    /// Executes `batch` on a specific worker, planning each member
+    /// through `cache`. This is the cluster layer's entry point: the
+    /// router picks the worker, and `abort_at` injects a failure — if
+    /// the worker's pre-drawn failure time lands before the batch
+    /// finishes, the device halts there, the attempt comes back with
+    /// `failed = true`, and the members must be re-dispatched by the
+    /// caller. Pass `abort_at = None` for a failure-immune attempt
+    /// (retries, so a request is re-dispatched exactly once).
+    pub fn dispatch_on(
+        &mut self,
+        worker: usize,
+        batch: &Batch,
+        cache: &mut PlanCache,
+        abort_at: Option<f64>,
+    ) -> Result<DispatchAttempt, SparseError> {
+        assert_eq!(
+            self.workers[worker].state,
+            WorkerState::Online,
+            "dispatch_on targets an online worker"
+        );
+        let mut plans = Vec::with_capacity(batch.requests.len());
+        let mut cache_hits = Vec::with_capacity(batch.requests.len());
+        for request in &batch.requests {
+            let hits_before = cache.stats().hits;
+            plans.push(cache.get_or_plan(request)?);
+            cache_hits.push(cache.stats().hits > hits_before);
+        }
+        let request_ids: Vec<usize> = batch.requests.iter().map(|r| r.id).collect();
+
+        let w = &mut self.workers[worker];
+        let started_s = batch.admitted_s.max(w.free_at);
+        w.gpu.advance_to(started_s);
+        let refs: Vec<&Attention> = plans.iter().map(Arc::as_ref).collect();
+        match self.policy {
+            StreamPolicy::Serial => run_serial(&refs, &mut w.gpu),
+            StreamPolicy::RoleStreams => {
+                Attention::run_timed_batch(&refs, &mut w.gpu);
+            }
+            StreamPolicy::Pipelined => {
+                Attention::run_timed_pipelined_batch(&refs, &mut w.gpu);
+            }
+        }
+        let mut finished_s = w.gpu.elapsed();
+        let failed = matches!(abort_at, Some(t) if t < finished_s);
+        let numeric_digest = if failed {
+            // The batch never completed: its outputs are lost, not hashed.
+            finished_s = abort_at.expect("failed implies abort_at").max(started_s);
+            self.fail_worker(worker, finished_s);
+            0
+        } else {
+            self.workers[worker].free_at = finished_s;
+            if self.numeric {
+                batch_numeric_digest(&plans, &request_ids)
+            } else {
+                0
+            }
+        };
+        Ok(DispatchAttempt {
+            outcome: BatchOutcome {
+                request_ids,
+                worker,
+                admitted_s: batch.admitted_s,
+                started_s,
+                finished_s,
+                cache_hits,
+                numeric_digest,
+            },
+            failed,
+        })
+    }
+
+    /// When every live worker is idle again (failed workers, parked at
+    /// infinity, are ignored).
     pub fn drained_at(&self) -> f64 {
         self.workers
             .iter()
             .map(|w| w.free_at)
+            .filter(|t| t.is_finite())
             .fold(0.0f64, f64::max)
     }
 
@@ -422,6 +605,77 @@ mod tests {
         assert_ne!(serial[0], serial[1], "distinct requests, distinct bits");
         assert_eq!(serial, run(4), "digest is thread-count invariant");
         assert_eq!(serial, run(1), "digest is reproducible");
+    }
+
+    #[test]
+    fn round_robin_skips_parked_and_failed_workers() {
+        let mut cache = tiny_cache();
+        let mut d = Dispatcher::new(&DeviceSpec::a100(), 3, StreamPolicy::RoleStreams);
+        d.park_worker(1);
+        let a = d.dispatch(&tiny_batch(0..1, 0.0), &mut cache).unwrap();
+        let b = d.dispatch(&tiny_batch(1..2, 0.0), &mut cache).unwrap();
+        let c = d.dispatch(&tiny_batch(2..3, 0.0), &mut cache).unwrap();
+        assert_eq!(
+            (a.worker, b.worker, c.worker),
+            (0, 2, 0),
+            "parked worker 1 is skipped"
+        );
+        assert_eq!(d.online_workers(), 2);
+        d.unpark_worker(1, 5.0);
+        assert_eq!(d.online_workers(), 3);
+        assert_eq!(d.worker_free_at(1), 5.0, "unpark applies warm-up");
+    }
+
+    #[test]
+    fn added_worker_obeys_its_ready_time() {
+        let mut cache = tiny_cache();
+        let mut d = Dispatcher::new(&DeviceSpec::a100(), 1, StreamPolicy::RoleStreams);
+        let w = d.add_worker(3.0);
+        assert_eq!(w, 1);
+        let a = d
+            .dispatch_on(w, &tiny_batch(0..2, 1.0), &mut cache, None)
+            .unwrap();
+        assert!(!a.failed);
+        assert_eq!(a.outcome.started_s, 3.0, "warm-up delays the first batch");
+    }
+
+    #[test]
+    fn failed_worker_halts_and_attempt_reports_it() {
+        let mut cache = tiny_cache();
+        let mut d = Dispatcher::new(&DeviceSpec::a100(), 1, StreamPolicy::RoleStreams)
+            .with_numeric_execution(true);
+        // Measure an undisturbed run to find a mid-batch instant.
+        let probe = d
+            .dispatch_on(0, &tiny_batch(0..2, 0.0), &mut cache, None)
+            .unwrap();
+        assert!(!probe.failed);
+        assert_ne!(probe.outcome.numeric_digest, 0);
+        let mid =
+            probe.outcome.finished_s + (probe.outcome.finished_s - probe.outcome.started_s) / 2.0;
+
+        // Same batch again: the worker dies halfway through it.
+        let attempt = d
+            .dispatch_on(
+                0,
+                &tiny_batch(0..2, probe.outcome.finished_s),
+                &mut cache,
+                Some(mid),
+            )
+            .unwrap();
+        assert!(attempt.failed);
+        assert_eq!(attempt.outcome.finished_s, mid, "clipped to the failure");
+        assert_eq!(attempt.outcome.numeric_digest, 0, "lost work is not hashed");
+        assert_eq!(d.worker_state(0), WorkerState::Failed);
+        assert_eq!(d.online_workers(), 0);
+        assert!(d.worker_free_at(0).is_infinite());
+        assert!(
+            d.worker_records(0).iter().all(|r| r.end <= mid + 1e-12),
+            "no kernel record outlives the failure"
+        );
+        assert!(
+            d.drained_at().is_finite(),
+            "failed workers do not pin drain"
+        );
     }
 
     #[test]

@@ -199,6 +199,31 @@ mod tests {
     }
 
     #[test]
+    fn single_request_run_has_degenerate_but_sane_percentiles() {
+        // End-to-end degenerate run: one request means every percentile
+        // is that request's latency — no interpolation artifacts, no
+        // NaNs, and the aggregate rates stay finite.
+        let report = ServeSim::new(tiny_config())
+            .run(&traffic(100.0, 1, 3))
+            .unwrap();
+        assert_eq!(report.outcomes.len(), 1);
+        let only = report.outcomes[0].total_s();
+        assert!(only > 0.0 && only.is_finite());
+        for p in [0.0, 1.0, 50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(report.latency_percentile(p), only, "p{p}");
+        }
+        assert_eq!(report.mean_latency(), only);
+        assert!(report.throughput_rps().is_finite() && report.throughput_rps() > 0.0);
+        assert!(report.busy_fraction() > 0.0 && report.busy_fraction() <= 1.0);
+        let slo = report.slo_violation_rate();
+        assert!(
+            slo == 0.0 || slo == 1.0,
+            "one request: all or nothing ({slo})"
+        );
+        assert!(report.makespan_s >= only);
+    }
+
+    #[test]
     fn runs_are_deterministic() {
         let t = traffic(500.0, 30, 7);
         let a = ServeSim::new(tiny_config()).run(&t).unwrap();
