@@ -279,6 +279,18 @@ fn main() {
         failures += 1;
     }
 
+    // The tiled fused kernel must actually earn cells: the single-pass
+    // 3S fusion is only worth carrying if the tuner picks it somewhere.
+    let fused_wins = cells
+        .iter()
+        .filter(|c| c.entry.config.method == Method::FusedStyle)
+        .count();
+    println!("FusedStyle wins {fused_wins} of {} cells", cells.len());
+    if fused_wins == 0 {
+        eprintln!("FAIL: FusedStyle wins no (workload, device) cell");
+        failures += 1;
+    }
+
     if let Some(path) = &args.db_path {
         if let Err(e) = db.save(std::path::Path::new(path)) {
             eprintln!("autotune_study: {e}");

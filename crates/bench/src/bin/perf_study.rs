@@ -8,13 +8,15 @@
 //! references (per-element LUT decode inside the loop — the pre-packing
 //! structure) against the packed production kernels on patterns derived
 //! from the four dataset-style workload classes, asserts the two paths
-//! agree bit-for-bit, and records the speedups.
+//! agree bit-for-bit, and records the speedups. The fused row compares
+//! the register-tiled single-pass kernel against the library's retained
+//! `fused::naive` scalar path.
 //!
 //! Usage: `cargo run --release -p mg-bench --bin perf_study --
 //!   [--smoke] [--json] [--threads N] [--digest FILE]`
 //!
 //! * `--smoke`       — short sequence length; seconds, for CI.
-//! * `--json`        — also write the results to `BENCH_5.json`,
+//! * `--json`        — also write the results to `BENCH_7.json`,
 //!   including packed-path GFLOP/s per kernel (useful-work flops over
 //!   measured time; multiply-adds count as two).
 //! * `--threads N`   — pin the parallel layer to N threads (default:
@@ -27,10 +29,10 @@ use mg_bench::runners::{BLOCK, HEAD_DIM, SEED};
 use mg_bench::{threads, Table};
 use mg_kernels::{
     coarse_sddmm_compute, coarse_spmm_compute, compound_softmax_compute, fine_sddmm_compute,
-    fine_spmm_compute, fused_attention_compute,
+    fine_spmm_compute, fused, fused_attention_compute,
 };
 use mg_models::workload;
-use mg_patterns::{presets, CompoundPattern};
+use mg_patterns::presets;
 use mg_serve::RequestClass;
 use mg_sparse::{Bsr, Csr};
 use mg_tensor::{dot, naive, Half, Matrix};
@@ -147,45 +149,6 @@ fn naive_coarse_spmm(p: &Bsr<Half>, v: &Matrix<Half>) -> Matrix<Half> {
     acc.cast()
 }
 
-fn naive_fused(
-    q: &Matrix<Half>,
-    k: &Matrix<Half>,
-    v: &Matrix<Half>,
-    pattern: &CompoundPattern,
-    scale: f32,
-) -> Matrix<Half> {
-    let l = pattern.seq_len();
-    let dh = q.cols();
-    let mut out = Matrix::<Half>::zeros(l, dh);
-    for r in 0..l {
-        let cols = pattern.row_columns(r);
-        if cols.is_empty() {
-            continue;
-        }
-        let mut running_max = f32::NEG_INFINITY;
-        let mut running_sum = 0.0f32;
-        let mut acc = vec![0.0f32; dh];
-        for &c in &cols {
-            let s = Half::from_f32(dot(q.row(r), k.row(c))).to_f32() * scale;
-            let new_max = running_max.max(s);
-            let correction = (running_max - new_max).exp();
-            let p = (s - new_max).exp();
-            running_sum = running_sum * correction + p;
-            let v_row = v.row(c);
-            for (d, slot) in acc.iter_mut().enumerate() {
-                *slot = *slot * correction + p * v_row[d].to_f32();
-            }
-            running_max = new_max;
-        }
-        let inv = 1.0 / running_sum;
-        let out_row = out.row_mut(r);
-        for (d, &slot) in acc.iter().enumerate() {
-            out_row[d] = Half::from_f32(slot * inv);
-        }
-    }
-    out
-}
-
 // ---------------------------------------------------------------------
 // Harness
 // ---------------------------------------------------------------------
@@ -214,10 +177,34 @@ fn digest_slice(values: &[Half]) -> u64 {
         .fold(FNV_OFFSET, |d, v| fnv_fold(d, v.to_bits()))
 }
 
-fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let started = Instant::now();
-    let out = f();
-    (out, started.elapsed().as_secs_f64())
+/// Paired best-of-five timing: the packed and naive kernels run
+/// alternately and each keeps its minimum wall clock. Interleaving the
+/// reps means a scheduler hiccup or frequency drift on a shared box hits
+/// both sides of the comparison instead of poisoning one of them, and
+/// best-of-N discards the reps it still lands on.
+fn time_pair<P, N>(
+    mut packed: impl FnMut() -> P,
+    mut naive: impl FnMut() -> N,
+) -> (P, N, f64, f64) {
+    const REPS: usize = 5;
+    let mut packed_best = f64::MAX;
+    let mut naive_best = f64::MAX;
+    let mut packed_out = None;
+    let mut naive_out = None;
+    for _ in 0..REPS {
+        let started = Instant::now();
+        packed_out = Some(packed());
+        packed_best = packed_best.min(started.elapsed().as_secs_f64());
+        let started = Instant::now();
+        naive_out = Some(naive());
+        naive_best = naive_best.min(started.elapsed().as_secs_f64());
+    }
+    (
+        packed_out.expect("at least one rep"),
+        naive_out.expect("at least one rep"),
+        packed_best,
+        naive_best,
+    )
 }
 
 /// One kernel's naive-vs-packed measurement, plus a digest of the packed
@@ -289,8 +276,10 @@ fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult 
     let fused_flops = 2.0 * fine_flops;
 
     // Dense pair: S = QKᵀ (gemm_nt), C = S·V (gemm).
-    let (s_dense, packed_s) = time(|| -> Matrix<Half> { mg_tensor::gemm_nt(&q, &k) });
-    let (s_dense_naive, naive_s) = time(|| -> Matrix<Half> { naive::gemm_nt(&q, &k) });
+    let (s_dense, s_dense_naive, packed_s, naive_s) = time_pair(
+        || -> Matrix<Half> { mg_tensor::gemm_nt(&q, &k) },
+        || -> Matrix<Half> { naive::gemm_nt(&q, &k) },
+    );
     assert_bits_eq(&s_dense, &s_dense_naive, "dense_gemm_nt");
     kernels.push(KernelResult {
         kernel: "dense_gemm_nt",
@@ -300,8 +289,10 @@ fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult 
         digest: digest_matrix(&s_dense),
     });
 
-    let (c_dense, packed_s) = time(|| -> Matrix<Half> { mg_tensor::gemm(&s_dense, &v) });
-    let (c_dense_naive, naive_s) = time(|| -> Matrix<Half> { naive::gemm(&s_dense, &v) });
+    let (c_dense, c_dense_naive, packed_s, naive_s) = time_pair(
+        || -> Matrix<Half> { mg_tensor::gemm(&s_dense, &v) },
+        || -> Matrix<Half> { naive::gemm(&s_dense, &v) },
+    );
     assert_bits_eq(&c_dense, &c_dense_naive, "dense_gemm");
     kernels.push(KernelResult {
         kernel: "dense_gemm",
@@ -314,8 +305,10 @@ fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult 
     // Fine (Sputnik-style) pair over the pattern's CSR rendering; the
     // compound softmax between them is shared code, not part of the
     // naive/packed delta, so it is not timed.
-    let (s_fine, packed_s) = time(|| fine_sddmm_compute(&q, &k, &csr));
-    let (s_fine_naive, naive_s) = time(|| naive_fine_sddmm(&q, &k, &csr));
+    let (s_fine, s_fine_naive, packed_s, naive_s) = time_pair(
+        || fine_sddmm_compute(&q, &k, &csr),
+        || naive_fine_sddmm(&q, &k, &csr),
+    );
     assert_eq!(
         s_fine.values().len(),
         s_fine_naive.values().len(),
@@ -332,8 +325,10 @@ fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult 
 
     let (_, p_fine) = compound_softmax_compute(None, Some(&s_fine), scale);
     let p_fine = p_fine.expect("fine part present");
-    let (c_fine, packed_s) = time(|| fine_spmm_compute(&p_fine, &v));
-    let (c_fine_naive, naive_s) = time(|| naive_fine_spmm(&p_fine, &v));
+    let (c_fine, c_fine_naive, packed_s, naive_s) = time_pair(
+        || fine_spmm_compute(&p_fine, &v),
+        || naive_fine_spmm(&p_fine, &v),
+    );
     assert_bits_eq(&c_fine, &c_fine_naive, "fine_spmm");
     kernels.push(KernelResult {
         kernel: "fine_spmm",
@@ -344,8 +339,10 @@ fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult 
     });
 
     // Coarse (Triton-style) pair over the blocked rendering.
-    let (s_coarse, packed_s) = time(|| coarse_sddmm_compute(&q, &k, &blocked.structure));
-    let (s_coarse_naive, naive_s) = time(|| naive_coarse_sddmm(&q, &k, &blocked.structure));
+    let (s_coarse, s_coarse_naive, packed_s, naive_s) = time_pair(
+        || coarse_sddmm_compute(&q, &k, &blocked.structure),
+        || naive_coarse_sddmm(&q, &k, &blocked.structure),
+    );
     assert_values_bits_eq(s_coarse.values(), s_coarse_naive.values(), "coarse_sddmm");
     kernels.push(KernelResult {
         kernel: "coarse_sddmm",
@@ -357,8 +354,10 @@ fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult 
 
     let (p_coarse, _) = compound_softmax_compute(Some((&s_coarse, &blocked.mask)), None, scale);
     let p_coarse = p_coarse.expect("coarse part present");
-    let (c_coarse, packed_s) = time(|| coarse_spmm_compute(&p_coarse, &v));
-    let (c_coarse_naive, naive_s) = time(|| naive_coarse_spmm(&p_coarse, &v));
+    let (c_coarse, c_coarse_naive, packed_s, naive_s) = time_pair(
+        || coarse_spmm_compute(&p_coarse, &v),
+        || naive_coarse_spmm(&p_coarse, &v),
+    );
     assert_bits_eq(&c_coarse, &c_coarse_naive, "coarse_spmm");
     kernels.push(KernelResult {
         kernel: "coarse_spmm",
@@ -368,9 +367,13 @@ fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult 
         digest: digest_matrix(&c_coarse),
     });
 
-    // Fused (FlashAttention-style) pair over the compound pattern.
-    let (c_fused, packed_s) = time(|| fused_attention_compute(&q, &k, &v, &pattern, scale));
-    let (c_fused_naive, naive_s) = time(|| naive_fused(&q, &k, &v, &pattern, scale));
+    // Fused (FlashAttention-style) pair over the compound pattern: the
+    // register-tiled single-pass kernel against the library's retained
+    // scalar path.
+    let (c_fused, c_fused_naive, packed_s, naive_s) = time_pair(
+        || fused_attention_compute(&q, &k, &v, &pattern, scale),
+        || fused::naive::fused_attention_compute(&q, &k, &v, &pattern, scale),
+    );
     assert_bits_eq(&c_fused, &c_fused_naive, "fused");
     kernels.push(KernelResult {
         kernel: "fused",
@@ -512,9 +515,9 @@ fn main() {
     );
 
     if args.json {
-        let path = "BENCH_5.json";
+        let path = "BENCH_7.json";
         std::fs::write(path, json_report(&results, args.smoke, seq_len))
-            .expect("BENCH_5.json is writable");
+            .expect("BENCH_7.json is writable");
         println!("wrote {path}");
     }
     if let Some(path) = &args.digest {

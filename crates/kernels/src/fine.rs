@@ -17,7 +17,7 @@ use crate::cache::{apply_cache_model, apply_writeback_filter, CacheHints};
 use crate::{tuning, AttnDims};
 use mg_gpusim::{DeviceSpec, KernelProfile, LaunchConfig, TbWork};
 use mg_sparse::Csr;
-use mg_tensor::{pack::Panel, par, Half, Matrix, NR};
+use mg_tensor::{dot_rows_block, pack::Panel, par, Half, Matrix, NR};
 
 /// Output mapping of the fine SDDMM kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -194,11 +194,12 @@ pub fn fine_sddmm_compute(q: &Matrix<Half>, k: &Matrix<Half>, structure: &Csr<Ha
     par::for_each_part_mut(out.values_mut(), &bounds, |r, vals| {
         let base = bounds[r];
         let q_row = q_panel.row(r);
-        // NR-wide register blocks over the row's non-zeros: the NR
-        // accumulator chains interleave and pipeline, while each stored
-        // element still sums its products in ascending-d order with the
-        // -0.0 seed `dot`'s `Sum` fold uses — bit-identical to dotting
-        // the FP16 rows one non-zero at a time.
+        // NR-wide register blocks over the row's non-zeros through the
+        // shared gathered-row microkernel: the NR accumulator chains
+        // interleave and pipeline, while each stored element still sums
+        // its products in ascending-d order with the -0.0 seed `dot`'s
+        // `Sum` fold uses — bit-identical to dotting the FP16 rows one
+        // non-zero at a time.
         let mut o0 = 0;
         while o0 < vals.len() {
             let ow = NR.min(vals.len() - o0);
@@ -206,12 +207,7 @@ pub fn fine_sddmm_compute(q: &Matrix<Half>, k: &Matrix<Half>, structure: &Csr<Ha
             for (oo, row) in k_rows[..ow].iter_mut().enumerate() {
                 *row = k_panel.row(structure.col_indices()[base + o0 + oo]);
             }
-            let mut regs = [-0.0f32; NR];
-            for (d, &qv) in q_row.iter().enumerate() {
-                for (reg, k_row) in regs[..ow].iter_mut().zip(k_rows[..ow].iter()) {
-                    *reg += qv * k_row[d];
-                }
-            }
+            let regs = dot_rows_block(q_row, &k_rows, ow);
             for (slot, &v) in vals[o0..o0 + ow].iter_mut().zip(regs[..ow].iter()) {
                 *slot = Half::from_f32(v);
             }

@@ -27,7 +27,7 @@ mod dense;
 mod dims;
 mod ell;
 mod fine;
-mod fused;
+pub mod fused;
 mod merge;
 mod softmax;
 mod structured;
@@ -44,6 +44,12 @@ pub mod tuning {
     pub const UNPIPELINED_STALL_PER_ITER: u64 = 450;
     /// Exposed latency of the fine-grained kernels' gather loops.
     pub const FINE_STALL_CYCLES: u64 = 400;
+    /// Exposed latency per non-zero of the fused kernel's online-softmax
+    /// rescale chain: the running max/sum/accumulator update is a
+    /// loop-carried dependency across a row's columns, so the longest row
+    /// in a thread block's group serializes (the register tiling
+    /// pipelines the score dots, not the rescale).
+    pub const FUSED_CHAIN_STALL_PER_NNZ: u64 = 24;
 }
 
 pub use chunked::{

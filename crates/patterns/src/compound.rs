@@ -57,6 +57,33 @@ impl BlockedPattern {
     }
 }
 
+/// Merges two sorted, deduplicated column lists into one, dropping
+/// duplicates across the pair. Linear two-pointer walk.
+fn merge_sorted_dedup(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
 impl CompoundPattern {
     /// Creates an empty compound pattern over `seq_len` tokens with no
     /// padding (`valid_len == seq_len`).
@@ -129,15 +156,23 @@ impl CompoundPattern {
         if row >= self.valid_len {
             return Vec::new();
         }
-        let mut cols: Vec<usize> = self
-            .parts
-            .iter()
-            .flat_map(|p| p.row_columns(self.seq_len, row))
-            .filter(|&c| c < self.valid_len)
-            .collect();
-        cols.sort_unstable();
-        cols.dedup();
-        cols
+        // Every atomic pattern emits its row columns sorted and
+        // deduplicated, so the union is a linear k-way merge — the
+        // concatenate-sort-dedup this replaces dominated the per-row cost
+        // of the compute kernels.
+        let mut merged: Vec<usize> = Vec::new();
+        for part in &self.parts {
+            let mut cols = part.row_columns(self.seq_len, row);
+            debug_assert!(cols.is_sorted(), "atomic row columns must be sorted");
+            // Sorted, so clipping to the valid region is a truncation.
+            cols.truncate(cols.partition_point(|&c| c < self.valid_len));
+            if merged.is_empty() {
+                merged = cols;
+            } else if !cols.is_empty() {
+                merged = merge_sorted_dedup(&merged, &cols);
+            }
+        }
+        merged
     }
 
     /// All valid `(row, col)` coordinates, row-major sorted.

@@ -146,6 +146,87 @@ pub fn gemm_nt<A: Scalar, B: Scalar, O: Scalar>(a: &Matrix<A>, b: &Matrix<B>) ->
     out
 }
 
+/// The shared gathered-row microkernel: dots one decoded `f32` row
+/// against up to [`NR`] gathered panel rows at once, returning the
+/// register block of sums.
+///
+/// This is the sparse-column counterpart of the dense panel microkernel
+/// above: the caller gathers up to `NR` row slices (arbitrary, possibly
+/// repeated columns of a [`crate::pack::Panel`]) and the `NR` accumulator
+/// chains interleave and pipeline. The lanes are *independent* sums, so
+/// vectorizing across them reorders nothing: lane `j` accumulates its
+/// products in ascending-`k` order from the `-0.0` seed [`dot`]'s `Sum`
+/// fold uses, making it bit-identical to `dot_f32(a, rows[j])`. The fine
+/// SDDMM and the fused single-pass attention kernel both score their
+/// sparse columns through this one function.
+///
+/// Only the first `width` lanes are meaningful; the rest stay `-0.0`
+/// (callers with a ragged tail pass `width < NR` and unused lanes may be
+/// empty slices).
+///
+/// # Panics
+///
+/// Panics if any of the first `width` rows differs in length from `a`.
+#[inline]
+pub fn dot_rows_block(a: &[f32], rows: &[&[f32]; NR], width: usize) -> [f32; NR] {
+    let n = a.len();
+    // Re-slice every active lane to exactly `n` elements (panicking on a
+    // length mismatch): the inner loop then indexes slices whose length
+    // provably equals the loop bound, so the bounds checks vanish.
+    let mut lanes: [&[f32]; NR] = [&[]; NR];
+    for (lane, row) in lanes[..width].iter_mut().zip(rows[..width].iter()) {
+        assert_eq!(n, row.len(), "dot length mismatch");
+        *lane = &row[..n];
+    }
+    let mut regs = [-0.0f32; NR];
+    for (k, &av) in a.iter().enumerate() {
+        for (reg, lane) in regs[..width].iter_mut().zip(lanes[..width].iter()) {
+            *reg += av * lane[k];
+        }
+    }
+    regs
+}
+
+/// The consecutive-run counterpart of [`dot_rows_block`]: dots `a`
+/// against `width` **consecutive** rows `c0..c0 + width` of the d-major
+/// (transposed) panel `kt`, returning the register block of sums.
+///
+/// At each position `d` the lanes read `width` *contiguous* floats from
+/// the transposed panel — a broadcast-multiply-accumulate the compiler
+/// vectorizes, unlike the strided loads a gathered-row block forces.
+/// Sorted sparse column lists are dominated by consecutive runs (windows,
+/// block patterns), so this is the fused kernel's hot microkernel; lane
+/// `j` still accumulates in ascending-`d` order from the `-0.0` seed, so
+/// it is bit-identical to `dot_f32(a, row of K at c0 + j)`.
+///
+/// # Panics
+///
+/// Panics if `a` is longer than the panel's dim count or the run
+/// `c0..c0 + width` falls outside a panel row, or `width > NR`.
+#[inline]
+pub fn dot_rows_run(a: &[f32], kt: &pack::Panel, c0: usize, width: usize) -> [f32; NR] {
+    assert!(width <= NR, "run width exceeds NR");
+    let mut regs = [-0.0f32; NR];
+    if width == NR {
+        // Fixed-width fast path: the inner loop is a contiguous 8-wide
+        // broadcast FMA the auto-vectorizer turns into vector ops.
+        for (d, &av) in a.iter().enumerate() {
+            let slab: &[f32; NR] = kt.row(d)[c0..c0 + NR].try_into().expect("run in range");
+            for (reg, &kv) in regs.iter_mut().zip(slab.iter()) {
+                *reg += av * kv;
+            }
+        }
+    } else {
+        for (d, &av) in a.iter().enumerate() {
+            let slab = &kt.row(d)[c0..c0 + width];
+            for (reg, &kv) in regs[..width].iter_mut().zip(slab.iter()) {
+                *reg += av * kv;
+            }
+        }
+    }
+    regs
+}
+
 /// Computes the dot product of two equal-length slices, accumulating in
 /// `f32`. This is the inner primitive every fine-grained kernel uses.
 ///
@@ -356,5 +437,84 @@ mod tests {
         let a = Matrix::<f32>::zeros(2, 3);
         let b = Matrix::<f32>::zeros(2, 3);
         let _: Matrix<f32> = gemm(&a, &b);
+    }
+
+    #[test]
+    fn dot_rows_block_lanes_match_dot_f32_bitwise() {
+        // Every lane of the gathered-row microkernel must reproduce
+        // `dot_f32` bit-for-bit, including repeated rows, non-finite
+        // values, and ragged widths with empty trailing lanes.
+        let m = Matrix::<f32>::from_fn(6, 16, |r, c| {
+            ((r * 31 + c * 7) as f32).sin() * 2.0 - ((c % 3) as f32)
+        });
+        let mut a: Vec<f32> = m.row(0).to_vec();
+        a[3] = f32::INFINITY;
+        a[7] = -0.0;
+        for width in 0..=NR {
+            let mut rows: [&[f32]; NR] = [&[]; NR];
+            for (j, row) in rows[..width].iter_mut().enumerate() {
+                *row = m.row((j * 5 + 1) % 6); // repeats once width > 6
+            }
+            let regs = dot_rows_block(&a, &rows, width);
+            for (j, &reg) in regs[..width].iter().enumerate() {
+                assert_eq!(
+                    reg.to_bits(),
+                    dot_f32(&a, rows[j]).to_bits(),
+                    "lane {j} at width {width}"
+                );
+            }
+            for &reg in &regs[width..] {
+                assert_eq!(reg.to_bits(), (-0.0f32).to_bits(), "unused lane seed");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dot length mismatch")]
+    fn dot_rows_block_length_mismatch_panics() {
+        let a = [1.0f32; 4];
+        let short = [1.0f32; 3];
+        let mut rows: [&[f32]; NR] = [&[]; NR];
+        rows[0] = &short;
+        let _ = dot_rows_block(&a, &rows, 1);
+    }
+
+    #[test]
+    fn dot_rows_run_lanes_match_dot_f32_bitwise() {
+        // The consecutive-run kernel over the transposed panel must agree
+        // bit-for-bit with `dot_f32` against each matrix row of the run,
+        // at every width and every run start, non-finite values included.
+        let mut k = Matrix::<Half>::random(13, 16, 21);
+        k.set(2, 5, Half::INFINITY);
+        k.set(9, 0, Half::NEG_INFINITY);
+        let kt = pack::Panel::from_matrix_transposed(&k);
+        let k_rows: Vec<Vec<f32>> = (0..13)
+            .map(|r| k.row(r).iter().map(|h| h.to_f32()).collect())
+            .collect();
+        let mut a: Vec<f32> = (0..16).map(|i| (i as f32 * 0.7).cos()).collect();
+        a[4] = -0.0;
+        for width in 0..=NR {
+            for c0 in 0..=(13 - width) {
+                let regs = dot_rows_run(&a, &kt, c0, width);
+                for (j, &reg) in regs[..width].iter().enumerate() {
+                    assert_eq!(
+                        reg.to_bits(),
+                        dot_f32(&a, &k_rows[c0 + j]).to_bits(),
+                        "lane {j} at width {width} start {c0}"
+                    );
+                }
+                for &reg in &regs[width..] {
+                    assert_eq!(reg.to_bits(), (-0.0f32).to_bits(), "unused lane seed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "run width exceeds NR")]
+    fn dot_rows_run_rejects_wide_runs() {
+        let k = Matrix::<Half>::random(12, 4, 2);
+        let kt = pack::Panel::from_matrix_transposed(&k);
+        let _ = dot_rows_run(&[1.0; 4], &kt, 0, NR + 1);
     }
 }

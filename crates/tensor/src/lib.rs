@@ -33,7 +33,7 @@ mod scalar;
 pub mod scratch;
 mod softmax;
 
-pub use gemm::{dot, dot_f32, gemm, gemm_nt, naive, NR};
+pub use gemm::{dot, dot_f32, dot_rows_block, dot_rows_run, gemm, gemm_nt, naive, NR};
 pub use half::Half;
 pub use matrix::Matrix;
 pub use ops::{add, apply_mask, gelu, layer_norm, scale};

@@ -20,6 +20,15 @@ use std::ops::{Deref, DerefMut};
 /// cannot pin its buffers forever on every worker thread.
 const MAX_POOLED: usize = 16;
 
+/// Largest capacity (in `f32` elements) a returned buffer may have and
+/// still be pooled. Together with [`MAX_POOLED`] this bounds the retained
+/// memory per worker thread in *bytes*, not just buffer count — a one-off
+/// huge kernel's oversized buffers are dropped on return instead of
+/// pinning up to 16 of them per thread indefinitely.
+/// 64 Ki elements (256 KiB) covers every per-row/per-panel buffer the
+/// kernels take at the suite's largest sequence lengths.
+const MAX_POOLED_CAPACITY: usize = 64 * 1024;
+
 thread_local! {
     static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
 }
@@ -68,6 +77,9 @@ impl DerefMut for ScratchF32 {
 impl Drop for ScratchF32 {
     fn drop(&mut self) {
         let buf = std::mem::take(&mut self.buf);
+        if buf.capacity() > MAX_POOLED_CAPACITY {
+            return; // oversized: drop, don't pin
+        }
         POOL.with(|p| {
             let mut pool = p.borrow_mut();
             if pool.len() < MAX_POOLED {
@@ -116,5 +128,32 @@ mod tests {
     fn zero_length_works() {
         let a = take_zeroed(0);
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn oversized_buffer_is_dropped_not_pooled() {
+        // Regression: MAX_POOLED bounds count, not bytes — before the
+        // capacity cap, a one-off huge kernel could pin up to 16
+        // oversized allocations per worker thread forever. Each test runs
+        // on its own thread, so the pool starts empty here: if the huge
+        // buffer were pooled, the next take would pop it and hand back
+        // its capacity.
+        drop(take_zeroed(MAX_POOLED_CAPACITY + 1));
+        let b = take_zeroed(8);
+        assert!(
+            b.buf.capacity() <= MAX_POOLED_CAPACITY,
+            "oversized buffer came back from the pool (capacity {})",
+            b.buf.capacity()
+        );
+    }
+
+    #[test]
+    fn boundary_capacity_is_still_pooled() {
+        let ptr = {
+            let a = take_zeroed(MAX_POOLED_CAPACITY);
+            a.as_ptr()
+        };
+        let b = take_zeroed(MAX_POOLED_CAPACITY);
+        assert_eq!(b.as_ptr(), ptr, "at-limit buffer should still pool");
     }
 }
