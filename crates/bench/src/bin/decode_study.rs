@@ -1,0 +1,318 @@
+//! Decode study: autoregressive chat serving with growing KV caches and
+//! incremental sparse patterns, against two baselines without them.
+//!
+//! Chat-style multi-turn sessions (seeded think times, prefix reuse
+//! across turns) from each of the four dataset-style workload classes
+//! run through three serving disciplines on the same virtual device:
+//!
+//! * `prefill-only` — no decode layer: every response token re-runs a
+//!   full prefill over the grown context (the strawman the decode
+//!   subsystem replaces);
+//! * `segregated`   — KV caches and incremental decode steps exist, but
+//!   scheduling is plain FIFO, so latency-critical decode steps queue
+//!   behind long prefills;
+//! * `mixed`        — continuous batching with decode priority: every
+//!   ready decode step batches into one kernel launch and preempts
+//!   queued prefills.
+//!
+//! The study asserts that mixed batching wins decode p99 against
+//! segregated for **every** class without losing prefill makespan, and
+//! that the prefix-aware plan cache serves decode steps at a ≥ 90% hit
+//! rate (≥ 75% at smoke scale, where length buckets are only a few
+//! tokens wide).
+//!
+//! Usage: `cargo run --release -p mg-bench --bin decode_study --
+//!   [--smoke] [--json] [--digest PATH] [--threads N]`
+//!
+//! * `--smoke`       — tiny model and short sessions; seconds, for CI.
+//! * `--json`        — also write the results to `BENCH_8.json`. The
+//!   file carries simulated numbers only (no wall clock, no thread
+//!   count), so runs at any `MG_THREADS` must produce byte-identical
+//!   files — the bit-equality gate CI enforces with `cmp`.
+//! * `--digest PATH` — one line per run with the report's FNV-1a
+//!   digest; byte-identical across thread counts.
+//! * `--threads N`   — pin the parallel layer to N threads.
+
+use mg_bench::{threads, Table};
+use mg_decode::{BatchingMode, DecodeConfig, DecodeReport, DecodeSim, DecodeTraffic};
+use mg_gpusim::DeviceSpec;
+use mg_models::ModelConfig;
+use mg_serve::RequestClass;
+use std::time::Instant;
+
+struct Args {
+    smoke: bool,
+    json: bool,
+    digest: Option<String>,
+    threads: Option<usize>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        json: false,
+        digest: None,
+        threads: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--json" => args.json = true,
+            "--digest" => args.digest = Some(it.next().ok_or("--digest needs a path")?),
+            "--threads" => {
+                let n = it.next().ok_or("--threads needs a count")?;
+                args.threads = Some(n.parse().map_err(|_| format!("bad thread count: {n}"))?);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+struct RunResult {
+    class: &'static str,
+    report: DecodeReport,
+}
+
+fn json_f(x: f64) -> String {
+    format!("{x:?}")
+}
+
+fn json_report(smoke: bool, model: &ModelConfig, runs: &[RunResult], overall: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"decode_study\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!("  \"model\": \"{}\",\n", model.name));
+    out.push_str("  \"runs\": [\n");
+    for (i, run) in runs.iter().enumerate() {
+        let r = &run.report;
+        out.push_str("    {");
+        out.push_str(&format!(
+            "\"class\": \"{}\", \"mode\": \"{}\", \"sessions\": {}, \"turns\": {}, \
+             \"decode_steps\": {}, \"decode_p50_s\": {}, \"decode_p99_s\": {}, \
+             \"prefill_p99_s\": {}, \"prefill_makespan_s\": {}, \"makespan_s\": {}, \
+             \"mean_decode_batch\": {}, \"decode_hit_rate\": {}, \"prefill_hit_rate\": {}, \
+             \"kv_growth_events\": {}, \"kv_bytes_copied\": {}, \"digest\": \"{:#018x}\"}}{}\n",
+            run.class,
+            r.mode.label(),
+            r.sessions,
+            r.turns,
+            r.decode_steps,
+            json_f(r.decode_p50()),
+            json_f(r.decode_p99()),
+            json_f(r.prefill_p99()),
+            json_f(r.prefill_makespan_s),
+            json_f(r.makespan_s),
+            json_f(r.mean_decode_batch()),
+            json_f(r.cache.decode_hit_rate()),
+            json_f(r.cache.prefill_hit_rate()),
+            r.kv.growth_events,
+            r.kv.bytes_copied,
+            r.digest(),
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"digest\": \"{overall:#018x}\"\n"));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("decode_study: {e}");
+            std::process::exit(2);
+        }
+    };
+    threads::init_threads(args.threads);
+
+    // Session arrivals sit well inside one another's service times so
+    // several sessions decode while later ones still prefill — that
+    // contention is exactly what separates the disciplines. Think times
+    // are a few service times long: turns interleave instead of
+    // serializing.
+    let (model, sessions, max_turns, rate_rps, mean_think_s, hit_bar) = if args.smoke {
+        (ModelConfig::tiny(), 8, 3, 10_000.0, 4e-4, 0.75)
+    } else {
+        (ModelConfig::qds_base(), 12, 3, 2_000.0, 2e-3, 0.90)
+    };
+    let device = DeviceSpec::a100();
+    let modes = [
+        BatchingMode::PrefillOnly,
+        BatchingMode::Segregated,
+        BatchingMode::Mixed,
+    ];
+
+    let started = Instant::now();
+    println!(
+        "decode_study — {}, {} sessions/class, ≤{} turns",
+        model.name, sessions, max_turns
+    );
+
+    let mut runs: Vec<RunResult> = Vec::new();
+    let mut check_failures = 0usize;
+    for class in RequestClass::ALL {
+        let traffic = DecodeTraffic {
+            class,
+            sessions,
+            max_turns,
+            rate_rps,
+            mean_think_s,
+            seed: 42,
+        };
+        for mode in modes {
+            let config = DecodeConfig::new(model.clone(), device.clone(), mode);
+            let report = DecodeSim::new(config)
+                .run(&traffic)
+                .expect("patterns are plannable");
+            runs.push(RunResult {
+                class: class.label(),
+                report,
+            });
+        }
+    }
+
+    let mut t = Table::new(
+        format!("Decode study — chat sessions, {}", model.name),
+        &[
+            "Class",
+            "Mode",
+            "Tokens",
+            "dec p50 ms",
+            "dec p99 ms",
+            "pre p99 ms",
+            "pre mksp ms",
+            "Batch",
+            "dec hit %",
+            "KV grow",
+        ],
+    );
+    for run in &runs {
+        let r = &run.report;
+        t.push(vec![
+            run.class.to_string(),
+            r.mode.label().to_string(),
+            r.decode_steps.to_string(),
+            format!("{:.4}", r.decode_p50() * 1e3),
+            format!("{:.4}", r.decode_p99() * 1e3),
+            format!("{:.4}", r.prefill_p99() * 1e3),
+            format!("{:.4}", r.prefill_makespan_s * 1e3),
+            format!("{:.2}", r.mean_decode_batch()),
+            format!("{:.1}", r.cache.decode_hit_rate() * 100.0),
+            r.kv.growth_events.to_string(),
+        ]);
+    }
+    t.print();
+
+    // The headline claims, per class: mixed batching wins the decode
+    // tail against FIFO without regressing the prefill makespan, and
+    // both incremental modes demolish the re-prefill strawman.
+    println!();
+    for class in RequestClass::ALL {
+        let find = |mode: BatchingMode| {
+            runs.iter()
+                .find(|r| r.class == class.label() && r.report.mode == mode)
+                .map(|r| &r.report)
+                .expect("every (class, mode) ran")
+        };
+        let strawman = find(BatchingMode::PrefillOnly);
+        let seg = find(BatchingMode::Segregated);
+        let mixed = find(BatchingMode::Mixed);
+        println!(
+            "  {}: decode p99 {:.4}/{:.4}/{:.4} ms (strawman/segregated/mixed), \
+             prefill makespan {:.4}/{:.4} ms (segregated/mixed)",
+            class.label(),
+            strawman.decode_p99() * 1e3,
+            seg.decode_p99() * 1e3,
+            mixed.decode_p99() * 1e3,
+            seg.prefill_makespan_s * 1e3,
+            mixed.prefill_makespan_s * 1e3,
+        );
+        if mixed.decode_p99() >= seg.decode_p99() {
+            eprintln!(
+                "FAIL: mixed decode p99 does not beat segregated on {}",
+                class.label()
+            );
+            check_failures += 1;
+        }
+        // Decode priority delays prefills by at most the decode work it
+        // slots in front of them — a few percent, never a regression
+        // beyond that.
+        if mixed.prefill_makespan_s > seg.prefill_makespan_s * 1.05 {
+            eprintln!(
+                "FAIL: mixed batching regressed prefill makespan on {} ({:.4} vs {:.4} ms)",
+                class.label(),
+                mixed.prefill_makespan_s * 1e3,
+                seg.prefill_makespan_s * 1e3,
+            );
+            check_failures += 1;
+        }
+        if strawman.decode_p50() <= mixed.decode_p50() {
+            eprintln!(
+                "FAIL: the re-prefill strawman is not slower than incremental decode on {}",
+                class.label()
+            );
+            check_failures += 1;
+        }
+        for r in [seg, mixed] {
+            if r.cache.decode_hit_rate() < hit_bar {
+                eprintln!(
+                    "FAIL: {} decode hit rate {:.1}% under {:.0}% on {}",
+                    r.mode.label(),
+                    r.cache.decode_hit_rate() * 100.0,
+                    hit_bar * 100.0,
+                    class.label()
+                );
+                check_failures += 1;
+            }
+        }
+    }
+
+    // One digest over every run, for the thread-invariance gate.
+    let overall_digest = {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut digest = FNV_OFFSET;
+        for d in runs.iter().map(|r| r.report.digest()) {
+            for byte in d.to_le_bytes() {
+                digest ^= u64::from(byte);
+                digest = digest.wrapping_mul(FNV_PRIME);
+            }
+        }
+        digest
+    };
+    println!(
+        "\n{} runs in {:.3} s on {} thread(s); study digest {overall_digest:#018x}",
+        runs.len(),
+        started.elapsed().as_secs_f64(),
+        threads::effective_threads(),
+    );
+
+    if args.json {
+        let path = "BENCH_8.json";
+        std::fs::write(path, json_report(args.smoke, &model, &runs, overall_digest))
+            .expect("BENCH_8.json is writable");
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.digest {
+        let mut out = String::new();
+        for run in &runs {
+            out.push_str(&format!(
+                "{} {} {:016x}\n",
+                run.class,
+                run.report.mode.label(),
+                run.report.digest()
+            ));
+        }
+        out.push_str(&format!("study {overall_digest:016x}\n"));
+        std::fs::write(path, out).expect("digest path is writable");
+        println!("wrote {path}");
+    }
+    if check_failures > 0 {
+        eprintln!("decode_study: {check_failures} check(s) failed");
+        std::process::exit(1);
+    }
+}

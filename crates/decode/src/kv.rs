@@ -1,0 +1,190 @@
+//! Per-request KV-cache state with len-bucketed growth.
+//!
+//! A decoding request's K/V tensors grow one row per step. Reallocating
+//! on every token would copy the whole cache `O(steps)` times, so the
+//! cache over-allocates in fixed length buckets: capacity only moves at
+//! bucket boundaries, and the copy traffic of each growth event is
+//! charged explicitly so the serving simulation can account for it.
+
+/// Growth accounting of one or many [`KvCacheState`]s.
+///
+/// Stats are plain sums, so per-session values aggregate into a run
+/// total with [`KvStats::absorb`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvStats {
+    /// Capacity growth events (reallocations).
+    pub growth_events: u64,
+    /// Bytes copied across all growth events (old cache contents moved
+    /// into the new allocation).
+    pub bytes_copied: u64,
+    /// Tokens appended after prefill (decode steps plus incremental
+    /// user-turn tokens).
+    pub appended_tokens: u64,
+}
+
+impl KvStats {
+    /// Adds another accounting into this one.
+    pub fn absorb(&mut self, other: &KvStats) {
+        self.growth_events += other.growth_events;
+        self.bytes_copied += other.bytes_copied;
+        self.appended_tokens += other.appended_tokens;
+    }
+}
+
+/// The KV cache of one decoding request: a resident token count, a
+/// bucketed capacity, and the byte cost of one token row.
+///
+/// The state tracks *geometry*, not values — the repo's numeric layer
+/// recomputes attention from patterns, while serving-side cost comes
+/// from the byte volumes this state reports.
+#[derive(Debug, Clone)]
+pub struct KvCacheState {
+    len: usize,
+    capacity: usize,
+    bucket: usize,
+    max_capacity: usize,
+    row_bytes: u64,
+    stats: KvStats,
+}
+
+impl KvCacheState {
+    /// Creates the cache right after prefill: `prefill_len` tokens
+    /// resident, capacity rounded up to the next multiple of `bucket`
+    /// (clamped to `max_capacity`, the model's padded length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prefill_len` exceeds `max_capacity` or is zero.
+    pub fn new(prefill_len: usize, bucket: usize, max_capacity: usize, row_bytes: u64) -> Self {
+        assert!(prefill_len > 0, "empty prefill has no KV state");
+        assert!(
+            prefill_len <= max_capacity,
+            "prefill {prefill_len} exceeds max capacity {max_capacity}"
+        );
+        let bucket = bucket.max(1);
+        KvCacheState {
+            len: prefill_len,
+            capacity: Self::bucketed(prefill_len, bucket, max_capacity),
+            bucket,
+            max_capacity,
+            row_bytes,
+            stats: KvStats::default(),
+        }
+    }
+
+    fn bucketed(len: usize, bucket: usize, max_capacity: usize) -> usize {
+        len.div_ceil(bucket)
+            .saturating_mul(bucket)
+            .clamp(1, max_capacity)
+    }
+
+    /// Tokens currently resident.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// A KV cache is created from a non-empty prefill, so it is never
+    /// empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Allocated token slots (a multiple of the bucket, or the clamp).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes one token's K and V rows occupy.
+    pub fn row_bytes(&self) -> u64 {
+        self.row_bytes
+    }
+
+    /// Growth accounting so far.
+    pub fn stats(&self) -> KvStats {
+        self.stats
+    }
+
+    /// Appends `n` tokens, growing capacity by whole buckets when the
+    /// resident count spills over. Returns the bytes copied by growth
+    /// (0 when the append fit the existing allocation) — the caller
+    /// charges that traffic to the device clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the append would exceed the maximum capacity.
+    pub fn append(&mut self, n: usize) -> u64 {
+        assert!(
+            self.len + n <= self.max_capacity,
+            "KV cache overflow: {} + {n} > {}",
+            self.len,
+            self.max_capacity
+        );
+        self.stats.appended_tokens += n as u64;
+        let old_len = self.len;
+        self.len += n;
+        if self.len <= self.capacity {
+            return 0;
+        }
+        self.capacity = Self::bucketed(self.len, self.bucket, self.max_capacity);
+        self.stats.growth_events += 1;
+        let copied = old_len as u64 * self.row_bytes;
+        self.stats.bytes_copied += copied;
+        copied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_moves_only_at_bucket_boundaries() {
+        let mut kv = KvCacheState::new(10, 16, 256, 100);
+        assert_eq!(kv.capacity(), 16);
+        // Six appends fit the first bucket for free.
+        for _ in 0..6 {
+            assert_eq!(kv.append(1), 0);
+        }
+        assert_eq!(kv.len(), 16);
+        assert_eq!(kv.stats().growth_events, 0);
+        // The 17th token crosses the boundary: one growth event copying
+        // the 16 resident rows.
+        assert_eq!(kv.append(1), 16 * 100);
+        assert_eq!(kv.capacity(), 32);
+        let stats = kv.stats();
+        assert_eq!(stats.growth_events, 1);
+        assert_eq!(stats.bytes_copied, 1600);
+        assert_eq!(stats.appended_tokens, 7);
+    }
+
+    #[test]
+    fn bulk_append_grows_once() {
+        let mut kv = KvCacheState::new(8, 8, 256, 10);
+        // 30 tokens at once: one growth event straight to bucket 40.
+        let copied = kv.append(30);
+        assert_eq!(copied, 8 * 10);
+        assert_eq!(kv.capacity(), 40);
+        assert_eq!(kv.stats().growth_events, 1);
+    }
+
+    #[test]
+    fn capacity_clamps_to_the_model_maximum() {
+        let mut kv = KvCacheState::new(60, 16, 64, 10);
+        assert_eq!(kv.capacity(), 64);
+        kv.append(4);
+        assert_eq!(kv.len(), 64);
+        assert_eq!(kv.capacity(), 64);
+        assert_eq!(
+            kv.stats().growth_events,
+            0,
+            "clamped capacity never regrows"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "KV cache overflow")]
+    fn overflow_panics() {
+        let mut kv = KvCacheState::new(60, 16, 64, 10);
+        kv.append(5);
+    }
+}

@@ -1,0 +1,58 @@
+//! # mg-decode — autoregressive decode serving on the virtual clock
+//!
+//! The serving layer of mg-serve treats every request as one prefill:
+//! plan, run, done. Autoregressive decoding is a different regime — a
+//! request's context *grows* one token at a time, each step touching
+//! only the new row of its compound pattern, and its latency budget is
+//! per token, not per request. This crate adds that regime:
+//!
+//! 1. [`KvCacheState`] tracks each session's growing K/V length under a
+//!    len-bucketed growth policy, charging reallocation copies to the
+//!    device clock.
+//! 2. [`mg_patterns::DecodePatternState`] extends a session's compound
+//!    pattern one row per step (affine encodings for the regular parts),
+//!    bit-identical to rebuilding from scratch.
+//! 3. The prefix-aware mode of [`mg_serve::PlanCache`] re-serves one
+//!    plan across all decode steps inside a length bucket, with hit/miss
+//!    stats split prefill-versus-decode.
+//! 4. [`DecodeSim`] replays chat-style multi-turn sessions
+//!    ([`mg_models::workload::chat_sessions`]) under three batching
+//!    disciplines — [`BatchingMode::PrefillOnly`],
+//!    [`BatchingMode::Segregated`], [`BatchingMode::Mixed`] — and
+//!    reports decode/prefill latency percentiles, plan-cache behaviour,
+//!    and KV growth.
+//!
+//! The event loop is serial and totally ordered, so every reported
+//! number (and the report digest) is invariant under `MG_THREADS`.
+//!
+//! # Examples
+//!
+//! ```
+//! use mg_decode::{BatchingMode, DecodeConfig, DecodeSim, DecodeTraffic};
+//! use mg_gpusim::DeviceSpec;
+//! use mg_models::ModelConfig;
+//! use mg_serve::RequestClass;
+//!
+//! let config = DecodeConfig::new(ModelConfig::tiny(), DeviceSpec::a100(), BatchingMode::Mixed);
+//! let traffic = DecodeTraffic {
+//!     class: RequestClass::HotpotQa,
+//!     sessions: 4,
+//!     max_turns: 3,
+//!     rate_rps: 10_000.0,
+//!     mean_think_s: 1e-4,
+//!     seed: 7,
+//! };
+//! let report = DecodeSim::new(config).run(&traffic)?;
+//! assert!(report.decode_steps > 0);
+//! assert!(report.decode_p99() >= report.decode_p50());
+//! # Ok::<(), mg_sparse::SparseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engine;
+mod kv;
+
+pub use engine::{BatchingMode, DecodeConfig, DecodeReport, DecodeSim, DecodeTraffic};
+pub use kv::{KvCacheState, KvStats};

@@ -17,7 +17,7 @@ use crate::cache::{apply_cache_model, apply_writeback_filter, CacheHints};
 use crate::{tuning, AttnDims};
 use mg_gpusim::{DeviceSpec, KernelProfile, LaunchConfig, TbWork};
 use mg_sparse::Csr;
-use mg_tensor::{dot_rows_block, pack::Panel, par, Half, Matrix, NR};
+use mg_tensor::{dot_rows_block, dot_rows_run, pack::Panel, par, Half, Matrix, NR};
 
 /// Output mapping of the fine SDDMM kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,6 +179,11 @@ pub fn fine_sddmm_compute(q: &Matrix<Half>, k: &Matrix<Half>, structure: &Csr<Ha
     // bit-identical to dotting the FP16 rows directly.
     let q_panel = Panel::from_matrix(q);
     let k_panel = Panel::from_matrix(k);
+    // K is also staged d-major: sliding-window and selected-column parts
+    // leave long consecutive-column runs in the CSR rows, and a run reads
+    // the transposed panel contiguously instead of gathering NR row
+    // pointers.
+    let k_t = Panel::from_matrix_transposed(k);
     // Each CSR row owns a contiguous run of the value array; split there
     // and fill the runs in parallel.
     let rows = structure.rows();
@@ -203,11 +208,22 @@ pub fn fine_sddmm_compute(q: &Matrix<Half>, k: &Matrix<Half>, structure: &Csr<Ha
         let mut o0 = 0;
         while o0 < vals.len() {
             let ow = NR.min(vals.len() - o0);
-            let mut k_rows: [&[f32]; NR] = [&[]; NR];
-            for (oo, row) in k_rows[..ow].iter_mut().enumerate() {
-                *row = k_panel.row(structure.col_indices()[base + o0 + oo]);
-            }
-            let regs = dot_rows_block(q_row, &k_rows, ow);
+            let cols = &structure.col_indices()[base + o0..base + o0 + ow];
+            // CSR columns are sorted, so a chunk is a consecutive run iff
+            // its endpoints are `ow - 1` apart — those runs stream the
+            // d-major panel with contiguous loads; everything else takes
+            // the gathered-row path. Both microkernels accumulate in
+            // ascending-d order from the -0.0 seed, so the routing choice
+            // never changes a bit of the output.
+            let regs = if cols[ow - 1] == cols[0] + ow - 1 {
+                dot_rows_run(q_row, &k_t, cols[0], ow)
+            } else {
+                let mut k_rows: [&[f32]; NR] = [&[]; NR];
+                for (oo, row) in k_rows[..ow].iter_mut().enumerate() {
+                    *row = k_panel.row(cols[oo]);
+                }
+                dot_rows_block(q_row, &k_rows, ow)
+            };
             for (slot, &v) in vals[o0..o0 + ow].iter_mut().zip(regs[..ow].iter()) {
                 *slot = Half::from_f32(v);
             }
@@ -299,6 +315,38 @@ pub fn fine_spmm_compute(p: &Csr<Half>, v: &Matrix<Half>) -> Matrix<Half> {
     acc.cast()
 }
 
+/// Scalar reference implementations of the fine kernels; same contract
+/// (and bit-identical output) as the packed compute paths above — the
+/// gate that lets the packed paths re-tile freely.
+pub mod naive {
+    use super::*;
+    use mg_tensor::dot;
+
+    /// Scalar fine SDDMM: one FP16 `dot` per stored element, no
+    /// panels, no register tiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q`/`k` dimensions disagree with the structure.
+    pub fn fine_sddmm_compute(
+        q: &Matrix<Half>,
+        k: &Matrix<Half>,
+        structure: &Csr<Half>,
+    ) -> Csr<Half> {
+        assert_eq!(q.rows(), structure.rows(), "Q rows mismatch");
+        assert_eq!(k.rows(), structure.cols(), "K rows mismatch");
+        assert_eq!(q.cols(), k.cols(), "head dimension mismatch");
+        let mut out = structure.clone();
+        for r in 0..structure.rows() {
+            for i in structure.row_range(r) {
+                let c = structure.col_indices()[i];
+                out.values_mut()[i] = Half::from_f32(dot(q.row(r), k.row(c)));
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,6 +378,37 @@ mod tests {
         let reference: Matrix<f32> = gemm_nt(&q, &k);
         for (r, c, v) in s.iter() {
             assert_eq!(v, Half::from_f32(reference.get(r, c)), "element ({r},{c})");
+        }
+    }
+
+    #[test]
+    fn sddmm_run_routing_is_bit_identical_to_naive() {
+        // Sliding-window rows are all consecutive runs (the dot_rows_run
+        // path); the scattered structure above exercises the gathered
+        // path; a mix of both covers the routing boundary.
+        let window: Csr<Half> = {
+            let coords: Vec<(usize, usize)> = (0..32)
+                .flat_map(|r: usize| (r.saturating_sub(5)..=(r + 5).min(31)).map(move |c| (r, c)))
+                .collect();
+            Csr::from_coords(32, 32, &coords).expect("valid")
+        };
+        let mixed: Csr<Half> = {
+            let mut coords: Vec<(usize, usize)> = (0..32)
+                .flat_map(|r: usize| (r.saturating_sub(3)..=r).map(move |c| (r, c)))
+                .collect();
+            coords.extend((0..32).map(|r: usize| (r, (r * 13 + 7) % 32)));
+            coords.sort_unstable();
+            coords.dedup();
+            Csr::from_coords(32, 32, &coords).expect("valid")
+        };
+        let q = Matrix::<Half>::random(32, 8, 6);
+        let k = Matrix::<Half>::random(32, 8, 7);
+        for structure in [&window, &mixed] {
+            let packed = fine_sddmm_compute(&q, &k, structure);
+            let reference = naive::fine_sddmm_compute(&q, &k, structure);
+            for (a, b) in packed.values().iter().zip(reference.values()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

@@ -23,10 +23,11 @@
 pub mod cache;
 mod chunked;
 mod coarse;
+mod decode;
 mod dense;
 mod dims;
 mod ell;
-mod fine;
+pub mod fine;
 pub mod fused;
 mod merge;
 mod softmax;
@@ -59,6 +60,7 @@ pub use coarse::{
     coarse_sddmm_compute, coarse_sddmm_profile, coarse_spmm_compute, coarse_spmm_profile,
     CoarseMapping,
 };
+pub use decode::decode_step_profile;
 pub use dense::{dense_gemm_profile, dense_sddmm_compute, dense_spmm_compute, DENSE_TILE};
 pub use dims::AttnDims;
 pub use ell::{ell_spmm_compute, ell_spmm_profile};

@@ -193,6 +193,124 @@ pub fn bursty_arrivals(rate_rps: f64, burstiness: f64, n: usize, seed: u64) -> V
         .collect()
 }
 
+/// One turn of a multi-turn chat session: the user tokens appended to
+/// the shared context, the response tokens decoded one per step, and
+/// the think time that elapsed before the turn was issued.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChatTurn {
+    /// New user tokens appended before decoding (0 for the first turn,
+    /// whose context is the session prefill).
+    pub user_tokens: usize,
+    /// Response tokens generated autoregressively, one decode step
+    /// each.
+    pub decode_tokens: usize,
+    /// Seconds of user think time between the previous turn's last
+    /// token and this turn's arrival (0 for the first turn).
+    pub think_s: f64,
+}
+
+/// A chat-style multi-turn session: one prefill over the initial
+/// context, then alternating decode bursts and user follow-ups that
+/// all share the session's KV prefix — only the *new* tokens of each
+/// turn are prefilled, the rest is reused.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChatSession {
+    /// Session arrival time in seconds.
+    pub arrival_s: f64,
+    /// Initial context (system prompt + first user message); its
+    /// special tokens parameterize the compound pattern for the whole
+    /// session.
+    pub prefill: WorkloadSample,
+    /// The turns, in order; `turns[0]` responds to the prefill.
+    pub turns: Vec<ChatTurn>,
+}
+
+impl ChatSession {
+    /// Total context length after every turn completes (prefill plus
+    /// all user and decoded tokens) — never exceeds the token budget of
+    /// the base sample the session was built from.
+    pub fn final_len(&self) -> usize {
+        self.prefill.valid_len
+            + self
+                .turns
+                .iter()
+                .map(|t| t.user_tokens + t.decode_tokens)
+                .sum::<usize>()
+    }
+
+    /// Total decode steps across all turns.
+    pub fn decode_steps(&self) -> usize {
+        self.turns.iter().map(|t| t.decode_tokens).sum()
+    }
+}
+
+/// Builds one chat session per base sample: the sample's `valid_len`
+/// becomes the session's total token budget (so class length
+/// distributions carry over), with ~60% spent on the initial prefill
+/// and the rest split across 2..=`max_turns` turns of user follow-ups
+/// and decoded responses. Session arrivals are Poisson at `rate_rps`;
+/// think times are exponential with mean `mean_think_s`. Everything is
+/// deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics if `rate_rps` is not strictly positive.
+pub fn chat_sessions(
+    samples: &[WorkloadSample],
+    max_turns: usize,
+    mean_think_s: f64,
+    rate_rps: f64,
+    seed: u64,
+) -> Vec<ChatSession> {
+    let arrivals = poisson_arrivals(rate_rps, samples.len(), seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A7_5E55_105Eu64);
+    samples
+        .iter()
+        .zip(arrivals)
+        .map(|(sample, arrival_s)| {
+            let budget = sample.valid_len.max(8);
+            let prefill_len = (budget * 3 / 5).max(4);
+            let mut remaining = budget - prefill_len;
+            let mut special: Vec<usize> = sample
+                .special_tokens
+                .iter()
+                .copied()
+                .filter(|&t| t < prefill_len)
+                .collect();
+            special.sort_unstable();
+            special.dedup();
+            let want_turns = rng.gen_range(2..=max_turns.max(2));
+            let mut turns = Vec::new();
+            for i in 0..want_turns {
+                let user_tokens = if i == 0 { 0 } else { rng.gen_range(4..=16) };
+                let decode_want = rng.gen_range(8..=32);
+                if user_tokens + 1 > remaining {
+                    break;
+                }
+                let decode_tokens = decode_want.min(remaining - user_tokens).max(1);
+                remaining -= user_tokens + decode_tokens;
+                turns.push(ChatTurn {
+                    user_tokens,
+                    decode_tokens,
+                    think_s: if i == 0 {
+                        0.0
+                    } else {
+                        unit_exponential(&mut rng) * mean_think_s
+                    },
+                });
+            }
+            ChatSession {
+                arrival_s,
+                prefill: WorkloadSample {
+                    valid_len: prefill_len,
+                    special_tokens: special,
+                },
+                turns,
+            }
+        })
+        .collect()
+}
+
 /// One unit-mean exponential draw via inverse transform sampling.
 fn unit_exponential(rng: &mut StdRng) -> f64 {
     let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
@@ -307,6 +425,52 @@ mod tests {
         assert_eq!(
             bursty_arrivals(20.0, 6.0, 50, 3),
             bursty_arrivals(20.0, 6.0, 50, 3)
+        );
+    }
+
+    #[test]
+    fn chat_sessions_respect_the_sample_budget() {
+        let samples = hotpotqa_like(1024, 30, 4);
+        let sessions = chat_sessions(&samples, 4, 2.0, 10.0, 4);
+        assert_eq!(sessions.len(), samples.len());
+        for (session, sample) in sessions.iter().zip(&samples) {
+            assert!(
+                session.final_len() <= sample.valid_len.max(8),
+                "session overflows its budget: {} > {}",
+                session.final_len(),
+                sample.valid_len
+            );
+            assert!(!session.turns.is_empty());
+            assert_eq!(session.turns[0].user_tokens, 0, "turn 0 reuses prefill");
+            assert_eq!(session.turns[0].think_s, 0.0);
+            for turn in &session.turns[1..] {
+                assert!(turn.user_tokens > 0, "follow-ups append user tokens");
+                assert!(turn.think_s > 0.0, "follow-ups wait on the user");
+            }
+            assert!(session
+                .prefill
+                .special_tokens
+                .iter()
+                .all(|&t| t < session.prefill.valid_len));
+            assert!(session.decode_steps() > 0);
+        }
+        // Arrivals strictly increase (Poisson process).
+        assert!(sessions.windows(2).all(|w| w[1].arrival_s > w[0].arrival_s));
+    }
+
+    #[test]
+    fn chat_sessions_are_deterministic_and_multi_turn() {
+        let samples = msmarco_like(1024, 40, 9);
+        let a = chat_sessions(&samples, 4, 3.0, 5.0, 1);
+        let b = chat_sessions(&samples, 4, 3.0, 5.0, 1);
+        assert_eq!(a, b);
+        let c = chat_sessions(&samples, 4, 3.0, 5.0, 2);
+        assert_ne!(a, c, "seed changes the sessions");
+        let multi = a.iter().filter(|s| s.turns.len() >= 2).count();
+        assert!(
+            multi * 2 > a.len(),
+            "most sessions should be multi-turn: {multi}/{}",
+            a.len()
         );
     }
 

@@ -58,8 +58,9 @@ impl BlockedPattern {
 }
 
 /// Merges two sorted, deduplicated column lists into one, dropping
-/// duplicates across the pair. Linear two-pointer walk.
-fn merge_sorted_dedup(a: &[usize], b: &[usize]) -> Vec<usize> {
+/// duplicates across the pair. Linear two-pointer walk. Shared with the
+/// decode-time incremental extension so both produce bit-identical rows.
+pub(crate) fn merge_sorted_dedup(a: &[usize], b: &[usize]) -> Vec<usize> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
@@ -113,6 +114,17 @@ impl CompoundPattern {
         assert!(valid_len <= self.seq_len, "valid_len exceeds seq_len");
         self.valid_len = valid_len;
         self
+    }
+
+    /// Appends one real token row for autoregressive decode
+    /// (`valid_len += 1`); the [`crate::DecodePatternState`] extension
+    /// path. Callers must check capacity first.
+    pub(crate) fn grow_valid_len(&mut self) {
+        assert!(
+            self.valid_len < self.seq_len,
+            "cannot grow valid_len past seq_len"
+        );
+        self.valid_len += 1;
     }
 
     /// The padded sequence length.

@@ -27,11 +27,13 @@
 
 mod atomic;
 mod compound;
+mod decode;
 mod parse;
 pub mod presets;
 mod slicing;
 
 pub use atomic::{AtomicPattern, Grain};
 pub use compound::{BlockedPattern, CompoundPattern};
+pub use decode::DecodePatternState;
 pub use parse::{parse_pattern, PatternParseError};
 pub use slicing::{SliceStats, SlicedPattern};

@@ -45,6 +45,11 @@ pub struct PlanKey {
 }
 
 /// Hit/miss/eviction accounting of a [`PlanCache`].
+///
+/// `hits`/`misses` are the aggregate counters; the `prefill_*` /
+/// `decode_*` pairs split the same lookups by serving phase (prefill
+/// planning versus per-token decode steps), so `hits == prefill_hits +
+/// decode_hits` and likewise for misses.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
@@ -53,6 +58,16 @@ pub struct CacheStats {
     pub misses: u64,
     /// Plans evicted to respect the capacity bound.
     pub evictions: u64,
+    /// Prefill-phase lookups answered from the cache.
+    pub prefill_hits: u64,
+    /// Prefill-phase lookups that planned from scratch.
+    pub prefill_misses: u64,
+    /// Decode-step lookups answered from the cache (including the
+    /// prefix-aware session fast path).
+    pub decode_hits: u64,
+    /// Decode-step lookups that planned from scratch (bucket
+    /// boundaries and cold sessions).
+    pub decode_misses: u64,
 }
 
 impl CacheStats {
@@ -65,6 +80,33 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Prefill-phase hit rate, `1.0` when no prefill lookups happened.
+    pub fn prefill_hit_rate(&self) -> f64 {
+        let total = self.prefill_hits + self.prefill_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.prefill_hits as f64 / total as f64
+        }
+    }
+
+    /// Decode-phase hit rate, `1.0` when no decode lookups happened.
+    pub fn decode_hit_rate(&self) -> f64 {
+        let total = self.decode_hits + self.decode_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.decode_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Which serving phase a plan lookup belongs to, for the split stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Prefill,
+    Decode,
 }
 
 /// Canonicalizes a sample for plan reuse.
@@ -180,6 +222,19 @@ pub struct PlanCache {
     tick: u64,
     stats: CacheStats,
     tuner: Option<Tuner>,
+    // Prefix-aware decode memo: per-session (bucketed length, key,
+    // plan). Consecutive decode steps inside one length bucket
+    // canonicalize to the same sample — the memo skips the
+    // re-canonicalization, pattern build, and signature hash entirely
+    // and re-serves the session's plan until the bucket boundary.
+    sessions: BTreeMap<u64, SessionPlan>,
+}
+
+#[derive(Clone)]
+struct SessionPlan {
+    bucketed_len: usize,
+    key: PlanKey,
+    plan: Arc<Attention>,
 }
 
 impl PlanCache {
@@ -198,6 +253,7 @@ impl PlanCache {
             tick: 0,
             stats: CacheStats::default(),
             tuner: None,
+            sessions: BTreeMap::new(),
         }
     }
 
@@ -277,6 +333,82 @@ impl PlanCache {
         method: Method,
         sample: &WorkloadSample,
     ) -> Result<Arc<Attention>, SparseError> {
+        self.plan_full(method, sample, Phase::Prefill)
+            .map(|(_, plan)| plan)
+    }
+
+    /// The bucketed canonical length a raw `valid_len` lands on — the
+    /// quantity that must change before a decode step can see a
+    /// different plan key.
+    pub fn bucketed_len(&self, valid_len: usize) -> usize {
+        valid_len
+            .div_ceil(self.len_bucket)
+            .saturating_mul(self.len_bucket)
+            .clamp(1, self.model.config().max_seq_len)
+    }
+
+    /// Prefix-aware decode lookup: returns the plan for one decode step
+    /// of `session` at the sample's current (grown) `valid_len`.
+    ///
+    /// While consecutive steps stay inside one length bucket the
+    /// session memo re-serves the previous step's plan without
+    /// re-canonicalizing, rebuilding the canonical pattern, or hashing
+    /// a key — the steady-state decode cost of a plan lookup is a
+    /// session-map probe. Only at bucket boundaries (and on the first
+    /// step) does the lookup fall through to the full canonicalize /
+    /// tune / plan path. Stats land in the `decode_*` counters.
+    pub fn get_or_plan_decode(
+        &mut self,
+        session: u64,
+        method: Method,
+        sample: &WorkloadSample,
+    ) -> Result<Arc<Attention>, SparseError> {
+        let bucketed = self.bucketed_len(sample.valid_len);
+        if let Some(sp) = self.sessions.get(&session) {
+            if sp.bucketed_len == bucketed {
+                let key = sp.key;
+                let plan = Arc::clone(&sp.plan);
+                self.tick += 1;
+                // Keep the shared entry hot in the LRU while the
+                // session decodes (it may have been evicted; the
+                // session's Arc keeps the plan alive regardless).
+                if let Some((_, last_used)) = self.entries.get_mut(&key) {
+                    *last_used = self.tick;
+                }
+                self.stats.hits += 1;
+                self.stats.decode_hits += 1;
+                return Ok(plan);
+            }
+        }
+        let (key, plan) = self.plan_full(method, sample, Phase::Decode)?;
+        self.sessions.insert(
+            session,
+            SessionPlan {
+                bucketed_len: bucketed,
+                key,
+                plan: Arc::clone(&plan),
+            },
+        );
+        Ok(plan)
+    }
+
+    /// Drops a finished session's memo (the cached plan itself stays in
+    /// the LRU for other sessions).
+    pub fn end_session(&mut self, session: u64) {
+        self.sessions.remove(&session);
+    }
+
+    /// Number of sessions currently holding a decode memo.
+    pub fn live_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    fn plan_full(
+        &mut self,
+        method: Method,
+        sample: &WorkloadSample,
+        phase: Phase,
+    ) -> Result<(PlanKey, Arc<Attention>), SparseError> {
         let default_block = self.model.config().block_size;
         let tuned = match self.tuner {
             Some(_) => {
@@ -291,14 +423,14 @@ impl PlanCache {
         };
         match tuned {
             Some(config) => {
-                match self.lookup_or_plan(config.method, sample, config.block_size) {
-                    Ok(plan) => Ok(plan),
+                match self.lookup_or_plan(config.method, sample, config.block_size, phase) {
+                    Ok(entry) => Ok(entry),
                     // A tuned config the model cannot plan: degrade to
                     // the request's own method at the default block.
-                    Err(_) => self.lookup_or_plan(method, sample, default_block),
+                    Err(_) => self.lookup_or_plan(method, sample, default_block, phase),
                 }
             }
-            None => self.lookup_or_plan(method, sample, default_block),
+            None => self.lookup_or_plan(method, sample, default_block, phase),
         }
     }
 
@@ -307,15 +439,24 @@ impl PlanCache {
         method: Method,
         sample: &WorkloadSample,
         block_size: usize,
-    ) -> Result<Arc<Attention>, SparseError> {
+        phase: Phase,
+    ) -> Result<(PlanKey, Arc<Attention>), SparseError> {
         let key = self.key_with_block(method, sample, block_size);
         self.tick += 1;
         if let Some((plan, last_used)) = self.entries.get_mut(&key) {
             self.stats.hits += 1;
+            match phase {
+                Phase::Prefill => self.stats.prefill_hits += 1,
+                Phase::Decode => self.stats.decode_hits += 1,
+            }
             *last_used = self.tick;
-            return Ok(Arc::clone(plan));
+            return Ok((key, Arc::clone(plan)));
         }
         self.stats.misses += 1;
+        match phase {
+            Phase::Prefill => self.stats.prefill_misses += 1,
+            Phase::Decode => self.stats.decode_misses += 1,
+        }
         let canon = canonicalize(sample, self.model.config().max_seq_len, self.len_bucket);
         let plan = Arc::new(
             self.model
@@ -335,7 +476,7 @@ impl PlanCache {
             self.stats.evictions += 1;
         }
         self.entries.insert(key, (Arc::clone(&plan), self.tick));
-        Ok(plan)
+        Ok((key, plan))
     }
 
     /// Current accounting.

@@ -241,7 +241,7 @@ mod tests {
             cache: CacheStats {
                 hits: 9,
                 misses: 1,
-                evictions: 0,
+                ..CacheStats::default()
             },
             tuning: TuneStats::default(),
             worker_busy_fraction: vec![0.5, 0.25],

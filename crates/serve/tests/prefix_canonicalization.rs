@@ -1,0 +1,144 @@
+//! Prefix-aware canonicalization regressions: decode-time plan reuse
+//! rests on two properties of the canonicalizer — it is a fixed point
+//! on the patterns decode produces by extension, and consecutive grown
+//! lengths inside one bucket derive the *same* plan key, changing only
+//! at bucket boundaries.
+
+use mg_models::workload::WorkloadSample;
+use mg_models::{ModelConfig, SparseTransformer};
+use mg_serve::{canonicalize, PlanCache};
+use multigrain::Method;
+
+const LEN_BUCKET: usize = 8;
+
+fn cache() -> PlanCache {
+    PlanCache::new(SparseTransformer::new(ModelConfig::tiny()), 32, LEN_BUCKET)
+}
+
+/// Decode extends a session's sample one token at a time while its
+/// special-token layout stays fixed. Every extended sample's canonical
+/// form must be a fixed point of the canonicalizer, or consecutive
+/// steps would ping-pong between keys instead of reusing a plan.
+#[test]
+fn canonicalize_is_a_fixed_point_on_extended_patterns() {
+    let max_seq_len = ModelConfig::tiny().max_seq_len;
+    let layouts: [&[usize]; 3] = [&[0, 1, 2], &[0, 1, 2, 3, 20, 33], &[11, 29]];
+    for special in layouts {
+        for start in [9usize, 24, 40] {
+            for grown in 0..=(max_seq_len - start) {
+                let sample = WorkloadSample {
+                    valid_len: start + grown,
+                    special_tokens: special.to_vec(),
+                };
+                let once = canonicalize(&sample, max_seq_len, LEN_BUCKET);
+                let twice = canonicalize(&once, max_seq_len, LEN_BUCKET);
+                assert_eq!(once, twice, "not a fixed point at {sample:?}");
+            }
+        }
+    }
+}
+
+/// Consecutive decode lengths agree on the plan key inside one bucket
+/// and disagree exactly when a bucket boundary is crossed.
+#[test]
+fn plan_keys_change_only_at_bucket_boundaries() {
+    let cache = cache();
+    let sample = |valid_len| WorkloadSample {
+        valid_len,
+        special_tokens: vec![0, 1, 2],
+    };
+    let max_seq_len = ModelConfig::tiny().max_seq_len;
+    for valid_len in 1..max_seq_len {
+        let here = cache.key_for(Method::Multigrain, &sample(valid_len));
+        let next = cache.key_for(Method::Multigrain, &sample(valid_len + 1));
+        let crosses_boundary = valid_len % LEN_BUCKET == 0;
+        if crosses_boundary {
+            assert_ne!(
+                here,
+                next,
+                "key must change when {valid_len} -> {} crosses a bucket",
+                valid_len + 1
+            );
+            assert_eq!(next.len_bucket, here.len_bucket + LEN_BUCKET);
+        } else {
+            assert_eq!(
+                here, next,
+                "key must be stable inside the bucket at {valid_len}"
+            );
+        }
+        // Either way both lengths land on their bucketed canonical
+        // form, the same derivation `bucketed_len` reports.
+        assert_eq!(here.len_bucket, cache.bucketed_len(valid_len));
+    }
+}
+
+/// A decoding session's lookups hit the prefix-aware memo on every step
+/// that stays inside the current bucket: misses happen only on the cold
+/// first step and at bucket crossings, so the decode hit rate of a
+/// realistic burst clears 90%.
+#[test]
+fn decode_steps_inside_a_bucket_hit_the_session_memo() {
+    let mut cache = cache();
+    let special = vec![0, 1, 2];
+    let start = 20usize;
+    let steps = 40usize;
+    for step in 0..steps {
+        let sample = WorkloadSample {
+            valid_len: start + step + 1,
+            special_tokens: special.clone(),
+        };
+        cache
+            .get_or_plan_decode(7, Method::Multigrain, &sample)
+            .unwrap();
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.decode_hits + stats.decode_misses, steps as u64);
+    // Expected misses: the cold first step plus one per boundary the
+    // growing length crosses.
+    let boundaries = (start..start + steps)
+        .filter(|len| len % LEN_BUCKET == 0)
+        .count() as u64;
+    assert_eq!(stats.decode_misses, 1 + boundaries);
+    assert!(
+        stats.decode_hit_rate() >= 0.80,
+        "tiny-bucket hit rate collapsed: {stats:?}"
+    );
+    // No prefill lookups happened; the split must reflect that.
+    assert_eq!(stats.prefill_hits + stats.prefill_misses, 0);
+    assert_eq!(stats.hits, stats.decode_hits);
+
+    // With a production-sized bucket the same burst clears the 90%
+    // acceptance bar.
+    let mut coarse = PlanCache::new(SparseTransformer::new(ModelConfig::tiny()), 32, 32);
+    for step in 0..steps {
+        let sample = WorkloadSample {
+            valid_len: start + step + 1,
+            special_tokens: special.clone(),
+        };
+        coarse
+            .get_or_plan_decode(7, Method::Multigrain, &sample)
+            .unwrap();
+    }
+    assert!(
+        coarse.stats().decode_hit_rate() >= 0.90,
+        "bucket-32 decode hit rate: {:?}",
+        coarse.stats()
+    );
+
+    // Ending the session drops the memo; the next step replans.
+    cache.end_session(7);
+    assert_eq!(cache.live_sessions(), 0);
+    let misses_before = cache.stats().decode_misses;
+    let sample = WorkloadSample {
+        valid_len: start + steps + 1,
+        special_tokens: special,
+    };
+    cache
+        .get_or_plan_decode(7, Method::Multigrain, &sample)
+        .unwrap();
+    assert!(
+        cache.stats().decode_misses >= misses_before,
+        "cold again after end_session"
+    );
+    assert_eq!(cache.live_sessions(), 1);
+}

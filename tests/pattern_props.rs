@@ -1,7 +1,7 @@
 //! Integration: property-based tests on the pattern substrate and the
 //! slice invariants the whole method rests on.
 
-use mg_patterns::{AtomicPattern, CompoundPattern, Grain, SlicedPattern};
+use mg_patterns::{AtomicPattern, CompoundPattern, DecodePatternState, Grain, SlicedPattern};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -132,5 +132,84 @@ proptest! {
             .map(|&g| pattern.parts_of_grain(g).len())
             .sum();
         prop_assert_eq!(total, by_grain);
+    }
+}
+
+/// Extends `base` (already padded to `start_len`) one decode row at a
+/// time up to its full canvas, asserting bit-identity against
+/// from-scratch construction at every intermediate length: the pattern
+/// itself, the appended row's columns, and — at block-aligned lengths —
+/// the structural signature and the complete slicing output.
+fn assert_extension_matches_from_scratch(base: &CompoundPattern, start_len: usize) {
+    use multigrain::AttentionProblem;
+
+    let seq_len = base.seq_len();
+    let mut state = DecodePatternState::from_prefill(base.clone().with_valid_len(start_len));
+    for len in start_len + 1..=seq_len {
+        let row_cols = state.extend_decode_row();
+        let scratch = base.clone().with_valid_len(len);
+        assert_eq!(
+            state.pattern(),
+            &scratch,
+            "extended pattern diverged at len {len} for {}",
+            base.name()
+        );
+        assert_eq!(
+            row_cols,
+            scratch.row_columns(len - 1),
+            "appended row diverged at len {len} for {}",
+            base.name()
+        );
+        if len % 8 == 0 {
+            let ext_problem = AttentionProblem::new(state.pattern().clone(), 16, 1, 2, 8);
+            let scr_problem = AttentionProblem::new(scratch.clone(), 16, 1, 2, 8);
+            assert_eq!(
+                ext_problem.signature(),
+                scr_problem.signature(),
+                "signatures diverged at len {len} for {}",
+                base.name()
+            );
+            let ext = SlicedPattern::from_compound(state.pattern(), 8).expect("aligned");
+            let scr = SlicedPattern::from_compound(&scratch, 8).expect("aligned");
+            assert_eq!(ext.coarse(), scr.coarse(), "coarse slice at len {len}");
+            assert_eq!(ext.fine(), scr.fine(), "fine slice at len {len}");
+            assert_eq!(
+                ext.global_rows(),
+                scr.global_rows(),
+                "global rows at len {len}"
+            );
+            assert_eq!(ext.stats(), scr.stats(), "slice stats at len {len}");
+        }
+    }
+}
+
+/// Satellite regression: every preset family — including the dilated
+/// poolingformer and the random-part figure-9 patterns — extends
+/// bit-identically to from-scratch construction.
+#[test]
+fn presets_extend_bit_identically_to_from_scratch() {
+    use mg_patterns::presets;
+
+    let mut patterns = vec![
+        presets::longformer(64, 8, &[0, 1, 2, 40]),
+        presets::qds_transformer(64, 8, &[5, 20, 41]),
+        presets::bigbird_etc(64, 8, &[0, 1]),
+        presets::poolingformer(64, 4),
+    ];
+    patterns.extend(presets::figure9_patterns(64, 8, 3));
+    for pattern in &patterns {
+        assert_extension_matches_from_scratch(pattern, 24);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary compound patterns (all atomic variants, random parts
+    /// included) extend bit-identically from half their canvas to full.
+    #[test]
+    fn incremental_extension_matches_from_scratch(pattern in compound_pattern()) {
+        let start = pattern.seq_len() / 2;
+        assert_extension_matches_from_scratch(&pattern, start);
     }
 }
