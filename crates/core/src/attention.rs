@@ -17,10 +17,11 @@ use crate::{AttentionProblem, PipelineReport};
 use mg_gpusim::{Gpu, KernelProfile, StreamId};
 use mg_kernels::{
     blocked_softmax_profile, coarse_sddmm_compute, coarse_sddmm_profile, coarse_spmm_compute,
-    coarse_spmm_profile, compound_softmax_compute, compound_softmax_profile, dense_gemm_profile,
-    dense_sddmm_compute, dense_softmax_compute, dense_softmax_profile, dense_spmm_compute,
-    element_softmax_profile, fine_sddmm_compute, fine_sddmm_profile, fine_spmm_compute,
-    fine_spmm_profile, merge_add_compute, merge_add_profile, CoarseMapping, FineSddmmScheme,
+    coarse_spmm_profile, compound_softmax_compute, compound_softmax_profile, dense_sddmm_compute,
+    dense_sddmm_profile, dense_softmax_compute, dense_softmax_profile, dense_spmm_compute,
+    dense_spmm_profile, element_softmax_profile, fine_sddmm_compute, fine_sddmm_profile,
+    fine_spmm_compute, fine_spmm_profile, merge_add_compute, merge_add_profile, CoarseMapping,
+    FineSddmmScheme,
 };
 use mg_patterns::{BlockedPattern, SlicedPattern};
 use mg_sparse::{Csr, SparseError};
@@ -322,7 +323,7 @@ impl Attention {
                 if g > 0 {
                     out.push((
                         StreamRole::Dense,
-                        dense_gemm_profile(
+                        dense_sddmm_profile(
                             spec,
                             g,
                             dims.seq_len,
@@ -375,11 +376,11 @@ impl Attention {
                 if g > 0 {
                     out.push((
                         StreamRole::Dense,
-                        dense_gemm_profile(
+                        dense_spmm_profile(
                             spec,
                             g,
-                            dims.head_dim,
                             dims.seq_len,
+                            dims.head_dim,
                             dims.instances(),
                             "mg.spmm.dense",
                         ),

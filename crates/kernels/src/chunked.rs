@@ -191,6 +191,21 @@ pub fn sliding_chunk_plan(spec: &DeviceSpec, dims: &AttnDims, window: usize) -> 
     }
 }
 
+/// Profile of [`sliding_chunk_attention_compute`]: the kernels of the
+/// sliding-chunk plan, flattened into one list for the cost model.
+///
+/// The plan ([`sliding_chunk_plan`]) stays the richer interface — it
+/// also carries the workspace overhead — but this sibling keeps the
+/// chunked method inside the same `*_compute` ↔ `*_profile` contract
+/// as every other kernel.
+pub fn sliding_chunk_attention_profile(
+    spec: &DeviceSpec,
+    dims: &AttnDims,
+    window: usize,
+) -> Vec<KernelProfile> {
+    sliding_chunk_plan(spec, dims, window).kernels
+}
+
 /// Builds the blockify execution plan for a blocked-local band of block
 /// size `block` (BigBird's method): materialize three rolled copies of
 /// the key/value tensors (≈3× memory), then run block-diagonal GEMMs.
@@ -274,6 +289,24 @@ mod tests {
         assert_eq!(sliding.workspace_bytes, 2 * 2 * dims.operand_bytes() * 4);
         assert_eq!(blockify.workspace_bytes, 3 * 2 * dims.operand_bytes() * 4);
         assert!(blockify.workspace_bytes > sliding.workspace_bytes);
+    }
+
+    #[test]
+    fn attention_profile_is_the_plan_kernels() {
+        let spec = DeviceSpec::a100();
+        let dims = AttnDims {
+            seq_len: 512,
+            head_dim: 64,
+            batch: 1,
+            heads: 2,
+        };
+        let profile = sliding_chunk_attention_profile(&spec, &dims, 64);
+        let plan = sliding_chunk_plan(&spec, &dims, 64);
+        assert_eq!(profile.len(), plan.kernels.len());
+        for (a, b) in profile.iter().zip(&plan.kernels) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.total(), b.total());
+        }
     }
 
     #[test]

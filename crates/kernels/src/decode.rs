@@ -21,6 +21,7 @@ use mg_gpusim::{DeviceSpec, KernelProfile, LaunchConfig, TbWork};
 /// The profile charges only incremental work — one Q row, `nnz` K and V
 /// rows, one context row out — which is what makes decode steps short
 /// and latency-critical next to prefills.
+// mg-lint: allow(C1): decode reuses the prefill kernels' numerics (fine/coarse/merge); only the timing shape is decode-specific
 pub fn decode_step_profile(
     spec: &DeviceSpec,
     head_dim: usize,

@@ -21,6 +21,7 @@ fn dense_launch() -> LaunchConfig {
 /// Profile of a dense `m × k · k × n` GEMM, replicated over `instances`
 /// independent problems (e.g. heads). Tiled at `DENSE_TILE²` outputs per
 /// thread block with shared-memory double buffering.
+// mg-lint: allow(C1): family-shared cost model; its compute twins are the dense_sddmm/dense_spmm wrappers and the mg-tensor gemm references
 pub fn dense_gemm_profile(
     spec: &DeviceSpec,
     m: usize,
@@ -82,10 +83,39 @@ pub fn dense_sddmm_compute(q_rows: &Matrix<Half>, k: &Matrix<Half>) -> Matrix<Ha
     gemm_nt(q_rows, k)
 }
 
+/// Profile of [`dense_sddmm_compute`] for `global_rows` dense rows:
+/// a `global_rows × head_dim · head_dim × seq_len` GEMM per instance.
+///
+/// The shape mapping lives here, next to the compute aspect, so a
+/// planner cannot price the SDDMM with the SpMM's transposed shape.
+pub fn dense_sddmm_profile(
+    spec: &DeviceSpec,
+    global_rows: usize,
+    seq_len: usize,
+    head_dim: usize,
+    instances: usize,
+    name: &str,
+) -> KernelProfile {
+    dense_gemm_profile(spec, global_rows, seq_len, head_dim, instances, name)
+}
+
 /// Functionally computes the dense SpMM for global rows:
 /// `C_rows = P_rows × V`.
 pub fn dense_spmm_compute(p_rows: &Matrix<Half>, v: &Matrix<Half>) -> Matrix<Half> {
     gemm(p_rows, v)
+}
+
+/// Profile of [`dense_spmm_compute`] for `global_rows` dense rows:
+/// a `global_rows × seq_len · seq_len × head_dim` GEMM per instance.
+pub fn dense_spmm_profile(
+    spec: &DeviceSpec,
+    global_rows: usize,
+    seq_len: usize,
+    head_dim: usize,
+    instances: usize,
+    name: &str,
+) -> KernelProfile {
+    dense_gemm_profile(spec, global_rows, head_dim, seq_len, instances, name)
 }
 
 #[cfg(test)]
@@ -127,6 +157,25 @@ mod tests {
         let c = dense_spmm_compute(&s, &v);
         let c_ref: Matrix<f32> = gemm(&s, &v);
         assert!(c.max_abs_diff(&c_ref) < 0.05);
+    }
+
+    #[test]
+    fn sddmm_and_spmm_profiles_encode_their_gemm_shapes() {
+        let spec = DeviceSpec::a100();
+        let (g, seq, hd, inst) = (8, 256, 64, 4);
+        // SDDMM is g×hd · hd×seq; SpMM is g×seq · seq×hd. The wrappers
+        // must reproduce exactly the shape mapping the planner used to
+        // spell out by hand at every call site.
+        let sddmm = dense_sddmm_profile(&spec, g, seq, hd, inst, "s");
+        let sddmm_ref = dense_gemm_profile(&spec, g, seq, hd, inst, "s");
+        assert_eq!(sddmm.total(), sddmm_ref.total());
+        assert_eq!(sddmm.tb_count(), sddmm_ref.tb_count());
+        let spmm = dense_spmm_profile(&spec, g, seq, hd, inst, "p");
+        let spmm_ref = dense_gemm_profile(&spec, g, hd, seq, inst, "p");
+        assert_eq!(spmm.total(), spmm_ref.total());
+        assert_eq!(spmm.tb_count(), spmm_ref.tb_count());
+        // And the two mappings are genuinely transposed, not aliases.
+        assert_ne!(sddmm.total().l2_read, spmm.total().l2_read);
     }
 
     #[test]

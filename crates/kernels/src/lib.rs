@@ -54,14 +54,18 @@ pub mod tuning {
 }
 
 pub use chunked::{
-    blockify_plan, sliding_chunk_attention_compute, sliding_chunk_plan, ChunkedPlan,
+    blockify_plan, sliding_chunk_attention_compute, sliding_chunk_attention_profile,
+    sliding_chunk_plan, ChunkedPlan,
 };
 pub use coarse::{
     coarse_sddmm_compute, coarse_sddmm_profile, coarse_spmm_compute, coarse_spmm_profile,
     CoarseMapping,
 };
 pub use decode::decode_step_profile;
-pub use dense::{dense_gemm_profile, dense_sddmm_compute, dense_spmm_compute, DENSE_TILE};
+pub use dense::{
+    dense_gemm_profile, dense_sddmm_compute, dense_sddmm_profile, dense_spmm_compute,
+    dense_spmm_profile, DENSE_TILE,
+};
 pub use dims::AttnDims;
 pub use ell::{ell_spmm_compute, ell_spmm_profile};
 pub use fine::{

@@ -84,6 +84,7 @@ pub fn compound_softmax_profile(
 
 /// Profile of the Sputnik-style element-wise sparse softmax over a CSR
 /// matrix (separate scale/mask pass, per-element metadata).
+// mg-lint: allow(C1): baseline-library cost model (Sputnik); its numbers are compound_softmax_compute's, only the kernel shape differs
 pub fn element_softmax_profile(
     spec: &DeviceSpec,
     dims: &AttnDims,
@@ -107,6 +108,7 @@ pub fn element_softmax_profile(
 
 /// Profile of the Triton-style blocked sparse softmax: every stored block
 /// element is processed, valid or not (the §5.2.2 waste).
+// mg-lint: allow(C1): baseline-library cost model (Triton blocked); its numbers are compound_softmax_compute's over the blocked pattern
 pub fn blocked_softmax_profile(
     spec: &DeviceSpec,
     dims: &AttnDims,

@@ -41,6 +41,7 @@ pub fn prune_2_4(m: &Matrix<Half>) -> Matrix<Half> {
 /// Timing profile of a dense GEMM running on the **sparse tensor cores**
 /// with a 2:4-compressed left operand: tensor throughput doubles and the
 /// LHS shrinks to half plus 2-bit-per-element metadata.
+// mg-lint: allow(C1): sparse-tensor-core what-if costing; prune_2_4 and the dense GEMM references supply the numeric side
 pub fn gemm_2_4_profile(
     spec: &DeviceSpec,
     m: usize,

@@ -1,0 +1,163 @@
+//! The workspace call graph, resolved by simple name matching.
+//!
+//! Stage one's [`FileIr`](crate::ir::FileIr) records every `fn` and
+//! every call site per file; this module stitches them into a
+//! workspace-level graph so the flow passes can follow a call out of a
+//! parallel callback into a helper three files away.
+//!
+//! Resolution is deliberately simple — the analyzer has no type
+//! information — and deliberately conservative about ambiguity:
+//!
+//! * a callee name defined in the **same file** resolves there;
+//! * otherwise a name defined in the **same crate** resolves to those
+//!   definitions;
+//! * otherwise it resolves to every definition in the workspace;
+//! * a name with more than [`AMBIGUITY_CUTOFF`] definitions
+//!   workspace-wide (`new`, `len`, ...) is not resolved at all —
+//!   following it would connect everything to everything and drown the
+//!   reports in noise.
+
+use crate::passes::FileCtx;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Names with more definitions than this are treated as unresolvable.
+pub const AMBIGUITY_CUTOFF: usize = 3;
+
+/// A function identity: (file index, fn index within that file's IR).
+pub type FnRef = (usize, usize);
+
+/// Name-indexed function definitions across the workspace.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    defs: BTreeMap<String, Vec<FnRef>>,
+}
+
+impl CallGraph {
+    /// Indexes every function definition in `files`.
+    pub fn build(files: &[FileCtx]) -> CallGraph {
+        let mut defs: BTreeMap<String, Vec<FnRef>> = BTreeMap::new();
+        for (fi, f) in files.iter().enumerate() {
+            for (ni, item) in f.ir.fns.iter().enumerate() {
+                defs.entry(item.name.clone()).or_default().push((fi, ni));
+            }
+        }
+        CallGraph { defs }
+    }
+
+    /// Resolves a callee name seen in `caller_file` to candidate
+    /// definitions: same file, else same crate, else anywhere — or
+    /// nothing when the name is too common to follow.
+    pub fn resolve(&self, files: &[FileCtx], caller_file: usize, name: &str) -> Vec<FnRef> {
+        let Some(all) = self.defs.get(name) else {
+            return Vec::new();
+        };
+        if all.len() > AMBIGUITY_CUTOFF {
+            return Vec::new();
+        }
+        let same_file: Vec<FnRef> = all
+            .iter()
+            .copied()
+            .filter(|&(fi, _)| fi == caller_file)
+            .collect();
+        if !same_file.is_empty() {
+            return same_file;
+        }
+        let crate_name = &files[caller_file].class.crate_name;
+        let same_crate: Vec<FnRef> = all
+            .iter()
+            .copied()
+            .filter(|&(fi, _)| &files[fi].class.crate_name == crate_name)
+            .collect();
+        if !same_crate.is_empty() {
+            return same_crate;
+        }
+        all.clone()
+    }
+
+    /// Every function reachable from `seeds` by following resolvable
+    /// call edges (seeds included).
+    pub fn reachable(&self, files: &[FileCtx], seeds: Vec<FnRef>) -> BTreeSet<FnRef> {
+        let mut seen: BTreeSet<FnRef> = BTreeSet::new();
+        let mut queue: VecDeque<FnRef> = VecDeque::new();
+        for s in seeds {
+            if seen.insert(s) {
+                queue.push_back(s);
+            }
+        }
+        while let Some((fi, ni)) = queue.pop_front() {
+            for call in &files[fi].ir.fns[ni].calls {
+                for target in self.resolve(files, fi, &call.name) {
+                    if seen.insert(target) {
+                        queue.push_back(target);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rustlint::FileClass;
+    use std::path::PathBuf;
+
+    fn ctx(path: &str, crate_name: &str, src: &str) -> FileCtx {
+        FileCtx::new(
+            PathBuf::from(path),
+            src,
+            FileClass {
+                crate_name: crate_name.to_string(),
+                is_bin: false,
+                is_lib_rs: false,
+            },
+        )
+    }
+
+    #[test]
+    fn same_file_beats_same_crate_beats_global() {
+        let files = vec![
+            ctx("a/one.rs", "a", "fn helper() {}\nfn go() { helper(); }\n"),
+            ctx("a/two.rs", "a", "fn helper() {}\n"),
+            ctx(
+                "b/three.rs",
+                "b",
+                "fn helper() {}\nfn far() { helper(); }\n",
+            ),
+        ];
+        let g = CallGraph::build(&files);
+        assert_eq!(g.resolve(&files, 0, "helper"), vec![(0, 0)]);
+        assert_eq!(g.resolve(&files, 2, "helper"), vec![(2, 0)]);
+        // From a file in crate `b` with no local def, crate beats global.
+        let files2 = vec![
+            ctx("a/one.rs", "a", "fn helper() {}\n"),
+            ctx("b/three.rs", "b", "fn helper() {}\n"),
+            ctx("b/four.rs", "b", "fn go() { helper(); }\n"),
+        ];
+        let g2 = CallGraph::build(&files2);
+        assert_eq!(g2.resolve(&files2, 2, "helper"), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn common_names_are_not_followed() {
+        let srcs: Vec<FileCtx> = (0..4)
+            .map(|i| ctx(&format!("a/f{i}.rs"), "a", "pub fn new() {}\n"))
+            .collect();
+        let g = CallGraph::build(&srcs);
+        assert!(g.resolve(&srcs, 0, "new").is_empty());
+        assert!(g.resolve(&srcs, 0, "nonexistent").is_empty());
+    }
+
+    #[test]
+    fn reachability_is_transitive() {
+        let files = vec![ctx(
+            "a/one.rs",
+            "a",
+            "fn a() { b(); }\nfn b() { c(); }\nfn c() {}\nfn unrelated() {}\n",
+        )];
+        let g = CallGraph::build(&files);
+        let r = g.reachable(&files, vec![(0, 0)]);
+        assert_eq!(r, [(0, 0), (0, 1), (0, 2)].into_iter().collect());
+    }
+}

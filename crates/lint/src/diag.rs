@@ -18,14 +18,28 @@ pub enum LintCode {
     /// Unseeded randomness (`thread_rng`, `from_entropy`) outside test
     /// code.
     D3,
+    /// Flow-sensitive float-reduction-order hazard: a chunked traversal
+    /// whose chunk geometry derives from the runtime thread count,
+    /// inside a function that accumulates floats — the combine order
+    /// (and therefore the rounding) changes with `MG_THREADS`.
+    D4,
+    /// Panic-reachable parallel region: `unwrap()`, `panic!`, `todo!`,
+    /// or `unimplemented!` inside (or reachable from) a `par::`
+    /// callback — a mid-batch worker panic tears the pool down in
+    /// thread-count-dependent order.
+    D5,
     /// Missing `#![forbid(unsafe_code)]` in a crate's `lib.rs`.
     H1,
     /// `parallel` feature of a workspace dependency not forwarded
     /// through the dependent crate's `Cargo.toml`.
     H2,
-    /// `print!`/`println!`/`eprint!`/`eprintln!` in library code
-    /// outside `crates/bench`.
+    /// `print!`/`println!`/`eprint!`/`eprintln!` (and `dbg!`, `todo!`,
+    /// `unimplemented!`) in library code outside `crates/bench`.
     H3,
+    /// `parallel` feature-gate inconsistency: gated code without a
+    /// `#[cfg(not(feature = "parallel"))]` serial sibling, or a crate
+    /// with gated code but no bit-equality test file.
+    H4,
     /// Malformed suppression: `mg-lint: allow(...)` without a reason,
     /// or with an unknown code.
     A1,
@@ -37,18 +51,27 @@ pub enum LintCode {
     /// (`mg_tensor::pack`) are the sanctioned route for the numeric
     /// hot path. Suppressible for intentional single decodes.
     P1,
+    /// Cost-model coverage: a public `*_compute` kernel in
+    /// `crates/kernels` without a matching `*_profile` sibling (or
+    /// vice versa) — a kernel must never ship unpriced, and a profile
+    /// must never price a kernel that no longer exists.
+    C1,
 }
 
 impl LintCode {
     /// All codes, in severity-report order.
-    pub const ALL: [LintCode; 9] = [
+    pub const ALL: [LintCode; 13] = [
         LintCode::D1,
         LintCode::D2,
         LintCode::D3,
+        LintCode::D4,
+        LintCode::D5,
         LintCode::H1,
         LintCode::H2,
         LintCode::H3,
+        LintCode::H4,
         LintCode::P1,
+        LintCode::C1,
         LintCode::A1,
         LintCode::A2,
     ];
@@ -64,22 +87,33 @@ impl LintCode {
             LintCode::D1 => "D1",
             LintCode::D2 => "D2",
             LintCode::D3 => "D3",
+            LintCode::D4 => "D4",
+            LintCode::D5 => "D5",
             LintCode::H1 => "H1",
             LintCode::H2 => "H2",
             LintCode::H3 => "H3",
+            LintCode::H4 => "H4",
             LintCode::A1 => "A1",
             LintCode::A2 => "A2",
             LintCode::P1 => "P1",
+            LintCode::C1 => "C1",
         }
     }
 
     /// Whether an `// mg-lint: allow(..)` comment may silence this
-    /// code. Structural requirements (H1, H2) and the allow-audit
+    /// code. Structural requirements (H1, H2, H4) and the allow-audit
     /// codes themselves (A1, A2) can only be fixed, not waived.
     pub fn suppressible(&self) -> bool {
         matches!(
             self,
-            LintCode::D1 | LintCode::D2 | LintCode::D3 | LintCode::H3 | LintCode::P1
+            LintCode::D1
+                | LintCode::D2
+                | LintCode::D3
+                | LintCode::D4
+                | LintCode::D5
+                | LintCode::H3
+                | LintCode::P1
+                | LintCode::C1
         )
     }
 }

@@ -16,14 +16,18 @@ pub enum TokKind {
     Ident,
     /// Single punctuation character (`.`, `:`, `{`, `!`, ...).
     Punct,
-    /// Number, string, char, or lifetime literal (text not preserved).
+    /// Number, string, char, or lifetime literal.
     Literal,
 }
 
 /// One token with its 1-based source line.
 #[derive(Debug, Clone)]
 pub struct Tok {
-    /// Token text; literals are collapsed to an empty placeholder.
+    /// Token text. Number literals keep their raw source text (the flow
+    /// passes need to see `0.0f32`); string literals keep their text
+    /// *with the surrounding quotes* so they can never collide with an
+    /// identifier or punctuation match; char and lifetime literals are
+    /// collapsed to an empty placeholder.
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
@@ -116,9 +120,10 @@ pub fn lex(src: &str) -> Lexed {
             }
             b'"' => {
                 let tok_line = line;
+                let start = i;
                 i = skip_string(b, i, &mut line);
                 out.toks.push(Tok {
-                    text: String::new(),
+                    text: src[start..i].to_string(),
                     line: tok_line,
                     kind: TokKind::Literal,
                 });
@@ -162,9 +167,10 @@ pub fn lex(src: &str) -> Lexed {
             }
             c if c.is_ascii_digit() => {
                 let tok_line = line;
+                let start = i;
                 i = skip_number(b, i);
                 out.toks.push(Tok {
-                    text: String::new(),
+                    text: src[start..i].to_string(),
                     line: tok_line,
                     kind: TokKind::Literal,
                 });

@@ -8,13 +8,19 @@
 //! statically, by scanning every workspace crate for the constructs
 //! that historically break it.
 //!
-//! The analyzer is built from scratch on a hand-rolled lexer (the
-//! build environment has no registry access, so no `syn`): good enough
-//! to strip comments and strings, track `#[cfg(test)]` regions, and
-//! match the token shapes of the rules below — and honest about being
-//! an over-approximation. Anything it cannot prove safe is a finding;
-//! the escape hatch is an *audited* suppression comment on the
-//! offending line (or the line directly above):
+//! The analyzer runs in two stages, built from scratch on a
+//! hand-rolled lexer (the build environment has no registry access, so
+//! no `syn`). **Stage one** ([`ir`]) indexes every file: functions
+//! with their bodies and call sites, `parallel` feature gates, and
+//! scope-aware bindings carrying type facts (hash-ordered, float,
+//! thread-count-derived); [`callgraph`] stitches the call sites into a
+//! workspace call graph by conservative name matching. **Stage two**
+//! ([`passes`]) runs the rules over that IR — the lexical rules plus
+//! the flow-sensitive and workspace-level ones the IR makes possible.
+//! The analyzer is honest about being an over-approximation: anything
+//! it cannot prove safe is a finding, and the escape hatch is an
+//! *audited* suppression comment on the offending line (or the line
+//! directly above):
 //!
 //! ```text
 //! // mg-lint: allow(D1): membership-only set, never iterated
@@ -25,42 +31,54 @@
 //! | D1 | hash-ordered `HashMap`/`HashSet` in non-test library code |
 //! | D2 | wall-clock `Instant`/`SystemTime` outside `crates/bench` |
 //! | D3 | unseeded RNG (`thread_rng`, `from_entropy`) outside tests |
+//! | D4 | thread-count-derived chunk geometry feeding a float combine |
+//! | D5 | panic source reachable from a `par::` callback |
 //! | H1 | missing `#![forbid(unsafe_code)]` in a crate's `lib.rs` |
 //! | H2 | `parallel` feature not forwarded through a dependent manifest |
-//! | H3 | `print!`-family macro in library code outside `crates/bench` |
+//! | H3 | `print!`-family, `dbg!`, `todo!`, `unimplemented!` in library code |
+//! | H4 | `parallel` gate without serial sibling or bit-equality test |
 //! | P1 | per-element `Half::to_f32` inside a loop in `crates/kernels` |
+//! | C1 | unpaired `*_compute` / `*_profile` kernel in `crates/kernels` |
 //! | A1 | bare/unknown/non-suppressible `allow` directive |
 //! | A2 | `allow` directive that suppressed nothing |
 //!
-//! D/H3/P1 findings are suppressible with a reasoned `allow`; H1/H2
-//! are structural and must be fixed; A-codes audit the allows
-//! themselves. P1 is a perf guard rather than a correctness one: the
-//! packed-panel helpers in `mg_tensor::pack` decode an operand once
-//! per kernel invocation, and a per-element decode inside a kernel
-//! loop silently reverts that optimisation.
+//! D-codes, H3, P1, and C1 are suppressible with a reasoned `allow`;
+//! H1/H2/H4 are structural and must be fixed; A-codes audit the allows
+//! themselves. The static half is paired with a dynamic one: the
+//! `dsan` feature of `mg-tensor` shadows every partitioned mutation at
+//! runtime and asserts the chunks were disjoint and covering — what D4
+//! and D5 over-approximate, `dsan` witnesses exactly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod diag;
+pub mod ir;
 pub mod lexer;
 pub mod manifest;
+pub mod passes;
 pub mod rustlint;
 
 pub use diag::{Diagnostic, LintCode};
+pub use passes::FileCtx;
 pub use rustlint::{lint_rust, FileClass};
 
 use manifest::{lint_feature_forwarding, parse_manifest, workspace_members, ManifestInfo};
+use rustlint::apply_suppressions;
 use std::path::{Path, PathBuf};
 
 /// Walks every workspace member crate and returns all findings, sorted
-/// by `(file, line, code)`.
+/// by `(file, line, code)` with paths normalized to forward slashes —
+/// the canonical order, stable across filesystems, that both the text
+/// and `--json` emitters preserve.
 ///
 /// Per crate, the scan covers `Cargo.toml` (H2) and every `.rs` file
-/// under `src/` (D-codes, H1, H3, A-codes). Tests, benches, examples,
-/// and fixture corpora live outside `src/` and are exempt by
-/// construction; `#[cfg(test)]` regions inside `src/` are exempted by
-/// the analyzer itself.
+/// under `src/` (everything else). Tests, benches, examples, and
+/// fixture corpora live outside `src/` and are exempt by construction;
+/// `#[cfg(test)]` regions inside `src/` are exempted by the analyzer
+/// itself. The `tests/` directory is consulted read-only for the
+/// bit-equality-test half of H4.
 ///
 /// # Errors
 ///
@@ -79,7 +97,9 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
     }
 
     let mut manifests: Vec<(PathBuf, ManifestInfo)> = Vec::new();
-    let mut findings: Vec<Diagnostic> = Vec::new();
+    let mut files: Vec<FileCtx> = Vec::new();
+    // Per crate: (directory, crate name, indices into `files`).
+    let mut crates: Vec<(PathBuf, String, Vec<usize>)> = Vec::new();
     for dir in &members {
         let manifest_path = dir.join("Cargo.toml");
         let manifest_src = std::fs::read_to_string(&manifest_path)
@@ -89,21 +109,68 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
         manifests.push((rel(root, &manifest_path), info));
 
         let src_dir = dir.join("src");
-        let mut files = Vec::new();
-        collect_rs_files(&src_dir, &mut files)?;
-        files.sort();
-        for file in files {
+        let mut paths = Vec::new();
+        collect_rs_files(&src_dir, &mut paths)?;
+        paths.sort();
+        let mut indices = Vec::new();
+        for file in paths {
             let src =
                 std::fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
             let class = classify(&src_dir, &file, &crate_name);
-            findings.extend(lint_rust(&rel(root, &file), &src, &class));
+            indices.push(files.len());
+            files.push(FileCtx::new(rel(root, &file), &src, class));
         }
+        crates.push((dir.clone(), crate_name, indices));
+    }
+
+    let mut per_file = passes::run_all(&files);
+
+    // The bit-equality-test half of H4 needs the `tests/` directories.
+    for (dir, crate_name, indices) in &crates {
+        if crate_name == "mg-bench" {
+            continue;
+        }
+        let of_crate: Vec<&FileCtx> = indices.iter().map(|&i| &files[i]).collect();
+        if passes::features::has_parallel_gates(&of_crate) && !has_bit_equality_tests(dir) {
+            if let Some(d) = passes::features::needs_bit_equality_tests(&of_crate) {
+                let anchor = indices
+                    .iter()
+                    .copied()
+                    .find(|&i| files[i].path == d.file)
+                    .unwrap_or(indices[0]);
+                per_file[anchor].push(d);
+            }
+        }
+    }
+
+    let mut findings: Vec<Diagnostic> = Vec::new();
+    for (i, ctx) in files.iter().enumerate() {
+        findings.extend(apply_suppressions(
+            &ctx.path,
+            &ctx.lexed,
+            std::mem::take(&mut per_file[i]),
+        ));
     }
     findings.extend(lint_feature_forwarding(&manifests));
     findings.sort_by(|a, b| {
-        (a.file.as_path(), a.line, a.code).cmp(&(b.file.as_path(), b.line, b.code))
+        (path_key(&a.file), a.line, a.code).cmp(&(path_key(&b.file), b.line, b.code))
     });
     Ok(findings)
+}
+
+/// Whether the crate at `dir` has a `tests/*.rs` following the
+/// bit-equality convention: pinning thread counts via
+/// `ThreadPoolBuilder` or `MG_THREADS`.
+fn has_bit_equality_tests(dir: &Path) -> bool {
+    let Ok(entries) = std::fs::read_dir(dir.join("tests")) else {
+        return false;
+    };
+    entries.flatten().any(|e| {
+        let p = e.path();
+        p.extension().is_some_and(|x| x == "rs")
+            && std::fs::read_to_string(&p)
+                .is_ok_and(|s| s.contains("ThreadPoolBuilder") || s.contains("MG_THREADS"))
+    })
 }
 
 /// Derives a file's [`FileClass`] from its path under `src/`.
@@ -137,8 +204,16 @@ fn rel(root: &Path, path: &Path) -> PathBuf {
     path.strip_prefix(root).unwrap_or(path).to_path_buf()
 }
 
+/// The canonical textual form of a diagnostic path: forward slashes on
+/// every platform, so sort order and emitted output never depend on
+/// the host filesystem's separator.
+pub fn path_key(path: &Path) -> String {
+    path.to_string_lossy().replace('\\', "/")
+}
+
 /// Renders findings as the hand-rolled JSON the `--json` mode emits:
-/// an object with a `findings` array and a `count`.
+/// an object with a `findings` array and a `count`. Paths are
+/// workspace-relative with forward slashes (see [`path_key`]).
 pub fn to_json(findings: &[Diagnostic]) -> String {
     let mut out = String::from("{\n  \"findings\": [");
     for (i, f) in findings.iter().enumerate() {
@@ -146,7 +221,7 @@ pub fn to_json(findings: &[Diagnostic]) -> String {
             out.push(',');
         }
         out.push_str("\n    {\"file\": \"");
-        json_escape(&f.file.display().to_string(), &mut out);
+        json_escape(&path_key(&f.file), &mut out);
         out.push_str("\", \"line\": ");
         out.push_str(&f.line.to_string());
         out.push_str(", \"code\": \"");
@@ -184,7 +259,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn json_escaping_is_sound() {
+    fn json_escaping_is_sound_and_paths_are_normalized() {
         let d = Diagnostic {
             code: LintCode::D1,
             file: PathBuf::from("a\\b.rs"),
@@ -192,9 +267,23 @@ mod tests {
             message: "say \"hi\"\n".to_string(),
         };
         let j = to_json(&[d]);
-        assert!(j.contains("a\\\\b.rs"));
+        // The backslash in the path is a Windows separator: it
+        // normalizes to `/` rather than being escaped.
+        assert!(j.contains("a/b.rs"));
         assert!(j.contains("say \\\"hi\\\"\\n"));
         assert!(j.contains("\"count\": 1"));
         assert_eq!(to_json(&[]), "{\n  \"findings\": [],\n  \"count\": 0\n}\n");
+    }
+
+    #[test]
+    fn path_key_is_separator_stable() {
+        assert_eq!(
+            path_key(Path::new("crates/lint/src/lib.rs")),
+            "crates/lint/src/lib.rs"
+        );
+        assert_eq!(
+            path_key(Path::new("crates\\lint\\src\\lib.rs")),
+            "crates/lint/src/lib.rs"
+        );
     }
 }

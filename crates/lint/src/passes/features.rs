@@ -1,0 +1,76 @@
+//! H4 — `parallel` feature-gate consistency.
+//!
+//! The determinism contract is only checkable while both sides of
+//! every gate exist: a `#[cfg(feature = "parallel")]` block with no
+//! `#[cfg(not(feature = "parallel"))]` sibling has no serial oracle,
+//! and a crate whose gated code has no bit-equality test file has an
+//! oracle nobody runs. H4 enforces both halves:
+//!
+//! * **siblings** (per file, [`run_siblings`]): a block-level gate must
+//!   have a `not`-gate in the same enclosing function; an item-level
+//!   gate must have a `not`-gate somewhere in the same file (gated
+//!   items pair item-to-item, and a gated `use` is covered by the
+//!   serial items it enables);
+//! * **tests** (workspace walk only, [`needs_bit_equality_tests`]): a
+//!   crate with gated code in `src/` must have a `tests/*.rs` that
+//!   pins thread counts (`ThreadPoolBuilder` or `MG_THREADS`), the
+//!   convention every bit-equality test in the workspace follows.
+//!
+//! `mg-bench` is exempt — it is the harness that *measures* the
+//! configurations, not a library with two behaviors to reconcile.
+
+use crate::diag::{Diagnostic, LintCode};
+use crate::passes::FileCtx;
+
+/// The sibling half of H4, per file.
+pub fn run_siblings(file: &FileCtx, out: &mut Vec<Diagnostic>) {
+    if file.class.crate_name == "mg-bench" {
+        return;
+    }
+    let gates = &file.ir.gates;
+    let file_has_off = gates.iter().any(|g| !g.on);
+    for g in gates.iter().filter(|g| g.on) {
+        let paired = match g.enclosing_fn {
+            Some(f) => gates.iter().any(|h| !h.on && h.enclosing_fn == Some(f)),
+            None => file_has_off,
+        };
+        if !paired {
+            out.push(Diagnostic {
+                code: LintCode::H4,
+                file: file.path.clone(),
+                line: g.line,
+                message: "`#[cfg(feature = \"parallel\")]` without a \
+                          `#[cfg(not(feature = \"parallel\"))]` serial sibling (same \
+                          function for block gates, same file for item gates): the \
+                          parallel path has lost its bit-equality oracle"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Whether the crate owning `files_of_crate` needs (but the caller
+/// found no) bit-equality tests: true when any of its files gates on
+/// `parallel`. The caller checks the `tests/` directory — this module
+/// has no filesystem access by design.
+pub fn has_parallel_gates(files_of_crate: &[&FileCtx]) -> bool {
+    files_of_crate.iter().any(|f| !f.ir.gates.is_empty())
+}
+
+/// The missing-bit-equality-test finding, anchored at the crate's
+/// `lib.rs` (or its first file).
+pub fn needs_bit_equality_tests(files_of_crate: &[&FileCtx]) -> Option<Diagnostic> {
+    let anchor = files_of_crate
+        .iter()
+        .find(|f| f.class.is_lib_rs)
+        .or_else(|| files_of_crate.first())?;
+    Some(Diagnostic {
+        code: LintCode::H4,
+        file: anchor.path.clone(),
+        line: 1,
+        message: "this crate gates code on the `parallel` feature but has no \
+                  bit-equality test: add a `tests/*.rs` that pins thread counts \
+                  (`ThreadPoolBuilder` / `MG_THREADS`) and asserts serial == parallel"
+            .to_string(),
+    })
+}

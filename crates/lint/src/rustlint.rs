@@ -1,9 +1,20 @@
-//! Per-file rule engine for `.rs` sources: the D-codes, H1, H3, and
-//! the suppression/audit pass (A-codes).
+//! The single-file lint driver and the suppression/audit engine.
+//!
+//! The rule logic itself lives in [`crate::passes`] (stage two, over
+//! the [`crate::ir`] stage-one IR); this module keeps the two pieces
+//! every entry point shares: [`FileClass`] — where a file sits in the
+//! workspace, which decides what applies to it — and
+//! `apply_suppressions`, which parses `// mg-lint: allow(CODE):
+//! reason` directives and audits them (A-codes).
+//!
+//! [`lint_rust`] lints one file as a one-file workspace: the fixture
+//! corpus uses it, and it is exactly what `lint_workspace` does per
+//! file minus the cross-file context (workspace call graph edges,
+//! crate-wide C1 pairing, the tests-directory half of H4).
 
 use crate::diag::{parse_directive, Diagnostic, Directive, LintCode};
-use crate::lexer::{lex, Lexed, Tok, TokKind};
-use std::collections::BTreeSet;
+use crate::lexer::Lexed;
+use crate::passes::{self, FileCtx};
 use std::path::Path;
 
 /// How a file sits inside the workspace — decides which rules apply.
@@ -18,188 +29,22 @@ pub struct FileClass {
     pub is_lib_rs: bool,
 }
 
-/// Iterator-producing methods whose order is the hasher's, not the
-/// program's.
-const ITER_METHODS: [&str; 10] = [
-    "iter",
-    "iter_mut",
-    "keys",
-    "values",
-    "values_mut",
-    "drain",
-    "into_iter",
-    "into_keys",
-    "into_values",
-    "retain",
-];
-
 /// Lints one Rust source file. Returns findings with suppressions
 /// already applied and the A-code audit of the suppressions appended.
 pub fn lint_rust(path: &Path, src: &str, class: &FileClass) -> Vec<Diagnostic> {
-    let lexed = lex(src);
-    let toks = &lexed.toks;
-    let in_test = test_token_mask(toks);
-    let in_use = use_token_mask(toks);
-    let in_loop = loop_body_mask(toks);
-    let hash_idents = hash_typed_idents(toks);
-
-    let mut findings: Vec<Diagnostic> = Vec::new();
-    let mut lines_flagged: BTreeSet<(u32, LintCode)> = BTreeSet::new();
-    let mut push_once = |findings: &mut Vec<Diagnostic>, code, line, message: String| {
-        if lines_flagged.insert((line, code)) {
-            findings.push(Diagnostic {
-                code,
-                file: path.to_path_buf(),
-                line,
-                message,
-            });
-        }
-    };
-
-    let exempt_bench = class.crate_name == "mg-bench";
-    for (i, t) in toks.iter().enumerate() {
-        if t.kind != TokKind::Ident || in_test[i] {
-            continue;
-        }
-        match t.text.as_str() {
-            // D1a: any mention of a hash-ordered collection type in
-            // library code (declaration, construction, return type).
-            "HashMap" | "HashSet" if !class.is_bin && !in_use[i] => {
-                push_once(
-                    &mut findings,
-                    LintCode::D1,
-                    t.line,
-                    format!(
-                        "hash-ordered `{}` in library code: iteration order depends on \
-                         hasher state; use `BTreeMap`/`BTreeSet`/sorted `Vec`, or add \
-                         `// mg-lint: allow(D1): <reason>` if access is lookup-only",
-                        t.text
-                    ),
-                );
-            }
-            // D2: wall-clock time sources outside the bench harness.
-            "Instant" | "SystemTime" if !exempt_bench => {
-                push_once(
-                    &mut findings,
-                    LintCode::D2,
-                    t.line,
-                    format!(
-                        "wall-clock `{}` outside crates/bench: simulated time \
-                         (`Gpu::elapsed`) is the only clock the determinism contract allows",
-                        t.text
-                    ),
-                );
-            }
-            // D3: entropy-seeded randomness outside tests.
-            "thread_rng" | "from_entropy" => {
-                push_once(
-                    &mut findings,
-                    LintCode::D3,
-                    t.line,
-                    format!(
-                        "unseeded RNG `{}`: derive every stream from an explicit \
-                         `StdRng::seed_from_u64` seed",
-                        t.text
-                    ),
-                );
-            }
-            // H3: stdout/stderr prints in library code.
-            "print" | "println" | "eprint" | "eprintln"
-                if !class.is_bin
-                    && !exempt_bench
-                    && toks.get(i + 1).is_some_and(|n| n.text == "!") =>
-            {
-                push_once(
-                    &mut findings,
-                    LintCode::H3,
-                    t.line,
-                    format!(
-                        "`{}!` in a library crate: return data or thread a writer; \
-                         only crates/bench binaries own stdout",
-                        t.text
-                    ),
-                );
-            }
-            // P1: per-element FP16 decode inside a kernel loop — the
-            // packed-panel helpers are the sanctioned hot-path route.
-            "to_f32"
-                if class.crate_name == "mg-kernels"
-                    && in_loop[i]
-                    && i > 0
-                    && toks[i - 1].text == "."
-                    && toks.get(i + 1).is_some_and(|n| n.text == "(") =>
-            {
-                push_once(
-                    &mut findings,
-                    LintCode::P1,
-                    t.line,
-                    "per-element `to_f32` inside a loop: decode the operand once into an \
-                     f32 panel (`mg_tensor::pack`) outside the loop, or add \
-                     `// mg-lint: allow(P1): <reason>` for an intentional single decode"
-                        .to_string(),
-                );
-            }
-            _ => {}
-        }
-    }
-
-    // D1b: iteration over identifiers declared hash-typed in this file.
-    for i in 0..toks.len() {
-        if in_test[i] || class.is_bin {
-            continue;
-        }
-        if toks[i].text == "."
-            && toks.get(i + 1).is_some_and(|m| {
-                m.kind == TokKind::Ident && ITER_METHODS.contains(&m.text.as_str())
-            })
-            && toks.get(i + 2).is_some_and(|p| p.text == "(")
-        {
-            let Some(recv) = i.checked_sub(1).map(|r| &toks[r]) else {
-                continue;
-            };
-            if recv.kind == TokKind::Ident && hash_idents.contains(&recv.text) {
-                let chain = selection_chain_note(toks, i + 2);
-                push_once(
-                    &mut findings,
-                    LintCode::D1,
-                    toks[i + 1].line,
-                    format!(
-                        "iteration over hash-ordered `{}`{}: order depends on hasher \
-                         state, so results can differ run to run",
-                        recv.text, chain
-                    ),
-                );
-            }
-        }
-        if toks[i].text == "for" && toks[i].kind == TokKind::Ident {
-            if let Some((line, name)) = for_loop_hash_receiver(toks, i, &hash_idents) {
-                push_once(
-                    &mut findings,
-                    LintCode::D1,
-                    line,
-                    format!("for-loop over hash-ordered `{name}`: order depends on hasher state"),
-                );
-            }
-        }
-    }
-
-    // H1: lib.rs must forbid unsafe code.
-    if class.is_lib_rs && !has_forbid_unsafe(toks) {
-        findings.push(Diagnostic {
-            code: LintCode::H1,
-            file: path.to_path_buf(),
-            line: 1,
-            message: "missing `#![forbid(unsafe_code)]` in lib.rs".to_string(),
-        });
-    }
-
-    apply_suppressions(path, &lexed, findings)
+    let files = vec![FileCtx::new(path.to_path_buf(), src, class.clone())];
+    let mut per_file = passes::run_all(&files);
+    apply_suppressions(path, &files[0].lexed, std::mem::take(&mut per_file[0]))
 }
 
 /// Parses directives from the comments and applies them: suppressible
 /// findings on a directive's target line are removed; malformed
 /// directives become A1 findings, unused valid directives A2.
-fn apply_suppressions(path: &Path, lexed: &Lexed, findings: Vec<Diagnostic>) -> Vec<Diagnostic> {
+pub(crate) fn apply_suppressions(
+    path: &Path,
+    lexed: &Lexed,
+    findings: Vec<Diagnostic>,
+) -> Vec<Diagnostic> {
     let mut valid: Vec<(Directive, bool)> = Vec::new(); // (directive, used)
     let mut audit: Vec<Diagnostic> = Vec::new();
     for c in &lexed.comments {
@@ -271,282 +116,6 @@ fn apply_suppressions(path: &Path, lexed: &Lexed, findings: Vec<Diagnostic>) -> 
     kept
 }
 
-/// Marks every token inside a `#[cfg(test)]` / `#[test]` item.
-///
-/// An attribute whose idents include `test` (and not `not` or
-/// `cfg_attr`, which invert or conditionalize the meaning) exempts the
-/// item it decorates: subsequent attributes are skipped, then the item
-/// body is brace-matched (or the statement runs to its `;`).
-fn test_token_mask(toks: &[Tok]) -> Vec<bool> {
-    let mut mask = vec![false; toks.len()];
-    let mut i = 0usize;
-    while i < toks.len() {
-        if toks[i].text == "#" && toks.get(i + 1).is_some_and(|t| t.text == "[") {
-            let (attr_end, is_test) = scan_attribute(toks, i + 1);
-            if is_test {
-                let mut j = attr_end;
-                // Skip further attributes on the same item.
-                while toks.get(j).is_some_and(|t| t.text == "#")
-                    && toks.get(j + 1).is_some_and(|t| t.text == "[")
-                {
-                    let (e, _) = scan_attribute(toks, j + 1);
-                    j = e;
-                }
-                let end = item_end(toks, j);
-                for m in mask.iter_mut().take(end).skip(i) {
-                    *m = true;
-                }
-                i = end;
-                continue;
-            }
-            i = attr_end;
-            continue;
-        }
-        i += 1;
-    }
-    mask
-}
-
-/// Scans an attribute starting at its `[` index; returns the index just
-/// past the matching `]` and whether the attribute marks test code.
-fn scan_attribute(toks: &[Tok], open: usize) -> (usize, bool) {
-    let mut depth = 0usize;
-    let mut has_test = false;
-    let mut has_negation = false;
-    let mut j = open;
-    while j < toks.len() {
-        match toks[j].text.as_str() {
-            "[" => depth += 1,
-            "]" => {
-                depth -= 1;
-                if depth == 0 {
-                    return (j + 1, has_test && !has_negation);
-                }
-            }
-            "test" => has_test = true,
-            "not" | "cfg_attr" => has_negation = true,
-            _ => {}
-        }
-        j += 1;
-    }
-    (toks.len(), false)
-}
-
-/// Finds the end of the item starting at `j`: just past the matching
-/// `}` of its first top-level brace, or just past a terminating `;`.
-fn item_end(toks: &[Tok], j: usize) -> usize {
-    let mut k = j;
-    let mut paren = 0i32;
-    while k < toks.len() {
-        match toks[k].text.as_str() {
-            "(" => paren += 1,
-            ")" => paren -= 1,
-            ";" if paren == 0 => return k + 1,
-            "{" if paren == 0 => {
-                let mut depth = 0usize;
-                while k < toks.len() {
-                    match toks[k].text.as_str() {
-                        "{" => depth += 1,
-                        "}" => {
-                            depth -= 1;
-                            if depth == 0 {
-                                return k + 1;
-                            }
-                        }
-                        _ => {}
-                    }
-                    k += 1;
-                }
-                return k;
-            }
-            _ => {}
-        }
-        k += 1;
-    }
-    k
-}
-
-/// Marks every token inside the brace body of a `for`, `while`, or
-/// `loop` expression (nested bodies included). Used by P1 to tell a
-/// one-off decode from one that repeats per iteration.
-fn loop_body_mask(toks: &[Tok]) -> Vec<bool> {
-    let mut mask = vec![false; toks.len()];
-    for i in 0..toks.len() {
-        if toks[i].kind != TokKind::Ident
-            || !matches!(toks[i].text.as_str(), "for" | "while" | "loop")
-        {
-            continue;
-        }
-        // Find the body's `{`: the first brace past the loop header,
-        // skipping over parenthesized/bracketed header expressions.
-        let mut depth = 0i32;
-        let mut j = i + 1;
-        let mut open = None;
-        while let Some(t) = toks.get(j) {
-            match t.text.as_str() {
-                "(" | "[" => depth += 1,
-                ")" | "]" => depth -= 1,
-                "{" if depth == 0 => {
-                    open = Some(j);
-                    break;
-                }
-                ";" if depth == 0 => break, // not a loop header after all
-                _ => {}
-            }
-            if j - i > 60 {
-                break;
-            }
-            j += 1;
-        }
-        let Some(open) = open else { continue };
-        let mut brace = 0usize;
-        let mut k = open;
-        while let Some(t) = toks.get(k) {
-            match t.text.as_str() {
-                "{" => brace += 1,
-                "}" => {
-                    brace -= 1;
-                    if brace == 0 {
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            mask[k] = true;
-            k += 1;
-        }
-    }
-    mask
-}
-
-/// Marks tokens inside `use ...;` statements — an import alone is not a
-/// D1 finding (the offending declaration or iteration will be).
-fn use_token_mask(toks: &[Tok]) -> Vec<bool> {
-    let mut mask = vec![false; toks.len()];
-    let mut in_use = false;
-    for (i, t) in toks.iter().enumerate() {
-        if t.kind == TokKind::Ident && t.text == "use" {
-            in_use = true;
-        }
-        mask[i] = in_use;
-        if t.text == ";" {
-            in_use = false;
-        }
-    }
-    mask
-}
-
-/// Collects identifiers declared with a hash-ordered collection type in
-/// this file: `name: [path::]HashMap<..>` ascriptions (locals, fields,
-/// params) and `[let [mut]] name = [path::]HashMap::new()` bindings.
-fn hash_typed_idents(toks: &[Tok]) -> BTreeSet<String> {
-    let mut set = BTreeSet::new();
-    for i in 0..toks.len() {
-        if toks[i].kind != TokKind::Ident
-            || (toks[i].text != "HashMap" && toks[i].text != "HashSet")
-        {
-            continue;
-        }
-        // Walk to the head of the `std::collections::HashMap` path.
-        let mut j = i;
-        while j >= 3
-            && toks[j - 1].text == ":"
-            && toks[j - 2].text == ":"
-            && toks[j - 3].kind == TokKind::Ident
-        {
-            j -= 3;
-        }
-        // Skip reference/mutability sigils left of the type.
-        let mut k = j;
-        while k >= 1 && (toks[k - 1].text == "&" || toks[k - 1].text == "mut") {
-            k -= 1;
-        }
-        // `name : Type` ascription (single colon only).
-        if k >= 2
-            && toks[k - 1].text == ":"
-            && toks[k - 2].kind == TokKind::Ident
-            && !(k >= 3 && toks[k - 3].text == ":")
-        {
-            set.insert(toks[k - 2].text.clone());
-        }
-        // `name = HashMap::new()` binding or reassignment.
-        if k >= 2 && toks[k - 1].text == "=" && toks[k - 2].kind == TokKind::Ident {
-            set.insert(toks[k - 2].text.clone());
-        }
-    }
-    set
-}
-
-/// If the call chain starting at the `(` of an iterator method feeds a
-/// `min_by_key`/`max_by_key` selection before the statement ends,
-/// returns a note naming it (ties there resolve by encounter order —
-/// exactly how the PlanCache eviction bug escaped).
-fn selection_chain_note(toks: &[Tok], open: usize) -> &'static str {
-    for t in toks.iter().skip(open).take(80) {
-        if t.text == ";" {
-            break;
-        }
-        if t.text == "min_by_key" || t.text == "max_by_key" {
-            return " (feeds a min_by_key/max_by_key selection whose ties resolve by \
-                    encounter order)";
-        }
-    }
-    ""
-}
-
-/// Detects `for pat in [&][mut] [self.]name {` over a hash-typed
-/// `name`. Chained receivers (`map.keys()`) are left to the
-/// method-call rule.
-fn for_loop_hash_receiver(
-    toks: &[Tok],
-    for_idx: usize,
-    hash_idents: &BTreeSet<String>,
-) -> Option<(u32, String)> {
-    let mut depth = 0i32;
-    let mut j = for_idx + 1;
-    // Find the `in` of this loop at bracket depth 0.
-    loop {
-        let t = toks.get(j)?;
-        match t.text.as_str() {
-            "(" | "[" => depth += 1,
-            ")" | "]" => depth -= 1,
-            "{" => return None,
-            "in" if depth == 0 && t.kind == TokKind::Ident => break,
-            _ => {}
-        }
-        if j - for_idx > 40 {
-            return None;
-        }
-        j += 1;
-    }
-    let mut k = j + 1;
-    while toks
-        .get(k)
-        .is_some_and(|t| t.text == "&" || t.text == "mut")
-    {
-        k += 1;
-    }
-    if toks.get(k).is_some_and(|t| t.text == "self")
-        && toks.get(k + 1).is_some_and(|t| t.text == ".")
-    {
-        k += 2;
-    }
-    let recv = toks.get(k)?;
-    if recv.kind == TokKind::Ident
-        && hash_idents.contains(&recv.text)
-        && toks.get(k + 1).is_some_and(|t| t.text == "{")
-    {
-        return Some((recv.line, recv.text.clone()));
-    }
-    None
-}
-
-/// Whether the token stream contains `forbid ( unsafe_code )`.
-fn has_forbid_unsafe(toks: &[Tok]) -> bool {
-    toks.windows(3)
-        .any(|w| w[0].text == "forbid" && w[1].text == "(" && w[2].text == "unsafe_code")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -581,6 +150,23 @@ impl C {
 ";
         let got = codes(src, &lib_class());
         assert_eq!(got, vec![(LintCode::D1, 3), (LintCode::D1, 6)]);
+    }
+
+    #[test]
+    fn hash_bindings_do_not_leak_across_functions() {
+        // The old file-global ident set would have flagged the `.iter()`
+        // in `g`: same name, different (slice-typed) binding.
+        let src = "\
+pub fn f() -> usize {
+    let m = std::collections::HashMap::<u32, u32>::new();
+    m.len()
+}
+pub fn g(m: Vec<u32>) -> u32 {
+    m.iter().sum()
+}
+";
+        let got = codes(src, &lib_class());
+        assert_eq!(got, vec![(LintCode::D1, 2)]);
     }
 
     #[test]
@@ -645,6 +231,22 @@ pub fn f() {
                 (LintCode::D3, 4),
                 (LintCode::H3, 5),
             ]
+        );
+    }
+
+    #[test]
+    fn development_macros_fire_h3() {
+        let src = "\
+pub fn f(x: u32) -> u32 {
+    dbg!(x);
+    if x > 3 { todo!() } else { x }
+}
+pub fn g() { unimplemented!() }
+";
+        let got = codes(src, &lib_class());
+        assert_eq!(
+            got,
+            vec![(LintCode::H3, 2), (LintCode::H3, 3), (LintCode::H3, 5)]
         );
     }
 

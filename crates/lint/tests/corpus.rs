@@ -151,6 +151,98 @@ fn p1_decode_in_loop_fires_in_kernels_only() {
 }
 
 #[test]
+fn d4_thread_derived_chunk_geometry_fires_at_the_traversal() {
+    // Line 9: geometry through a `ThreadDerived` binding; line 16: the
+    // thread count inlined into the chunk expression. The shape-derived
+    // control function stays clean.
+    assert_eq!(
+        lint_fixture("d4_chunk_combine.rs", &lib_class()),
+        vec![(LintCode::D4, 9), (LintCode::D4, 16)]
+    );
+    // The bench harness measures pool configurations on purpose.
+    let bench = FileClass {
+        crate_name: "mg-bench".to_string(),
+        ..lib_class()
+    };
+    assert_eq!(lint_fixture("d4_chunk_combine.rs", &bench), vec![]);
+}
+
+#[test]
+fn d5_panic_sources_fire_direct_and_one_call_deep() {
+    // Line 10: `panic!` written in the callback; line 22: an `unwrap()`
+    // inside a helper only reachable through the call graph.
+    assert_eq!(
+        lint_fixture("d5_panic_reachable.rs", &lib_class()),
+        vec![(LintCode::D5, 10), (LintCode::D5, 22)]
+    );
+    let (path, src) = fixture("d5_panic_reachable.rs");
+    let deep = lint_rust(&path, &src, &lib_class())
+        .into_iter()
+        .find(|d| d.line == 22)
+        .unwrap();
+    assert!(
+        deep.message.contains("for_each_chunk_mut"),
+        "the graph-walk diagnostic should name the parallel entry: {}",
+        deep.message
+    );
+}
+
+#[test]
+fn h3_development_macros_fire_and_suppress() {
+    assert_eq!(
+        lint_fixture("h3_development_macros.rs", &lib_class()),
+        vec![(LintCode::H3, 5), (LintCode::H3, 7), (LintCode::H3, 14)]
+    );
+}
+
+#[test]
+fn h4_block_gate_without_serial_sibling_fires() {
+    // The paired function is clean; the gate at line 20 lost its
+    // `not`-sibling in the same function.
+    assert_eq!(
+        lint_fixture("h4_missing_sibling.rs", &lib_class()),
+        vec![(LintCode::H4, 20)]
+    );
+}
+
+#[test]
+fn c1_unpaired_kernels_fire_in_the_fixture_workspace() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/c1_ws");
+    let findings = lint_workspace(&root).expect("fixture workspace lints");
+    let got: Vec<(LintCode, String, u32)> = findings
+        .iter()
+        .map(|d| (d.code, mg_lint::path_key(&d.file), d.line))
+        .collect();
+    // Canonical order: (file, line, code). The compute-without-profile
+    // fires at line 16, the profile-without-compute at line 21; the
+    // paired kernel contributes nothing.
+    assert_eq!(
+        got,
+        vec![
+            (LintCode::C1, "crates/kernels/src/lib.rs".to_string(), 16),
+            (LintCode::C1, "crates/kernels/src/lib.rs".to_string(), 21),
+        ]
+    );
+    assert!(findings[0].message.contains("fused_scan_compute"));
+    assert!(findings[1].message.contains("stale_gather_profile"));
+}
+
+#[test]
+fn h4_gated_crate_without_bit_equality_tests_fires_at_lib_rs() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/h4_ws");
+    let findings = lint_workspace(&root).expect("fixture workspace lints");
+    let got: Vec<(LintCode, String, u32)> = findings
+        .iter()
+        .map(|d| (d.code, mg_lint::path_key(&d.file), d.line))
+        .collect();
+    assert_eq!(
+        got,
+        vec![(LintCode::H4, "crates/gated/src/lib.rs".to_string(), 1)]
+    );
+    assert!(findings[0].message.contains("bit-equality"));
+}
+
+#[test]
 fn h2_missing_forward_fires_in_the_fixture_workspace() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/h2_ws");
     let findings = lint_workspace(&root).expect("fixture workspace lints");
@@ -174,7 +266,11 @@ fn every_bad_fixture_would_fail_a_deny_run() {
         ("d1_prefix_cache_eviction.rs", LintCode::D1),
         ("d2_wall_clock.rs", LintCode::D2),
         ("d3_unseeded_rng.rs", LintCode::D3),
+        ("d4_chunk_combine.rs", LintCode::D4),
+        ("d5_panic_reachable.rs", LintCode::D5),
         ("h3_println.rs", LintCode::H3),
+        ("h3_development_macros.rs", LintCode::H3),
+        ("h4_missing_sibling.rs", LintCode::H4),
         ("a1_bare_allow.rs", LintCode::A1),
         ("a2_unused_allow.rs", LintCode::A2),
     ] {

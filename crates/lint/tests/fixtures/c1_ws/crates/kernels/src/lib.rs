@@ -1,0 +1,23 @@
+#![forbid(unsafe_code)]
+//! Fixture kernel crate: one paired kernel, one unpriced kernel, one
+//! orphaned profile.
+
+/// Paired: the numbers.
+pub fn row_softmax_compute(x: u64) -> u64 {
+    x + 1
+}
+
+/// Paired: the cost model.
+pub fn row_softmax_profile(x: u64) -> u64 {
+    x * 2
+}
+
+/// Known-bad: a kernel shipping without a cost model (C1).
+pub fn fused_scan_compute(x: u64) -> u64 {
+    x + 3
+}
+
+/// Known-bad: a cost model whose kernel was deleted (C1).
+pub fn stale_gather_profile(x: u64) -> u64 {
+    x * 4
+}

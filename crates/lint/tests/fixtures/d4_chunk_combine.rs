@@ -1,0 +1,30 @@
+//! Known-bad: the pre-fix parallel-mean shape — chunk boundaries (and
+//! therefore float partial-sum rounding) derived from the runtime
+//! thread count. Changing MG_THREADS changes the answer's last bits.
+use rayon::prelude::*;
+
+/// Partial boundaries move with the pool size: D4 at the traversal.
+pub fn mean_thread_chunked(xs: &[f32]) -> f32 {
+    let chunk = xs.len().div_ceil(rayon::current_num_threads()).max(1);
+    let total: f32 = xs.par_chunks(chunk).map(|c| c.iter().sum::<f32>()).sum();
+    total / xs.len() as f32
+}
+
+/// The thread count can also feed the geometry directly.
+pub fn mean_inline_threads(xs: &[f32]) -> f32 {
+    let total: f32 = xs
+        .par_chunks(xs.len().div_ceil(rayon::current_num_threads()).max(1))
+        .map(|c| c.iter().sum::<f32>())
+        .sum();
+    total / xs.len() as f32
+}
+
+/// Clean: geometry derived from the problem shape is stable across
+/// pool sizes, so the partials (and the rounding) never move.
+pub fn mean_shape_chunked(xs: &[f32], cols: usize) -> f32 {
+    let total: f32 = xs
+        .par_chunks(cols.max(1))
+        .map(|c| c.iter().sum::<f32>())
+        .sum();
+    total / xs.len() as f32
+}

@@ -1,0 +1,24 @@
+//! Known-bad: panic sources inside (and one call deep under) a
+//! parallel region. A worker panic mid-batch tears the pool down in
+//! thread-count-dependent order, so which items completed becomes
+//! nondeterministic.
+
+/// The callback itself panics on a bad chunk.
+pub fn scale_direct(data: &mut [f32]) {
+    par::for_each_chunk_mut(data, 64, |_i, c| {
+        if c.is_empty() {
+            panic!("empty chunk");
+        }
+        c.iter_mut().for_each(|v| *v *= 2.0);
+    });
+}
+
+/// The panic hides one call away: the call-graph walk still finds it.
+pub fn scale_via_helper(data: &mut [f32]) {
+    par::for_each_chunk_mut(data, 64, |i, c| fill(i, c));
+}
+
+fn fill(_i: usize, c: &mut [f32]) {
+    let first = c.first().copied().unwrap();
+    c.iter_mut().for_each(|v| *v += first);
+}

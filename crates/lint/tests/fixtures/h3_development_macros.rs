@@ -1,0 +1,21 @@
+//! Known-bad: leftover development macros in library code.
+
+/// Debug print left behind.
+pub fn plan(x: usize) -> usize {
+    let budget = dbg!(x * 2);
+    if budget > 1024 {
+        todo!("spill plans over 1 KiB");
+    }
+    budget
+}
+
+/// Declared but never written.
+pub fn fallback_route() -> usize {
+    unimplemented!()
+}
+
+/// Audited: an intentional diagnostic survives with a reasoned allow.
+pub fn audited(x: usize) -> usize {
+    // mg-lint: allow(H3): temporary triage output, tracked for removal
+    dbg!(x)
+}

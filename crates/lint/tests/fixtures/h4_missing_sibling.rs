@@ -1,0 +1,24 @@
+//! Known-bad: a parallel block gate whose enclosing function has no
+//! serial sibling — that path's bit-equality oracle is gone.
+
+/// Properly paired: both sides live in the same function.
+pub fn paired(xs: &mut [u32]) {
+    #[cfg(feature = "parallel")]
+    {
+        xs.iter_mut().for_each(|v| *v += 1);
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        for v in xs.iter_mut() {
+            *v += 1;
+        }
+    }
+}
+
+/// Known-bad: the serial half was deleted in a refactor.
+pub fn unpaired(xs: &mut [u32]) {
+    #[cfg(feature = "parallel")]
+    {
+        xs.iter_mut().for_each(|v| *v += 1);
+    }
+}

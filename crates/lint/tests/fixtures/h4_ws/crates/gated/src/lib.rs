@@ -1,0 +1,17 @@
+#![forbid(unsafe_code)]
+//! Fixture crate: properly paired gates but no bit-equality test file
+//! under `tests/` — the test half of H4 fires, anchored at line 1.
+
+/// Parallel half.
+#[cfg(feature = "parallel")]
+pub fn run(xs: &mut [u32]) {
+    xs.iter_mut().for_each(|v| *v += 1);
+}
+
+/// Serial half.
+#[cfg(not(feature = "parallel"))]
+pub fn run(xs: &mut [u32]) {
+    for v in xs.iter_mut() {
+        *v += 1;
+    }
+}

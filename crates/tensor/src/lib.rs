@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![allow(non_camel_case_types)]
 
+pub mod dsan;
 mod gemm;
 mod half;
 mod matrix;

@@ -10,6 +10,10 @@
 //! Thread count is controlled by the `MG_THREADS` / `RAYON_NUM_THREADS`
 //! environment variables or an enclosing `rayon::ThreadPool::install`
 //! scope (see the vendored `rayon` crate's docs).
+//!
+//! With the `dsan` feature on, every partitioned-mutation helper also
+//! shadows its chunks with a [`crate::dsan::ShadowWriteSet`] and asserts
+//! pairwise disjointness and full coverage at join time.
 
 #[cfg(feature = "parallel")]
 use rayon::prelude::*;
@@ -45,6 +49,13 @@ where
     F: Fn(usize, &mut [T]) + Sync,
 {
     let chunk = chunk.max(1);
+    #[cfg(feature = "dsan")]
+    let shadow = crate::dsan::ShadowWriteSet::new("for_each_chunk_mut", data.len());
+    #[cfg(feature = "dsan")]
+    let f = |i: usize, c: &mut [T]| {
+        shadow.record(i, i * chunk, i * chunk + c.len());
+        f(i, c);
+    };
     #[cfg(feature = "parallel")]
     {
         data.par_chunks_mut(chunk)
@@ -57,6 +68,8 @@ where
             .enumerate()
             .for_each(|(i, c)| f(i, c));
     }
+    #[cfg(feature = "dsan")]
+    shadow.assert_disjoint_cover();
 }
 
 /// Splits `data` at the offsets in `bounds` and applies
@@ -75,7 +88,14 @@ where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
+    #[cfg(feature = "dsan")]
+    let shadow = crate::dsan::ShadowWriteSet::new("for_each_part_mut", data.len());
     let parts = split_parts(data, bounds);
+    #[cfg(feature = "dsan")]
+    let f = |i: usize, p: &mut [T]| {
+        shadow.record(i, bounds[i], bounds[i] + p.len());
+        f(i, p);
+    };
     #[cfg(feature = "parallel")]
     {
         parts.into_par_iter().enumerate().for_each(|(i, p)| f(i, p));
@@ -84,6 +104,8 @@ where
     {
         parts.into_iter().enumerate().for_each(|(i, p)| f(i, p));
     }
+    #[cfg(feature = "dsan")]
+    shadow.assert_disjoint_cover();
 }
 
 /// Like [`for_each_part_mut`] but over two independently-partitioned
@@ -112,9 +134,19 @@ pub fn for_each_part_mut2<A, B, F>(
         b_bounds.len(),
         "partition count mismatch between the two buffers"
     );
+    #[cfg(feature = "dsan")]
+    let shadow_a = crate::dsan::ShadowWriteSet::new("for_each_part_mut2 (a)", a.len());
+    #[cfg(feature = "dsan")]
+    let shadow_b = crate::dsan::ShadowWriteSet::new("for_each_part_mut2 (b)", b.len());
     let a_parts = split_parts(a, a_bounds);
     let b_parts = split_parts(b, b_bounds);
     let zipped: Vec<(&mut [A], &mut [B])> = a_parts.into_iter().zip(b_parts).collect();
+    #[cfg(feature = "dsan")]
+    let f = |i: usize, pa: &mut [A], pb: &mut [B]| {
+        shadow_a.record(i, a_bounds[i], a_bounds[i] + pa.len());
+        shadow_b.record(i, b_bounds[i], b_bounds[i] + pb.len());
+        f(i, pa, pb);
+    };
     #[cfg(feature = "parallel")]
     {
         zipped
@@ -129,6 +161,10 @@ pub fn for_each_part_mut2<A, B, F>(
             .enumerate()
             .for_each(|(i, (pa, pb))| f(i, pa, pb));
     }
+    #[cfg(feature = "dsan")]
+    shadow_a.assert_disjoint_cover();
+    #[cfg(feature = "dsan")]
+    shadow_b.assert_disjoint_cover();
 }
 
 /// Splits `data` into the parts described by `bounds` (validated).
@@ -136,7 +172,7 @@ fn split_parts<'a, T>(data: &'a mut [T], bounds: &[usize]) -> Vec<&'a mut [T]> {
     assert!(!bounds.is_empty(), "bounds must be non-empty");
     assert_eq!(bounds[0], 0, "bounds must start at 0");
     assert_eq!(
-        *bounds.last().unwrap(),
+        *bounds.last().expect("bounds checked non-empty above"),
         data.len(),
         "bounds must end at data.len()"
     );
