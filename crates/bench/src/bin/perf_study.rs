@@ -1,29 +1,39 @@
-//! Perf study: naive vs packed numeric kernel paths over the four
-//! workload classes.
+//! Perf study: naive vs scalar-packed vs SIMD-packed kernel paths over
+//! the four workload classes.
 //!
-//! Every compute kernel in the workspace now routes its operands through
-//! the packed-panel microkernel layer (`mg_tensor::pack`): FP16 operands
-//! are decoded into f32 panels once per kernel invocation instead of per
-//! element inside the inner loops. This study times the retained naive
-//! references (per-element LUT decode inside the loop — the pre-packing
-//! structure) against the packed production kernels on patterns derived
-//! from the four dataset-style workload classes, asserts the two paths
-//! agree bit-for-bit, and records the speedups. The fused row compares
-//! the register-tiled single-pass kernel against the library's retained
-//! `fused::naive` scalar path.
+//! Every compute kernel in the workspace routes its operands through the
+//! packed-panel microkernel layer (`mg_tensor::pack`), and underneath
+//! the NR=8 microkernels sits the explicit AVX2 layer
+//! (`mg_tensor::simd`), runtime-dispatched and bit-identical to scalar.
+//! This study times three legs per kernel:
+//!
+//! * **naive** — the retained pre-packing references (per-element LUT
+//!   decode inside the loops);
+//! * **scalar** — the packed production kernels with the SIMD layer
+//!   forced off (`simd::set_override(Some(false))`);
+//! * **packed** — the production kernels under the ambient `MG_SIMD`
+//!   dispatch (the vector path, unless the env or hardware says no).
+//!
+//! All three legs are asserted bit-identical on every output, the
+//! speedups and the scalar→SIMD gain are recorded, and the digest file
+//! hashes the production output — so digest files written under
+//! `MG_SIMD=0` and `MG_SIMD=1` must be byte-identical, which CI checks
+//! with `cmp`. The fused row compares the register-tiled single-pass
+//! kernel against the library's retained `fused::naive` scalar path.
 //!
 //! Usage: `cargo run --release -p mg-bench --bin perf_study --
 //!   [--smoke] [--json] [--threads N] [--digest FILE]`
 //!
 //! * `--smoke`       — short sequence length; seconds, for CI.
-//! * `--json`        — also write the results to `BENCH_7.json`,
-//!   including packed-path GFLOP/s per kernel (useful-work flops over
-//!   measured time; multiply-adds count as two).
+//! * `--json`        — also write the results to `BENCH_10.json`,
+//!   including production-path GFLOP/s per kernel (useful-work flops
+//!   over measured time; multiply-adds count as two).
 //! * `--threads N`   — pin the parallel layer to N threads (default:
 //!   `MG_THREADS`, then all cores).
 //! * `--digest FILE` — write one line per (class, kernel) with an FNV-1a
-//!   digest of the packed output bits. Timing-free, so two runs at any
-//!   thread counts must produce byte-identical files.
+//!   digest of the production output bits. Timing-free and
+//!   dispatch-independent, so two runs at any thread counts and either
+//!   `MG_SIMD` setting must produce byte-identical files.
 
 use mg_bench::runners::{BLOCK, HEAD_DIM, SEED};
 use mg_bench::{threads, Table};
@@ -35,7 +45,7 @@ use mg_models::workload;
 use mg_patterns::presets;
 use mg_serve::RequestClass;
 use mg_sparse::{Bsr, Csr};
-use mg_tensor::{dot, naive, Half, Matrix};
+use mg_tensor::{dot, naive, simd, Half, Matrix};
 use std::time::Instant;
 
 struct Args {
@@ -177,42 +187,57 @@ fn digest_slice(values: &[Half]) -> u64 {
         .fold(FNV_OFFSET, |d, v| fnv_fold(d, v.to_bits()))
 }
 
-/// Paired best-of-five timing: the packed and naive kernels run
-/// alternately and each keeps its minimum wall clock. Interleaving the
-/// reps means a scheduler hiccup or frequency drift on a shared box hits
-/// both sides of the comparison instead of poisoning one of them, and
-/// best-of-N discards the reps it still lands on.
-fn time_pair<P, N>(
+/// Interleaved best-of-five timing over the three legs: the production
+/// (ambient-dispatch) kernel, the same kernel with the SIMD layer
+/// forced off, and the naive reference run alternately, each keeping
+/// its minimum wall clock. Interleaving the reps means a scheduler
+/// hiccup or frequency drift on a shared box hits every side of the
+/// comparison instead of poisoning one of them, and best-of-N discards
+/// the reps it still lands on. The dispatch override is restored to the
+/// ambient (`MG_SIMD`-driven) mode before returning.
+fn time_triple<P, N>(
     mut packed: impl FnMut() -> P,
     mut naive: impl FnMut() -> N,
-) -> (P, N, f64, f64) {
+) -> (P, P, N, f64, f64, f64) {
     const REPS: usize = 5;
     let mut packed_best = f64::MAX;
+    let mut scalar_best = f64::MAX;
     let mut naive_best = f64::MAX;
     let mut packed_out = None;
+    let mut scalar_out = None;
     let mut naive_out = None;
     for _ in 0..REPS {
         let started = Instant::now();
         packed_out = Some(packed());
         packed_best = packed_best.min(started.elapsed().as_secs_f64());
+        simd::set_override(Some(false));
+        let started = Instant::now();
+        scalar_out = Some(packed());
+        scalar_best = scalar_best.min(started.elapsed().as_secs_f64());
+        simd::set_override(None);
         let started = Instant::now();
         naive_out = Some(naive());
         naive_best = naive_best.min(started.elapsed().as_secs_f64());
     }
     (
         packed_out.expect("at least one rep"),
+        scalar_out.expect("at least one rep"),
         naive_out.expect("at least one rep"),
         packed_best,
+        scalar_best,
         naive_best,
     )
 }
 
-/// One kernel's naive-vs-packed measurement, plus a digest of the packed
-/// output bits (the naive output is asserted bit-equal before this is
-/// recorded).
+/// One kernel's three-leg measurement, plus a digest of the production
+/// output bits (the scalar and naive outputs are asserted bit-equal
+/// before this is recorded).
 struct KernelResult {
     kernel: &'static str,
     naive_s: f64,
+    /// Packed path with the SIMD layer forced off.
+    scalar_s: f64,
+    /// Production path under the ambient `MG_SIMD` dispatch.
     packed_s: f64,
     /// Useful floating-point work the kernel performs (multiply-adds
     /// counted as two), independent of the path that executes it.
@@ -221,7 +246,7 @@ struct KernelResult {
 }
 
 impl KernelResult {
-    /// Packed-path throughput in GFLOP/s.
+    /// Production-path throughput in GFLOP/s.
     fn gflops(&self) -> f64 {
         self.flops / self.packed_s / 1e9
     }
@@ -236,11 +261,19 @@ impl ClassResult {
     fn naive_s(&self) -> f64 {
         self.kernels.iter().map(|k| k.naive_s).sum()
     }
+    fn scalar_s(&self) -> f64 {
+        self.kernels.iter().map(|k| k.scalar_s).sum()
+    }
     fn packed_s(&self) -> f64 {
         self.kernels.iter().map(|k| k.packed_s).sum()
     }
     fn speedup(&self) -> f64 {
         self.naive_s() / self.packed_s()
+    }
+    /// What the SIMD layer buys over the scalar packed path (≈1.0 when
+    /// the dispatch resolved to scalar).
+    fn simd_gain(&self) -> f64 {
+        self.scalar_s() / self.packed_s()
     }
     fn gflops(&self) -> f64 {
         self.kernels.iter().map(|k| k.flops).sum::<f64>() / self.packed_s() / 1e9
@@ -276,27 +309,31 @@ fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult 
     let fused_flops = 2.0 * fine_flops;
 
     // Dense pair: S = QKᵀ (gemm_nt), C = S·V (gemm).
-    let (s_dense, s_dense_naive, packed_s, naive_s) = time_pair(
+    let (s_dense, s_dense_scalar, s_dense_naive, packed_s, scalar_s, naive_s) = time_triple(
         || -> Matrix<Half> { mg_tensor::gemm_nt(&q, &k) },
         || -> Matrix<Half> { naive::gemm_nt(&q, &k) },
     );
-    assert_bits_eq(&s_dense, &s_dense_naive, "dense_gemm_nt");
+    assert_bits_eq(&s_dense, &s_dense_naive, "dense_gemm_nt vs naive");
+    assert_bits_eq(&s_dense, &s_dense_scalar, "dense_gemm_nt vs scalar");
     kernels.push(KernelResult {
         kernel: "dense_gemm_nt",
         naive_s,
+        scalar_s,
         packed_s,
         flops: dense_flops,
         digest: digest_matrix(&s_dense),
     });
 
-    let (c_dense, c_dense_naive, packed_s, naive_s) = time_pair(
+    let (c_dense, c_dense_scalar, c_dense_naive, packed_s, scalar_s, naive_s) = time_triple(
         || -> Matrix<Half> { mg_tensor::gemm(&s_dense, &v) },
         || -> Matrix<Half> { naive::gemm(&s_dense, &v) },
     );
-    assert_bits_eq(&c_dense, &c_dense_naive, "dense_gemm");
+    assert_bits_eq(&c_dense, &c_dense_naive, "dense_gemm vs naive");
+    assert_bits_eq(&c_dense, &c_dense_scalar, "dense_gemm vs scalar");
     kernels.push(KernelResult {
         kernel: "dense_gemm",
         naive_s,
+        scalar_s,
         packed_s,
         flops: dense_flops,
         digest: digest_matrix(&c_dense),
@@ -305,7 +342,7 @@ fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult 
     // Fine (Sputnik-style) pair over the pattern's CSR rendering; the
     // compound softmax between them is shared code, not part of the
     // naive/packed delta, so it is not timed.
-    let (s_fine, s_fine_naive, packed_s, naive_s) = time_pair(
+    let (s_fine, s_fine_scalar, s_fine_naive, packed_s, scalar_s, naive_s) = time_triple(
         || fine_sddmm_compute(&q, &k, &csr),
         || naive_fine_sddmm(&q, &k, &csr),
     );
@@ -314,10 +351,33 @@ fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult 
         s_fine_naive.values().len(),
         "fine_sddmm nnz"
     );
-    assert_values_bits_eq(s_fine.values(), s_fine_naive.values(), "fine_sddmm");
+    assert_values_bits_eq(
+        s_fine.values(),
+        s_fine_naive.values(),
+        "fine_sddmm vs naive",
+    );
+    assert_values_bits_eq(
+        s_fine.values(),
+        s_fine_scalar.values(),
+        "fine_sddmm vs scalar",
+    );
+    // The short-row regression guard: the packed path falls back to a
+    // direct per-element pass below FINE_SDDMM_DIRECT_NNZ, so the
+    // packed kernel must never lose to naive on any class — in either
+    // dispatch mode. Interleaved best-of-five keeps this stable.
+    for (leg, secs) in [("packed", packed_s), ("scalar", scalar_s)] {
+        assert!(
+            secs <= naive_s,
+            "fine_sddmm regression on class {}: {leg} path {:.6}s slower than naive {:.6}s",
+            class.label(),
+            secs,
+            naive_s,
+        );
+    }
     kernels.push(KernelResult {
         kernel: "fine_sddmm",
         naive_s,
+        scalar_s,
         packed_s,
         flops: fine_flops,
         digest: digest_slice(s_fine.values()),
@@ -325,28 +385,40 @@ fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult 
 
     let (_, p_fine) = compound_softmax_compute(None, Some(&s_fine), scale);
     let p_fine = p_fine.expect("fine part present");
-    let (c_fine, c_fine_naive, packed_s, naive_s) = time_pair(
+    let (c_fine, c_fine_scalar, c_fine_naive, packed_s, scalar_s, naive_s) = time_triple(
         || fine_spmm_compute(&p_fine, &v),
         || naive_fine_spmm(&p_fine, &v),
     );
-    assert_bits_eq(&c_fine, &c_fine_naive, "fine_spmm");
+    assert_bits_eq(&c_fine, &c_fine_naive, "fine_spmm vs naive");
+    assert_bits_eq(&c_fine, &c_fine_scalar, "fine_spmm vs scalar");
     kernels.push(KernelResult {
         kernel: "fine_spmm",
         naive_s,
+        scalar_s,
         packed_s,
         flops: fine_flops,
         digest: digest_matrix(&c_fine),
     });
 
     // Coarse (Triton-style) pair over the blocked rendering.
-    let (s_coarse, s_coarse_naive, packed_s, naive_s) = time_pair(
+    let (s_coarse, s_coarse_scalar, s_coarse_naive, packed_s, scalar_s, naive_s) = time_triple(
         || coarse_sddmm_compute(&q, &k, &blocked.structure),
         || naive_coarse_sddmm(&q, &k, &blocked.structure),
     );
-    assert_values_bits_eq(s_coarse.values(), s_coarse_naive.values(), "coarse_sddmm");
+    assert_values_bits_eq(
+        s_coarse.values(),
+        s_coarse_naive.values(),
+        "coarse_sddmm vs naive",
+    );
+    assert_values_bits_eq(
+        s_coarse.values(),
+        s_coarse_scalar.values(),
+        "coarse_sddmm vs scalar",
+    );
     kernels.push(KernelResult {
         kernel: "coarse_sddmm",
         naive_s,
+        scalar_s,
         packed_s,
         flops: coarse_flops,
         digest: digest_slice(s_coarse.values()),
@@ -354,14 +426,16 @@ fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult 
 
     let (p_coarse, _) = compound_softmax_compute(Some((&s_coarse, &blocked.mask)), None, scale);
     let p_coarse = p_coarse.expect("coarse part present");
-    let (c_coarse, c_coarse_naive, packed_s, naive_s) = time_pair(
+    let (c_coarse, c_coarse_scalar, c_coarse_naive, packed_s, scalar_s, naive_s) = time_triple(
         || coarse_spmm_compute(&p_coarse, &v),
         || naive_coarse_spmm(&p_coarse, &v),
     );
-    assert_bits_eq(&c_coarse, &c_coarse_naive, "coarse_spmm");
+    assert_bits_eq(&c_coarse, &c_coarse_naive, "coarse_spmm vs naive");
+    assert_bits_eq(&c_coarse, &c_coarse_scalar, "coarse_spmm vs scalar");
     kernels.push(KernelResult {
         kernel: "coarse_spmm",
         naive_s,
+        scalar_s,
         packed_s,
         flops: coarse_flops,
         digest: digest_matrix(&c_coarse),
@@ -370,14 +444,16 @@ fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult 
     // Fused (FlashAttention-style) pair over the compound pattern: the
     // register-tiled single-pass kernel against the library's retained
     // scalar path.
-    let (c_fused, c_fused_naive, packed_s, naive_s) = time_pair(
+    let (c_fused, c_fused_scalar, c_fused_naive, packed_s, scalar_s, naive_s) = time_triple(
         || fused_attention_compute(&q, &k, &v, &pattern, scale),
         || fused::naive::fused_attention_compute(&q, &k, &v, &pattern, scale),
     );
-    assert_bits_eq(&c_fused, &c_fused_naive, "fused");
+    assert_bits_eq(&c_fused, &c_fused_naive, "fused vs naive");
+    assert_bits_eq(&c_fused, &c_fused_scalar, "fused vs scalar");
     kernels.push(KernelResult {
         kernel: "fused",
         naive_s,
+        scalar_s,
         packed_s,
         flops: fused_flops,
         digest: digest_matrix(&c_fused),
@@ -389,17 +465,17 @@ fn run_class(class: RequestClass, seq_len: usize, window: usize) -> ClassResult 
     }
 }
 
-fn assert_bits_eq(packed: &Matrix<Half>, naive: &Matrix<Half>, kernel: &str) {
-    assert_eq!(packed.rows(), naive.rows(), "{kernel}: row count");
-    assert_values_bits_eq(packed.as_slice(), naive.as_slice(), kernel);
+fn assert_bits_eq(production: &Matrix<Half>, reference: &Matrix<Half>, label: &str) {
+    assert_eq!(production.rows(), reference.rows(), "{label}: row count");
+    assert_values_bits_eq(production.as_slice(), reference.as_slice(), label);
 }
 
-fn assert_values_bits_eq(packed: &[Half], naive: &[Half], kernel: &str) {
-    for (i, (p, n)) in packed.iter().zip(naive.iter()).enumerate() {
+fn assert_values_bits_eq(production: &[Half], reference: &[Half], label: &str) {
+    for (i, (p, n)) in production.iter().zip(reference.iter()).enumerate() {
         assert_eq!(
             p.to_bits(),
             n.to_bits(),
-            "{kernel}: packed and naive diverge at element {i}"
+            "{label}: paths diverge at element {i}"
         );
     }
 }
@@ -409,6 +485,7 @@ fn json_report(results: &[ClassResult], smoke: bool, seq_len: usize) -> String {
     out.push_str("  \"bench\": \"perf_study\",\n");
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
     out.push_str(&format!("  \"seq_len\": {seq_len},\n"));
+    out.push_str(&format!("  \"simd_active\": {},\n", simd::active()));
     out.push_str(&format!(
         "  \"threads\": {},\n  \"classes\": [\n",
         threads::effective_threads()
@@ -417,18 +494,23 @@ fn json_report(results: &[ClassResult], smoke: bool, seq_len: usize) -> String {
         out.push_str("    {\n");
         out.push_str(&format!("      \"class\": \"{}\",\n", class.class));
         out.push_str(&format!("      \"naive_s\": {:.6},\n", class.naive_s()));
+        out.push_str(&format!("      \"scalar_s\": {:.6},\n", class.scalar_s()));
         out.push_str(&format!("      \"packed_s\": {:.6},\n", class.packed_s()));
         out.push_str(&format!("      \"speedup\": {:.3},\n", class.speedup()));
+        out.push_str(&format!("      \"simd_gain\": {:.3},\n", class.simd_gain()));
         out.push_str(&format!("      \"gflops\": {:.3},\n", class.gflops()));
         out.push_str("      \"kernels\": [\n");
         for (j, k) in class.kernels.iter().enumerate() {
             out.push_str(&format!(
-                "        {{\"kernel\": \"{}\", \"naive_s\": {:.6}, \"packed_s\": {:.6}, \
-                 \"speedup\": {:.3}, \"gflops\": {:.3}}}{}\n",
+                "        {{\"kernel\": \"{}\", \"naive_s\": {:.6}, \"scalar_s\": {:.6}, \
+                 \"packed_s\": {:.6}, \"speedup\": {:.3}, \"simd_gain\": {:.3}, \
+                 \"gflops\": {:.3}}}{}\n",
                 k.kernel,
                 k.naive_s,
+                k.scalar_s,
                 k.packed_s,
                 k.naive_s / k.packed_s,
+                k.scalar_s / k.packed_s,
                 k.gflops(),
                 if j + 1 < class.kernels.len() { "," } else { "" }
             ));
@@ -445,7 +527,8 @@ fn json_report(results: &[ClassResult], smoke: bool, seq_len: usize) -> String {
 
 fn digest_report(results: &[ClassResult]) -> String {
     // Bit-level checksums only — no timings — so runs at different
-    // thread counts must produce byte-identical files.
+    // thread counts and either MG_SIMD setting must produce
+    // byte-identical files (every leg is asserted bit-equal first).
     let mut out = String::new();
     for class in results {
         for k in &class.kernels {
@@ -477,12 +560,14 @@ fn main() {
     let elapsed = started.elapsed();
 
     let mut t = Table::new(
-        format!("Perf study — naive vs packed, seq len {seq_len}, head dim {HEAD_DIM}"),
+        format!("Perf study — naive vs scalar vs SIMD, seq len {seq_len}, head dim {HEAD_DIM}"),
         &[
             "Class",
             "Naive ms",
+            "Scalar ms",
             "Packed ms",
             "Speedup",
+            "SIMD gain",
             "GFLOP/s",
             "Best kernel",
         ],
@@ -500,24 +585,27 @@ fn main() {
         t.push(vec![
             class.class.to_string(),
             format!("{:.2}", class.naive_s() * 1e3),
+            format!("{:.2}", class.scalar_s() * 1e3),
             format!("{:.2}", class.packed_s() * 1e3),
             format!("{:.2}x", class.speedup()),
+            format!("{:.2}x", class.simd_gain()),
             format!("{:.2}", class.gflops()),
             format!("{} {:.2}x", best.kernel, best.naive_s / best.packed_s),
         ]);
     }
     t.print();
     println!(
-        "{} classes in {:.3} s on {} thread(s); all packed outputs bit-identical to naive",
+        "{} classes in {:.3} s on {} thread(s), SIMD dispatch {}; all three paths bit-identical",
         results.len(),
         elapsed.as_secs_f64(),
         threads::effective_threads(),
+        if simd::active() { "vector" } else { "scalar" },
     );
 
     if args.json {
-        let path = "BENCH_7.json";
+        let path = "BENCH_10.json";
         std::fs::write(path, json_report(&results, args.smoke, seq_len))
-            .expect("BENCH_7.json is writable");
+            .expect("BENCH_10.json is writable");
         println!("wrote {path}");
     }
     if let Some(path) = &args.digest {

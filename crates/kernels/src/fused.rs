@@ -26,7 +26,10 @@ use crate::fine::fine_reuse_footprint;
 use crate::{tuning, AttnDims};
 use mg_gpusim::{DeviceSpec, KernelProfile, LaunchConfig, TbWork};
 use mg_patterns::CompoundPattern;
-use mg_tensor::{dot_rows_block, dot_rows_run, pack::Panel, par, scratch, Half, Matrix, NR};
+use mg_tensor::{
+    accumulate_rows_block, dot_rows_block, dot_rows_run, pack::Panel, par, scratch, Half, Matrix,
+    NR,
+};
 
 /// The online-softmax update chain for one row: feeds one already-scaled
 /// score into the running max/sum/accumulator state, in strictly
@@ -70,34 +73,6 @@ fn online_update(
             *slot = *slot * correction + p * vv;
         }
         *running_max = new_max;
-    }
-}
-
-/// Adds `Σ_j p[j]·v_rows[j]` into `acc` in one pass. Each accumulator
-/// element receives its `width` terms in strictly ascending column order —
-/// the same add sequence `width` successive per-column passes produce, so
-/// the result is bit-identical — but the traversal is blocked [`NR`]
-/// elements at a time so the `v` loads are contiguous and the adds
-/// vectorize across the head dim instead of re-walking `acc` per column.
-#[inline]
-fn accumulate_block(acc: &mut [f32], p: &[f32; NR], v_rows: &[&[f32]; NR], width: usize) {
-    let dh = acc.len();
-    let mut d0 = 0;
-    while d0 + NR <= dh {
-        let mut x: [f32; NR] = acc[d0..d0 + NR].try_into().expect("block in range");
-        for (&pj, row) in p[..width].iter().zip(v_rows[..width].iter()) {
-            let slab: &[f32; NR] = row[d0..d0 + NR].try_into().expect("row in range");
-            for (xt, &vv) in x.iter_mut().zip(slab.iter()) {
-                *xt += pj * vv;
-            }
-        }
-        acc[d0..d0 + NR].copy_from_slice(&x);
-        d0 += NR;
-    }
-    for (d, slot) in acc.iter_mut().enumerate().skip(d0) {
-        for (&pj, row) in p[..width].iter().zip(v_rows[..width].iter()) {
-            *slot += pj * row[d];
-        }
     }
 }
 
@@ -195,7 +170,7 @@ pub fn fused_attention_compute(
                 for (j, row) in v_rows[..cw].iter_mut().enumerate() {
                     *row = v_panel.row(cols[c0 + j]);
                 }
-                accumulate_block(&mut acc, &p, &v_rows, cw);
+                accumulate_rows_block(&mut acc, &p, &v_rows, cw);
             } else {
                 for (j, &sj) in s[..cw].iter().enumerate() {
                     online_update(

@@ -13,7 +13,7 @@
 use mg_kernels::fused;
 use mg_kernels::fused_attention_compute;
 use mg_patterns::{AtomicPattern, CompoundPattern};
-use mg_tensor::{Half, Matrix};
+use mg_tensor::{simd, Half, Matrix};
 use rayon::ThreadPoolBuilder;
 
 /// Deterministic LCG over raw u16 bit patterns (MMIX constants), covering
@@ -127,6 +127,45 @@ fn tiled_matches_naive_bitwise_over_full_half_space() {
                         &tiled,
                         &reference,
                         &format!("{name} l={l} dh={dh} round {round} threads {threads}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn simd_and_scalar_dispatch_agree_bitwise() {
+    // Force the two dispatch modes in turn on identical inputs and demand
+    // *strict* bit equality — stronger than the NaN-normalized tiled-vs-
+    // naive comparison, because scalar and vector legs of the SAME fused
+    // kernel share one accumulation order, payload bits included.
+    let mut rng = BitRng(0x5eed_d15b);
+    for threads in [1, 4] {
+        for l in [8, 33, 64] {
+            for (name, p) in patterns(l) {
+                let q = rng.matrix(l, 16);
+                let k = rng.matrix(l, 16);
+                let v = rng.matrix(l, 16);
+                let (scalar_out, simd_out) = pool(threads).install(|| {
+                    simd::set_override(Some(false));
+                    let s = fused_attention_compute(&q, &k, &v, &p, 0.25);
+                    simd::set_override(Some(true));
+                    let vec = fused_attention_compute(&q, &k, &v, &p, 0.25);
+                    simd::set_override(None);
+                    (s, vec)
+                });
+                for (i, (a, b)) in simd_out
+                    .as_slice()
+                    .iter()
+                    .zip(scalar_out.as_slice())
+                    .enumerate()
+                {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "cross-mode {name} l={l} threads {threads}: element {i} \
+                         diverges: simd {a:?} vs scalar {b:?}"
                     );
                 }
             }

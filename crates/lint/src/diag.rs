@@ -5,8 +5,9 @@ use std::path::PathBuf;
 
 /// Stable lint codes. `D` codes guard the determinism contract the
 /// MG_THREADS=1 bit-equality CI gates rely on; `H` codes are hard
-/// hygiene requirements of the workspace; `A` codes police the
-/// suppression mechanism itself.
+/// hygiene requirements of the workspace; `U` codes confine `unsafe`
+/// to its one sanctioned module; `A` codes police the suppression
+/// mechanism itself.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum LintCode {
     /// Hash-ordered collection (`HashMap`/`HashSet`) in non-test
@@ -56,11 +57,16 @@ pub enum LintCode {
     /// vice versa) — a kernel must never ship unpriced, and a profile
     /// must never price a kernel that no longer exists.
     C1,
+    /// Unsafe-confinement violation: an `unsafe` token anywhere
+    /// outside `crates/tensor/src/simd.rs` (the one sanctioned unsafe
+    /// surface, the explicit-SIMD layer), or an `unsafe` inside
+    /// `simd.rs` without a `// SAFETY:` comment justifying it.
+    U1,
 }
 
 impl LintCode {
     /// All codes, in severity-report order.
-    pub const ALL: [LintCode; 13] = [
+    pub const ALL: [LintCode; 14] = [
         LintCode::D1,
         LintCode::D2,
         LintCode::D3,
@@ -70,6 +76,7 @@ impl LintCode {
         LintCode::H2,
         LintCode::H3,
         LintCode::H4,
+        LintCode::U1,
         LintCode::P1,
         LintCode::C1,
         LintCode::A1,
@@ -97,12 +104,15 @@ impl LintCode {
             LintCode::A2 => "A2",
             LintCode::P1 => "P1",
             LintCode::C1 => "C1",
+            LintCode::U1 => "U1",
         }
     }
 
     /// Whether an `// mg-lint: allow(..)` comment may silence this
-    /// code. Structural requirements (H1, H2, H4) and the allow-audit
-    /// codes themselves (A1, A2) can only be fixed, not waived.
+    /// code. Structural requirements (H1, H2, H4, U1) and the
+    /// allow-audit codes themselves (A1, A2) can only be fixed, not
+    /// waived — in particular U1: the unsafe-confinement contract is
+    /// precisely the thing a per-line waiver would dissolve.
     pub fn suppressible(&self) -> bool {
         matches!(
             self,

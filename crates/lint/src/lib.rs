@@ -37,14 +37,19 @@
 //! | H2 | `parallel` feature not forwarded through a dependent manifest |
 //! | H3 | `print!`-family, `dbg!`, `todo!`, `unimplemented!` in library code |
 //! | H4 | `parallel` gate without serial sibling or bit-equality test |
+//! | U1 | `unsafe` outside `crates/tensor/src/simd.rs`, or in it without `// SAFETY:` |
 //! | P1 | per-element `Half::to_f32` inside a loop in `crates/kernels` |
 //! | C1 | unpaired `*_compute` / `*_profile` kernel in `crates/kernels` |
 //! | A1 | bare/unknown/non-suppressible `allow` directive |
 //! | A2 | `allow` directive that suppressed nothing |
 //!
 //! D-codes, H3, P1, and C1 are suppressible with a reasoned `allow`;
-//! H1/H2/H4 are structural and must be fixed; A-codes audit the allows
-//! themselves. The static half is paired with a dynamic one: the
+//! H1/H2/H4/U1 are structural and must be fixed; A-codes audit the
+//! allows themselves. U1 pairs with a relaxed H1: `mg-tensor`'s
+//! `lib.rs` alone may use `#![deny(unsafe_code)]` (so the explicit-SIMD
+//! module can lift it with a scoped allow), and U1 then confines every
+//! `unsafe` token to that module and requires a `// SAFETY:` comment on
+//! each use. The static half is paired with a dynamic one: the
 //! `dsan` feature of `mg-tensor` shadows every partitioned mutation at
 //! runtime and asserts the chunks were disjoint and covering — what D4
 //! and D5 over-approximate, `dsan` witnesses exactly.

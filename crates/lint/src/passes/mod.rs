@@ -6,7 +6,9 @@
 //!   float combines, D5 panic-reachable parallel regions);
 //! * [`coverage`] — C1, the `*_compute` ↔ `*_profile` pairing gate for
 //!   `crates/kernels`;
-//! * [`features`] — H4, `parallel` feature-gate consistency.
+//! * [`features`] — H4, `parallel` feature-gate consistency;
+//! * [`unsafety`] — U1, confinement of `unsafe` to the explicit-SIMD
+//!   module and the `// SAFETY:` justification requirement inside it.
 //!
 //! [`run_all`] is the orchestration point shared by the single-file
 //! entry (`lint_rust`, used by the fixture corpus) and the workspace
@@ -17,6 +19,7 @@ pub mod coverage;
 pub mod features;
 pub mod flow;
 pub mod lexical;
+pub mod unsafety;
 
 use crate::callgraph::CallGraph;
 use crate::diag::Diagnostic;
@@ -62,6 +65,7 @@ pub fn run_all(files: &[FileCtx]) -> Vec<Vec<Diagnostic>> {
     for (idx, file) in files.iter().enumerate() {
         lexical::run(file, &mut per_file[idx]);
         features::run_siblings(file, &mut per_file[idx]);
+        unsafety::run(file, &mut per_file[idx]);
     }
     flow::run_d4(files, &mut per_file);
     flow::run_d5(files, &graph, &mut per_file);

@@ -1,0 +1,120 @@
+//! U1 — unsafe confinement.
+//!
+//! The workspace-wide rule is `#![forbid(unsafe_code)]`, with exactly
+//! one sanctioned exception: `crates/tensor/src/simd.rs`, the explicit
+//! AVX2 microkernel layer, whose intrinsics are `unsafe fn` by
+//! definition. This pass enforces the two halves of that contract:
+//!
+//! * **Outside** `simd.rs`, any `unsafe` token at all is a finding —
+//!   including in `#[cfg(test)]` code, because a test that needs
+//!   `unsafe` is a test of something that should live in `simd.rs`.
+//!   The compiler's `forbid`/`deny` attributes catch compiled code;
+//!   this pass additionally catches code hidden behind narrower
+//!   `#[allow]` scopes or non-default `cfg` combinations the
+//!   workspace build never exercises.
+//! * **Inside** `simd.rs`, every `unsafe` must carry a `// SAFETY:`
+//!   justification: a trailing comment on the same line, or a comment
+//!   block reached by walking up over contiguous comment-only and
+//!   attribute lines (so the idiomatic shape — SAFETY comment above
+//!   `#[target_feature(enable = "avx2")]` above `pub unsafe fn` —
+//!   passes).
+//!
+//! U1 is not suppressible: a per-line waiver is exactly the hole the
+//! rule exists to close.
+
+use crate::diag::{Diagnostic, LintCode};
+use crate::lexer::TokKind;
+use crate::passes::FileCtx;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// The one module allowed to contain `unsafe`, as a workspace-relative
+/// path suffix (diagnostic paths are workspace-relative already; the
+/// suffix match also covers absolute fixture paths).
+const SANCTIONED: &str = "crates/tensor/src/simd.rs";
+
+/// Runs the U1 pass over one file, appending raw findings.
+pub fn run(file: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let sanctioned = file.path.ends_with(Path::new(SANCTIONED));
+    let toks = &file.lexed.toks;
+
+    // One finding per offending line, not per token: `unsafe fn` plus
+    // an `unsafe {` on the same line is one confinement decision.
+    let mut flagged: BTreeSet<u32> = BTreeSet::new();
+
+    // First code token per line, for recognizing attribute lines while
+    // walking upward from an `unsafe` token.
+    let mut first_tok_text: BTreeMap<u32, &str> = BTreeMap::new();
+    for t in toks {
+        first_tok_text.entry(t.line).or_insert(t.text.as_str());
+    }
+    // Comment lines, with whether any comment on the line is a
+    // `SAFETY:` justification.
+    let mut comment_lines: BTreeMap<u32, bool> = BTreeMap::new();
+    for c in &file.lexed.comments {
+        let e = comment_lines.entry(c.line).or_insert(false);
+        *e |= c.text.starts_with("SAFETY:");
+    }
+
+    for t in toks {
+        if t.kind != TokKind::Ident || t.text != "unsafe" || !flagged.insert(t.line) {
+            continue;
+        }
+        if !sanctioned {
+            out.push(Diagnostic {
+                code: LintCode::U1,
+                file: file.path.clone(),
+                line: t.line,
+                message: format!(
+                    "`unsafe` outside {SANCTIONED}: the explicit-SIMD layer is the only \
+                     sanctioned unsafe surface; route vector code through `mg_tensor::simd` \
+                     or write it safely"
+                ),
+            });
+        } else if !has_safety_justification(t.line, &comment_lines, &first_tok_text) {
+            out.push(Diagnostic {
+                code: LintCode::U1,
+                file: file.path.clone(),
+                line: t.line,
+                message: "`unsafe` without a `// SAFETY:` comment: every unsafe block or \
+                          function in simd.rs states the invariant that makes it sound, on \
+                          the same line or in the comment block directly above"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Whether the `unsafe` on `line` is covered by a `SAFETY:` comment:
+/// trailing on the line itself, or anywhere in the contiguous run of
+/// comment-only and attribute lines directly above it.
+fn has_safety_justification(
+    line: u32,
+    comment_lines: &BTreeMap<u32, bool>,
+    first_tok_text: &BTreeMap<u32, &str>,
+) -> bool {
+    if comment_lines.get(&line).copied().unwrap_or(false) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let has_code = first_tok_text.contains_key(&l);
+        match comment_lines.get(&l) {
+            Some(true) if !has_code => return true,
+            Some(false) if !has_code => continue, // plain comment, keep walking
+            _ => {}
+        }
+        // An attribute line (e.g. `#[target_feature(...)]`) may sit
+        // between the justification and the `unsafe fn`.
+        if first_tok_text.get(&l) == Some(&"#") {
+            // A trailing SAFETY comment on the attribute line counts.
+            if comment_lines.get(&l).copied().unwrap_or(false) {
+                return true;
+            }
+            continue;
+        }
+        return false;
+    }
+    false
+}

@@ -278,6 +278,116 @@ pub fn g() { unimplemented!() }
     }
 
     #[test]
+    fn h1_accepts_deny_unsafe_for_mg_tensor_only() {
+        let deny = "#![deny(unsafe_code)]\npub fn f() {}\n";
+        // mg-tensor hosts the explicit-SIMD layer, so its lib.rs may
+        // weaken forbid to deny (U1 takes over confinement from there).
+        let tensor = FileClass {
+            crate_name: "mg-tensor".to_string(),
+            is_bin: false,
+            is_lib_rs: true,
+        };
+        assert!(codes(deny, &tensor).is_empty());
+        // Every other crate must keep the forbid.
+        let other = FileClass {
+            is_lib_rs: true,
+            ..lib_class()
+        };
+        assert_eq!(codes(deny, &other), vec![(LintCode::H1, 1)]);
+    }
+
+    #[test]
+    fn u1_fires_on_unsafe_outside_the_simd_module() {
+        let src = "\
+#![forbid(unsafe_code)]
+pub fn f(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+";
+        assert_eq!(codes(src, &lib_class()), vec![(LintCode::U1, 3)]);
+        // Test code gets no exemption: unsafe in a test belongs in
+        // simd.rs too.
+        let test_src = "\
+pub fn ok() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x = 1u8;
+        let p = &x as *const u8;
+        assert_eq!(unsafe { *p }, 1);
+    }
+}
+";
+        assert_eq!(codes(test_src, &lib_class()), vec![(LintCode::U1, 8)]);
+    }
+
+    #[test]
+    fn u1_is_not_suppressible() {
+        let src = "\
+pub fn f(p: *const u8) -> u8 {
+    // mg-lint: allow(U1): trust me
+    unsafe { *p }
+}
+";
+        let got = codes(src, &lib_class());
+        // The allow is audited as A1 (structural) and the finding stays.
+        assert_eq!(got, vec![(LintCode::A1, 2), (LintCode::U1, 3)]);
+    }
+
+    #[test]
+    fn u1_in_simd_rs_requires_safety_comments() {
+        let simd_path = PathBuf::from("crates/tensor/src/simd.rs");
+        let tensor = FileClass {
+            crate_name: "mg-tensor".to_string(),
+            is_bin: false,
+            is_lib_rs: false,
+        };
+        let lint = |src: &str| -> Vec<(LintCode, u32)> {
+            lint_rust(&simd_path, src, &tensor)
+                .into_iter()
+                .map(|d| (d.code, d.line))
+                .collect()
+        };
+
+        // Justified: trailing comment, comment directly above, and a
+        // comment block above an attribute line all count.
+        let justified = "\
+pub fn f(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: caller guarantees p is valid
+}
+// SAFETY: the AVX2 target feature is checked by the dispatcher.
+// A second comment line keeps the block contiguous.
+#[target_feature(enable = \"avx2\")]
+pub unsafe fn g() {}
+pub fn h(p: *const u8) -> u8 {
+    // SAFETY: p comes from a live slice.
+    unsafe { *p }
+}
+";
+        assert_eq!(lint(justified), vec![]);
+
+        // Unjustified: same shapes with the SAFETY comments missing.
+        let bare = "\
+pub fn f(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+#[target_feature(enable = \"avx2\")]
+pub unsafe fn g() {}
+";
+        assert_eq!(lint(bare), vec![(LintCode::U1, 2), (LintCode::U1, 5)]);
+
+        // A plain comment above is not a justification.
+        let wrong_comment = "\
+pub fn f(p: *const u8) -> u8 {
+    // reads one byte
+    unsafe { *p }
+}
+";
+        assert_eq!(lint(wrong_comment), vec![(LintCode::U1, 3)]);
+    }
+
+    #[test]
     fn per_element_decode_in_kernel_loop_fires_p1() {
         let kernels = FileClass {
             crate_name: "mg-kernels".to_string(),

@@ -188,6 +188,54 @@ fn d5_panic_sources_fire_direct_and_one_call_deep() {
 }
 
 #[test]
+fn u1_unsafe_outside_simd_fires_everywhere_even_in_tests() {
+    // Line 7: library code with a SAFETY comment (irrelevant outside
+    // the sanctioned module); line 16: a `#[cfg(test)]` use — tests
+    // get no exemption from confinement.
+    assert_eq!(
+        lint_fixture("u1_unsafe_outside_simd.rs", &lib_class()),
+        vec![(LintCode::U1, 7), (LintCode::U1, 16)]
+    );
+}
+
+#[test]
+fn u1_inside_simd_rs_accepts_safety_comments_and_flags_the_rest() {
+    // The same source is judged by the *path*: linted as the sanctioned
+    // module, the three justified shapes (trailing comment, comment
+    // above, comment block above the target_feature attribute) pass,
+    // and the three bare ones fire.
+    let (_, src) = fixture("u1_simd_missing_safety.rs");
+    let tensor = FileClass {
+        crate_name: "mg-tensor".to_string(),
+        is_bin: false,
+        is_lib_rs: false,
+    };
+    let as_simd: Vec<(LintCode, u32)> =
+        lint_rust(Path::new("crates/tensor/src/simd.rs"), &src, &tensor)
+            .into_iter()
+            .map(|d| (d.code, d.line))
+            .collect();
+    assert_eq!(
+        as_simd,
+        vec![(LintCode::U1, 20), (LintCode::U1, 24), (LintCode::U1, 28)]
+    );
+    // Linted at any other path, every `unsafe` line fires regardless of
+    // its SAFETY comments.
+    let elsewhere = lint_fixture("u1_simd_missing_safety.rs", &tensor);
+    assert_eq!(
+        elsewhere,
+        vec![
+            (LintCode::U1, 6),
+            (LintCode::U1, 11),
+            (LintCode::U1, 17),
+            (LintCode::U1, 20),
+            (LintCode::U1, 24),
+            (LintCode::U1, 28),
+        ]
+    );
+}
+
+#[test]
 fn h3_development_macros_fire_and_suppress() {
     assert_eq!(
         lint_fixture("h3_development_macros.rs", &lib_class()),
@@ -273,6 +321,8 @@ fn every_bad_fixture_would_fail_a_deny_run() {
         ("h4_missing_sibling.rs", LintCode::H4),
         ("a1_bare_allow.rs", LintCode::A1),
         ("a2_unused_allow.rs", LintCode::A2),
+        ("u1_unsafe_outside_simd.rs", LintCode::U1),
+        ("u1_simd_missing_safety.rs", LintCode::U1),
     ] {
         let got = lint_fixture(name, &lib_class());
         assert!(

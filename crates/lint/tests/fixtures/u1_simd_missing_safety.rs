@@ -1,0 +1,29 @@
+// U1 inside the sanctioned module: every `unsafe` needs a `// SAFETY:`
+// comment — trailing, directly above, or above the attribute line.
+// This fixture is linted under the path crates/tensor/src/simd.rs.
+
+pub fn justified_trailing(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: caller guarantees `p` points to a live byte
+}
+
+pub fn justified_above(p: *const u8) -> u8 {
+    // SAFETY: `p` comes from a slice the wrapper bounds-checked.
+    unsafe { *p }
+}
+
+// SAFETY: callers hold the AVX2 witness; the attribute line between the
+// comment and the function does not break the justification block.
+#[target_feature(enable = "avx2")]
+pub unsafe fn justified_through_attribute() {}
+
+pub fn bare_block(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+#[target_feature(enable = "avx2")]
+pub unsafe fn bare_fn() {}
+
+pub fn wrong_comment(p: *const u8) -> u8 {
+    // reads one byte, trust me
+    unsafe { *p }
+}

@@ -1,0 +1,18 @@
+// U1: `unsafe` anywhere outside crates/tensor/src/simd.rs is a
+// confinement violation, even with a SAFETY comment, even in tests.
+#![forbid(unsafe_code)]
+
+pub fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: a justification does not relocate the code.
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x = 7u8;
+        let p = &x as *const u8;
+        assert_eq!(unsafe { *p }, 7);
+    }
+}

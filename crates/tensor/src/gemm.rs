@@ -20,7 +20,7 @@
 //! `tests/pack_props.rs` over subnormals, ±Inf, and NaN at multiple
 //! thread counts).
 
-use crate::{pack, par, scratch, Matrix, Scalar};
+use crate::{pack, par, scratch, simd, Matrix, Scalar};
 
 /// Register-tile width of the packed GEMM microkernels: each inner loop
 /// accumulates up to this many output columns in a local register block.
@@ -36,19 +36,75 @@ pub const NR: usize = 8;
 /// each output element still accumulates its products in ascending-k
 /// order from a `+0.0` seed, exactly like [`naive::gemm`] /
 /// [`naive::gemm_nt`].
+///
+/// When the [`crate::simd`] dispatch is active, wide interior spans of
+/// the row go through the explicit AVX2 span kernel (four independent
+/// 8-lane accumulator chains) and leftover full blocks through the
+/// vector block kernel; both perform the identical mul-then-add sequence
+/// per lane, so the choice is invisible in the bits.
 #[inline]
 fn mul_row_panel<O: Scalar>(a_f: &[f32], bp: &[f32], n: usize, out_row: &mut [O]) {
     let mut j0 = 0;
+    let mut span = [0.0f32; simd::SPAN];
+    while j0 + simd::SPAN <= n && simd::row_panel_span(a_f, bp, n, j0, &mut span) {
+        pack::encode_slice(&span, &mut out_row[j0..j0 + simd::SPAN]);
+        j0 += simd::SPAN;
+    }
+    mul_row_panel_tail(a_f, bp, n, out_row, j0);
+}
+
+/// Paired-row form of [`mul_row_panel`]: produces two output rows at
+/// once so the span microkernel can reuse each loaded B vector for both
+/// rows ([`simd::row_panel_span2`]), halving panel traffic — the dense
+/// GEMMs here are panel-bandwidth bound, not ALU bound. Per row the
+/// computation (and therefore every output bit) is identical to two
+/// [`mul_row_panel`] calls; when the vector path declines, that is
+/// literally what runs.
+#[inline]
+fn mul_row_panel2<O: Scalar>(
+    a0_f: &[f32],
+    a1_f: &[f32],
+    bp: &[f32],
+    n: usize,
+    out0: &mut [O],
+    out1: &mut [O],
+) {
+    let mut j0 = 0;
+    let mut span0 = [0.0f32; simd::SPAN];
+    let mut span1 = [0.0f32; simd::SPAN];
+    while j0 + simd::SPAN <= n
+        && simd::row_panel_span2(a0_f, a1_f, bp, n, j0, &mut span0, &mut span1)
+    {
+        pack::encode_slice(&span0, &mut out0[j0..j0 + simd::SPAN]);
+        pack::encode_slice(&span1, &mut out1[j0..j0 + simd::SPAN]);
+        j0 += simd::SPAN;
+    }
+    if j0 < n {
+        mul_row_panel_tail(a0_f, bp, n, out0, j0);
+        mul_row_panel_tail(a1_f, bp, n, out1, j0);
+    }
+}
+
+/// The tail of the row microkernel: the `NR`-wide register blocks (and
+/// the ragged final block) from column `j0` to `n`. This is the whole
+/// kernel when the span microkernel is not dispatched.
+#[inline]
+fn mul_row_panel_tail<O: Scalar>(a_f: &[f32], bp: &[f32], n: usize, out_row: &mut [O], j0: usize) {
+    let mut j0 = j0;
     while j0 < n {
         let jw = NR.min(n - j0);
         let mut regs = [0.0f32; NR];
         if jw == NR {
-            for (kk, &av) in a_f.iter().enumerate() {
-                let b_blk: &[f32; NR] = bp[kk * n + j0..kk * n + j0 + NR]
-                    .try_into()
-                    .expect("full register block");
-                for (reg, &bv) in regs.iter_mut().zip(b_blk) {
-                    *reg += av * bv;
+            if let Some(v) = simd::row_panel_block(a_f, bp, n, j0) {
+                regs = v;
+            } else {
+                for (kk, &av) in a_f.iter().enumerate() {
+                    let b_blk: &[f32; NR] = bp[kk * n + j0..kk * n + j0 + NR]
+                        .try_into()
+                        .expect("full register block");
+                    for (reg, &bv) in regs.iter_mut().zip(b_blk) {
+                        *reg += av * bv;
+                    }
                 }
             }
         } else {
@@ -104,12 +160,37 @@ pub fn gemm<A: Scalar, B: Scalar, O: Scalar>(a: &Matrix<A>, b: &Matrix<B>) -> Ma
     // register blocks; the k-loop stays whole and sequential per block, so
     // each output element accumulates in ascending-k order — the same order
     // as the naive reference, hence bit-identical at any thread count.
-    par::for_each_chunk_mut(out.as_mut_slice(), n, |i, out_row| {
-        let mut a_f = scratch::take_zeroed(k);
-        pack::decode_slice(a.row(i), &mut a_f);
-        mul_row_panel(&a_f, b_panel.as_slice(), n, out_row);
+    // Rows are walked in pairs so the vector span kernel can share each
+    // loaded B vector between two rows; pairing changes panel traffic
+    // only, never the per-element arithmetic.
+    par::for_each_chunk_mut(out.as_mut_slice(), 2 * n, |i, out_chunk| {
+        mul_row_pair(a, &b_panel, k, n, 2 * i, out_chunk);
     });
     out
+}
+
+/// Decodes the one or two A rows backing `out_chunk` (rows `r0` and,
+/// when the chunk is full, `r0 + 1`) and runs the row microkernels over
+/// the packed panel. Shared by [`gemm`] and [`gemm_nt`], whose only
+/// difference is how the panel was packed.
+fn mul_row_pair<A: Scalar, O: Scalar>(
+    a: &Matrix<A>,
+    b_panel: &pack::Panel,
+    k: usize,
+    n: usize,
+    r0: usize,
+    out_chunk: &mut [O],
+) {
+    let mut a0_f = scratch::take_zeroed(k);
+    pack::decode_slice(a.row(r0), &mut a0_f);
+    if out_chunk.len() == 2 * n {
+        let mut a1_f = scratch::take_zeroed(k);
+        pack::decode_slice(a.row(r0 + 1), &mut a1_f);
+        let (out0, out1) = out_chunk.split_at_mut(n);
+        mul_row_panel2(&a0_f, &a1_f, b_panel.as_slice(), n, out0, out1);
+    } else {
+        mul_row_panel(&a0_f, b_panel.as_slice(), n, out_chunk);
+    }
 }
 
 /// Computes `A × Bᵀ` where `A` is `m×k` and `B` is `n×k`.
@@ -138,10 +219,8 @@ pub fn gemm_nt<A: Scalar, B: Scalar, O: Scalar>(a: &Matrix<A>, b: &Matrix<B>) ->
     // instead of walking NR separate B rows in lockstep.
     let b_panel = pack::Panel::from_matrix_transposed(b);
     let mut out = Matrix::<O>::zeros(m, n);
-    par::for_each_chunk_mut(out.as_mut_slice(), n, |i, out_row| {
-        let mut a_f = scratch::take_zeroed(k);
-        pack::decode_slice(a.row(i), &mut a_f);
-        mul_row_panel(&a_f, b_panel.as_slice(), n, out_row);
+    par::for_each_chunk_mut(out.as_mut_slice(), 2 * n, |i, out_chunk| {
+        mul_row_pair(a, &b_panel, k, n, 2 * i, out_chunk);
     });
     out
 }
@@ -178,6 +257,11 @@ pub fn dot_rows_block(a: &[f32], rows: &[&[f32]; NR], width: usize) -> [f32; NR]
         assert_eq!(n, row.len(), "dot length mismatch");
         *lane = &row[..n];
     }
+    if width == NR {
+        if let Some(regs) = simd::dot_rows_block(a, &lanes) {
+            return regs;
+        }
+    }
     let mut regs = [-0.0f32; NR];
     for (k, &av) in a.iter().enumerate() {
         for (reg, lane) in regs[..width].iter_mut().zip(lanes[..width].iter()) {
@@ -206,10 +290,15 @@ pub fn dot_rows_block(a: &[f32], rows: &[&[f32]; NR], width: usize) -> [f32; NR]
 #[inline]
 pub fn dot_rows_run(a: &[f32], kt: &pack::Panel, c0: usize, width: usize) -> [f32; NR] {
     assert!(width <= NR, "run width exceeds NR");
+    if width == NR {
+        if let Some(regs) = simd::dot_rows_run(a, kt, c0) {
+            return regs;
+        }
+    }
     let mut regs = [-0.0f32; NR];
     if width == NR {
         // Fixed-width fast path: the inner loop is a contiguous 8-wide
-        // broadcast FMA the auto-vectorizer turns into vector ops.
+        // broadcast multiply-add the auto-vectorizer turns into vector ops.
         for (d, &av) in a.iter().enumerate() {
             let slab: &[f32; NR] = kt.row(d)[c0..c0 + NR].try_into().expect("run in range");
             for (reg, &kv) in regs.iter_mut().zip(slab.iter()) {
@@ -225,6 +314,46 @@ pub fn dot_rows_run(a: &[f32], kt: &pack::Panel, c0: usize, width: usize) -> [f3
         }
     }
     regs
+}
+
+/// The chunk-batched fused accumulate microkernel: adds `Σ_j p[j] ·
+/// v_rows[j]` into `acc` in one pass. Each accumulator element receives
+/// its `width` terms in strictly ascending column order — the same add
+/// sequence `width` successive per-column passes produce, so the result
+/// is bit-identical — but the traversal is blocked [`NR`] elements at a
+/// time so the `v` loads are contiguous and the adds vectorize across
+/// the head dim instead of re-walking `acc` per column. Full `NR`-wide
+/// destination blocks go through the explicit AVX2 kernel when the
+/// [`crate::simd`] dispatch is active (same mul-then-add sequence per
+/// lane, so the bits never change); the ragged tail is always scalar.
+///
+/// The fused single-pass attention kernel batches its chunk-max fast
+/// path through this one function.
+///
+/// # Panics
+///
+/// Panics if any of the first `width` rows is shorter than `acc`.
+#[inline]
+pub fn accumulate_rows_block(acc: &mut [f32], p: &[f32; NR], v_rows: &[&[f32]; NR], width: usize) {
+    let dh = acc.len();
+    let mut d0 = 0;
+    while d0 + NR <= dh {
+        let x: &mut [f32; NR] = (&mut acc[d0..d0 + NR]).try_into().expect("block in range");
+        if !simd::accumulate_block(x, p, v_rows, width, d0) {
+            for (&pj, row) in p[..width].iter().zip(v_rows[..width].iter()) {
+                let slab: &[f32; NR] = row[d0..d0 + NR].try_into().expect("row in range");
+                for (xt, &vv) in x.iter_mut().zip(slab.iter()) {
+                    *xt += pj * vv;
+                }
+            }
+        }
+        d0 += NR;
+    }
+    for (d, slot) in acc.iter_mut().enumerate().skip(d0) {
+        for (&pj, row) in p[..width].iter().zip(v_rows[..width].iter()) {
+            *slot += pj * row[d];
+        }
+    }
 }
 
 /// Computes the dot product of two equal-length slices, accumulating in
@@ -443,30 +572,36 @@ mod tests {
     fn dot_rows_block_lanes_match_dot_f32_bitwise() {
         // Every lane of the gathered-row microkernel must reproduce
         // `dot_f32` bit-for-bit, including repeated rows, non-finite
-        // values, and ragged widths with empty trailing lanes.
+        // values, and ragged widths with empty trailing lanes — under
+        // both dispatch modes (full width routes to the AVX2 kernel when
+        // forced on and available; the assertions are mode-independent).
         let m = Matrix::<f32>::from_fn(6, 16, |r, c| {
             ((r * 31 + c * 7) as f32).sin() * 2.0 - ((c % 3) as f32)
         });
         let mut a: Vec<f32> = m.row(0).to_vec();
         a[3] = f32::INFINITY;
         a[7] = -0.0;
-        for width in 0..=NR {
-            let mut rows: [&[f32]; NR] = [&[]; NR];
-            for (j, row) in rows[..width].iter_mut().enumerate() {
-                *row = m.row((j * 5 + 1) % 6); // repeats once width > 6
-            }
-            let regs = dot_rows_block(&a, &rows, width);
-            for (j, &reg) in regs[..width].iter().enumerate() {
-                assert_eq!(
-                    reg.to_bits(),
-                    dot_f32(&a, rows[j]).to_bits(),
-                    "lane {j} at width {width}"
-                );
-            }
-            for &reg in &regs[width..] {
-                assert_eq!(reg.to_bits(), (-0.0f32).to_bits(), "unused lane seed");
+        for simd_on in [false, true] {
+            simd::set_override(Some(simd_on));
+            for width in 0..=NR {
+                let mut rows: [&[f32]; NR] = [&[]; NR];
+                for (j, row) in rows[..width].iter_mut().enumerate() {
+                    *row = m.row((j * 5 + 1) % 6); // repeats once width > 6
+                }
+                let regs = dot_rows_block(&a, &rows, width);
+                for (j, &reg) in regs[..width].iter().enumerate() {
+                    assert_eq!(
+                        reg.to_bits(),
+                        dot_f32(&a, rows[j]).to_bits(),
+                        "lane {j} at width {width} (simd {simd_on})"
+                    );
+                }
+                for &reg in &regs[width..] {
+                    assert_eq!(reg.to_bits(), (-0.0f32).to_bits(), "unused lane seed");
+                }
             }
         }
+        simd::set_override(None);
     }
 
     #[test]
@@ -493,21 +628,68 @@ mod tests {
             .collect();
         let mut a: Vec<f32> = (0..16).map(|i| (i as f32 * 0.7).cos()).collect();
         a[4] = -0.0;
-        for width in 0..=NR {
-            for c0 in 0..=(13 - width) {
-                let regs = dot_rows_run(&a, &kt, c0, width);
-                for (j, &reg) in regs[..width].iter().enumerate() {
-                    assert_eq!(
-                        reg.to_bits(),
-                        dot_f32(&a, &k_rows[c0 + j]).to_bits(),
-                        "lane {j} at width {width} start {c0}"
-                    );
-                }
-                for &reg in &regs[width..] {
-                    assert_eq!(reg.to_bits(), (-0.0f32).to_bits(), "unused lane seed");
+        for simd_on in [false, true] {
+            simd::set_override(Some(simd_on));
+            for width in 0..=NR {
+                for c0 in 0..=(13 - width) {
+                    let regs = dot_rows_run(&a, &kt, c0, width);
+                    for (j, &reg) in regs[..width].iter().enumerate() {
+                        assert_eq!(
+                            reg.to_bits(),
+                            dot_f32(&a, &k_rows[c0 + j]).to_bits(),
+                            "lane {j} at width {width} start {c0} (simd {simd_on})"
+                        );
+                    }
+                    for &reg in &regs[width..] {
+                        assert_eq!(reg.to_bits(), (-0.0f32).to_bits(), "unused lane seed");
+                    }
                 }
             }
         }
+        simd::set_override(None);
+    }
+
+    #[test]
+    fn accumulate_rows_block_matches_per_column_passes_bitwise() {
+        // The chunk-batched accumulate must equal `width` successive
+        // per-column `acc += p_j * v_j` passes bit-for-bit, at every
+        // width, for head dims with and without a ragged tail, in both
+        // dispatch modes.
+        let rows_data: Vec<Vec<f32>> = (0..NR)
+            .map(|j| {
+                (0..NR + 3)
+                    .map(|d| ((j * 13 + d * 7) as f32).sin() * 4.0 - 1.0)
+                    .collect()
+            })
+            .collect();
+        let p: [f32; NR] = std::array::from_fn(|j| (j as f32 * 1.3).cos() * 2.0);
+        for simd_on in [false, true] {
+            simd::set_override(Some(simd_on));
+            for dh in [0usize, 3, NR, NR + 3] {
+                let mut v_rows: [&[f32]; NR] = [&[]; NR];
+                for (slot, row) in v_rows.iter_mut().zip(rows_data.iter()) {
+                    *slot = &row[..dh];
+                }
+                for width in 0..=NR {
+                    let mut acc: Vec<f32> = (0..dh).map(|d| d as f32 * 0.5 - 1.0).collect();
+                    let mut want = acc.clone();
+                    for (pj, row) in p[..width].iter().zip(v_rows[..width].iter()) {
+                        for (slot, &vv) in want.iter_mut().zip(row.iter()) {
+                            *slot += pj * vv;
+                        }
+                    }
+                    accumulate_rows_block(&mut acc, &p, &v_rows, width);
+                    for (d, (got, w)) in acc.iter().zip(want.iter()).enumerate() {
+                        assert_eq!(
+                            got.to_bits(),
+                            w.to_bits(),
+                            "dh {dh} width {width} d {d} (simd {simd_on})"
+                        );
+                    }
+                }
+            }
+        }
+        simd::set_override(None);
     }
 
     #[test]

@@ -29,6 +29,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
 /// assert_eq!(y.to_f32(), 1.75);
 /// ```
 #[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[repr(transparent)]
 pub struct Half(u16);
 
 #[allow(non_camel_case_types)]
@@ -208,6 +209,14 @@ const fn decode_f16_bits(h: u16) -> u32 {
 /// (256 KiB). Decode is exact, so reading the table is bit-identical to
 /// computing the conversion — the LUT only removes the branchy bit
 /// manipulation from the hot path.
+/// The decode table itself, for the SIMD layer: the vectorized decode in
+/// [`crate::simd`] gathers from this exact table, so it is bit-identical
+/// to per-element [`Half::to_f32`] by construction.
+#[inline]
+pub(crate) fn f16_lut() -> &'static [f32; 1 << 16] {
+    &F16_LUT
+}
+
 static F16_LUT: [f32; 1 << 16] = {
     let mut lut = [0.0f32; 1 << 16];
     let mut i = 0usize;

@@ -20,14 +20,17 @@ use crate::{Matrix, Scalar};
 
 /// Decodes `src` into `dst` element-wise (exact for both scalar types).
 ///
+/// `Half` sources route through the vectorized LUT gather in
+/// [`crate::simd`] when the dispatch is active; it reads the same
+/// compile-time table per-element decode indexes, so the two paths are
+/// bit-identical by construction.
+///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn decode_slice<T: Scalar>(src: &[T], dst: &mut [f32]) {
     assert_eq!(src.len(), dst.len(), "decode length mismatch");
-    for (d, s) in dst.iter_mut().zip(src.iter()) {
-        *d = s.to_f32();
-    }
+    T::decode_into(src, dst);
 }
 
 /// Rounds `src` into `dst` element-wise (round-to-nearest-even for

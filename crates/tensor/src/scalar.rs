@@ -38,6 +38,21 @@ pub trait Scalar:
     fn to_f32(self) -> f32;
     /// Size of one element in bytes, for memory-traffic accounting.
     fn byte_size() -> u64;
+
+    /// Decodes a whole slice into `f32`, element `i` of `dst` receiving
+    /// exactly `src[i].to_f32()`. `Half` overrides this to route through
+    /// the vectorized LUT gather in [`crate::simd`] when the dispatch is
+    /// active — the gather reads the same table `to_f32` indexes, so the
+    /// override is bit-identical by construction.
+    ///
+    /// Callers guarantee `src.len() == dst.len()`
+    /// ([`crate::pack::decode_slice`] asserts it).
+    #[inline]
+    fn decode_into(src: &[Self], dst: &mut [f32]) {
+        for (d, s) in dst.iter_mut().zip(src.iter()) {
+            *d = s.to_f32();
+        }
+    }
 }
 
 impl Scalar for Half {
@@ -56,6 +71,15 @@ impl Scalar for Half {
     #[inline]
     fn byte_size() -> u64 {
         2
+    }
+
+    #[inline]
+    fn decode_into(src: &[Half], dst: &mut [f32]) {
+        if !crate::simd::decode_f16(src, dst) {
+            for (d, s) in dst.iter_mut().zip(src.iter()) {
+                *d = s.to_f32();
+            }
+        }
     }
 }
 

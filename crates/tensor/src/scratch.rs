@@ -12,6 +12,13 @@
 //! allocation because every handout is zero-filled before the caller
 //! sees it. The pool is `thread_local`, so no cross-thread state exists
 //! and results stay bit-identical at any thread count.
+//!
+//! Alignment: the pooled buffers carry `Vec<f32>`'s natural 4-byte
+//! alignment, nothing stronger. That is deliberate — the [`crate::simd`]
+//! kernels issue exclusively unaligned vector loads/stores
+//! (`_mm256_loadu_ps`-family), which on AVX2-era cores cost the same as
+//! aligned ones on cache-line-resident data, so the pool needs no
+//! over-aligned allocation path and stays plain safe code.
 
 use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};

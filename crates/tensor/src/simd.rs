@@ -1,0 +1,652 @@
+//! The explicit SIMD layer under the `NR = 8` microkernels.
+//!
+//! Every hot kernel in the workspace funnels through four shared
+//! microkernels (the dense row microkernel behind [`crate::gemm`] /
+//! [`crate::gemm_nt`], [`crate::dot_rows_block`], [`crate::dot_rows_run`],
+//! and the chunk-batched fused accumulate) plus the f16→f32 LUT decode in
+//! [`crate::pack::decode_slice`]. This module reimplements those five on
+//! stable `std::arch` x86_64 AVX2 intrinsics and dispatches to them at
+//! runtime; the scalar register-window code stays in place as the
+//! fallback and the only path on non-x86_64 targets.
+//!
+//! ## The no-FMA bit-equality argument
+//!
+//! The vector kernels use `_mm256_add_ps(_mm256_mul_ps(a, b), acc)` —
+//! deliberately **not** `_mm256_fmadd_ps`. A separate IEEE multiply and
+//! add per element is the identical operation sequence the scalar
+//! `[f32; NR]` register windows perform lane by lane: same rounding at
+//! the same points, same accumulation order (ascending `k` from the same
+//! seed), no contraction. The lanes of one vector are *independent* sums
+//! — vectorizing across them reorders nothing — so every result is
+//! bitwise identical to the scalar path, NaN payloads and signed zeros
+//! included. Operand *order* in each op is chosen to match the scalar
+//! codegen's NaN-payload propagation (x86 keeps the first source's
+//! payload when both operands are NaN): the multiply takes the broadcast
+//! A element first, and the accumulate takes the fresh product first —
+//! the compiled `acc += av * bv` keeps the product's payload, not the
+//! accumulator's. The full-bit-space property tests would catch either
+//! order being wrong. The f16→f32 decode gathers from the same 65,536-entry LUT
+//! that [`crate::Half::to_f32`] indexes, so it is exact by construction.
+//! CI pins all of this over the adversarial `Half` bit-space corpus at
+//! `MG_SIMD` {0, 1} × `MG_THREADS` {1, 4}.
+//!
+//! ## Dispatch rules
+//!
+//! The first microkernel call reads the `MG_SIMD` environment variable:
+//! `MG_SIMD=0` forces the scalar path; anything else (including unset)
+//! selects the vector path **iff** the `simd` feature is compiled in,
+//! the target is x86_64, and `is_x86_feature_detected!("avx2")` reports
+//! the CPU supports it. The decision is cached in an atomic;
+//! [`set_override`] flips it programmatically (the perf study's
+//! three-way A/B uses this) and `set_override(None)` drops back to the
+//! environment-driven decision. Because both paths are bit-identical,
+//! the dispatch decision can never change a result — only a timing.
+//!
+//! ## Unsafe confinement contract
+//!
+//! This module is the **only** place in the workspace allowed to contain
+//! `unsafe` (the intrinsic calls and the raw-pointer loads they need):
+//! the crate root is `#![deny(unsafe_code)]` with a module-scoped allow
+//! here, every crate above mg-tensor keeps `#![forbid(unsafe_code)]`,
+//! and mg-lint's `U1` pass enforces both statically — any `unsafe`
+//! outside this file, or a use inside it without a `// SAFETY:` comment,
+//! is a deny-level finding. Every safe wrapper below validates the slice
+//! geometry *before* entering the intrinsics, so the unsafe surface is a
+//! handful of bounds-proved loads and stores.
+#![allow(unsafe_code)]
+
+use crate::gemm::NR;
+use crate::pack::Panel;
+use crate::Half;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Width of the dense row microkernel's wide span: four independent
+/// `NR`-wide accumulator chains per k-step, enough instruction-level
+/// parallelism to cover the vector-add latency that a single 8-lane
+/// chain (scalar or vector) is bound by.
+pub const SPAN: usize = 4 * NR;
+
+const MODE_UNINIT: u8 = 0;
+const MODE_SCALAR: u8 = 1;
+const MODE_SIMD: u8 = 2;
+
+/// The cached dispatch decision; 0 means "not decided yet" so the first
+/// probe (re)reads `MG_SIMD` and the CPUID feature bits.
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNINIT);
+
+/// Whether the vector path exists at all on this build and CPU: the
+/// `simd` feature is compiled in, the target is x86_64, and the CPU
+/// reports AVX2. Independent of the `MG_SIMD` override.
+#[inline]
+pub fn available() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+#[inline]
+fn mode() -> u8 {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_UNINIT => {
+            let m = mode_from_env();
+            MODE.store(m, Ordering::Relaxed);
+            m
+        }
+        m => m,
+    }
+}
+
+fn mode_from_env() -> u8 {
+    if !available() {
+        return MODE_SCALAR;
+    }
+    match std::env::var("MG_SIMD") {
+        Ok(v) if v == "0" => MODE_SCALAR,
+        _ => MODE_SIMD,
+    }
+}
+
+/// Whether the vector path is the one currently dispatched to. `false`
+/// whenever [`available`] is `false`, when `MG_SIMD=0` is set, or after
+/// `set_override(Some(false))`.
+#[inline]
+pub fn active() -> bool {
+    mode() == MODE_SIMD
+}
+
+/// Programmatically overrides the dispatch: `Some(true)` selects the
+/// vector path (when [`available`]; otherwise scalar), `Some(false)`
+/// forces the scalar path, and `None` clears the override so the next
+/// microkernel call re-reads `MG_SIMD`. Both paths are bit-identical,
+/// so flipping this mid-run changes timings, never values.
+pub fn set_override(on: Option<bool>) {
+    let m = match on {
+        Some(true) if available() => MODE_SIMD,
+        Some(_) => MODE_SCALAR,
+        None => MODE_UNINIT,
+    };
+    MODE.store(m, Ordering::Relaxed);
+}
+
+/// Vector form of the dense row microkernel over a [`SPAN`]-wide window:
+/// accumulates `out[b*NR + j] = Σ_k a_f[k] * bp[k*n + j0 + b*NR + j]`
+/// across four independent 8-lane chains. Returns `false` (leaving `out`
+/// untouched) when the vector path is not dispatched or the window does
+/// not fit, in which case the caller runs its scalar register windows.
+#[inline]
+pub fn row_panel_span(a_f: &[f32], bp: &[f32], n: usize, j0: usize, out: &mut [f32; SPAN]) -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if active() && j0 + SPAN <= n && a_f.len().saturating_mul(n) <= bp.len() {
+        // SAFETY: AVX2 is present (`active` implies `available`), and the
+        // guard proves every SPAN-wide load at `bp[kk*n + j0]` with
+        // `kk < a_f.len()` lies inside `bp` (since `j0 + SPAN <= n`).
+        unsafe { avx2::row_panel_span(a_f, bp, n, j0, out) };
+        return true;
+    }
+    let _ = (a_f, bp, n, j0, out);
+    false
+}
+
+/// Paired-row form of [`row_panel_span`]: accumulates the same
+/// [`SPAN`]-wide window for **two** decoded A rows at once, so each
+/// loaded B vector feeds both rows' accumulator chains and the panel is
+/// streamed through cache half as often. Per row and per lane the
+/// operation sequence is exactly [`row_panel_span`]'s (mul then add,
+/// ascending `k`, `+0.0` seed), so pairing is invisible in the bits.
+/// Returns `false` (leaving the outputs untouched) when the vector path
+/// is not dispatched, the rows differ in length, or the window does not
+/// fit.
+#[inline]
+pub fn row_panel_span2(
+    a0_f: &[f32],
+    a1_f: &[f32],
+    bp: &[f32],
+    n: usize,
+    j0: usize,
+    out0: &mut [f32; SPAN],
+    out1: &mut [f32; SPAN],
+) -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if active()
+        && a0_f.len() == a1_f.len()
+        && j0 + SPAN <= n
+        && a0_f.len().saturating_mul(n) <= bp.len()
+    {
+        // SAFETY: AVX2 is present, both rows share the verified length,
+        // and the guard proves every SPAN-wide load at `bp[kk*n + j0]`
+        // with `kk < a0_f.len()` lies inside `bp` (`j0 + SPAN <= n`).
+        unsafe { avx2::row_panel_span2(a0_f, a1_f, bp, n, j0, out0, out1) };
+        return true;
+    }
+    let _ = (a0_f, a1_f, bp, n, j0, out0, out1);
+    false
+}
+
+/// Vector form of one `NR`-wide block of the dense row microkernel:
+/// `Some(regs)` with `regs[j] = Σ_k a_f[k] * bp[k*n + j0 + j]`, or
+/// `None` when not dispatched / out of range (caller falls back to the
+/// scalar register window).
+#[inline]
+pub fn row_panel_block(a_f: &[f32], bp: &[f32], n: usize, j0: usize) -> Option<[f32; NR]> {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if active() && j0 + NR <= n && a_f.len().saturating_mul(n) <= bp.len() {
+        // SAFETY: AVX2 is present, and the guard proves every NR-wide load
+        // at `bp[kk*n + j0]` with `kk < a_f.len()` lies inside `bp`.
+        return Some(unsafe { avx2::row_panel_block(a_f, bp, n, j0) });
+    }
+    let _ = (a_f, bp, n, j0);
+    None
+}
+
+/// Vector form of [`crate::dot_rows_block`] at full width: dots `a`
+/// against all `NR` gathered lanes at once. `None` when not dispatched
+/// or any lane's length differs from `a`'s (the scalar path owns the
+/// panic semantics).
+#[inline]
+pub fn dot_rows_block(a: &[f32], lanes: &[&[f32]; NR]) -> Option<[f32; NR]> {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if active() && lanes.iter().all(|lane| lane.len() == a.len()) {
+        // SAFETY: AVX2 is present, and every lane was just checked to be
+        // exactly `a.len()` long, so each `lanes[j][k]` read is in bounds.
+        return Some(unsafe { avx2::dot_rows_block(a, lanes) });
+    }
+    let _ = (a, lanes);
+    None
+}
+
+/// Vector form of [`crate::dot_rows_run`] at full width: dots `a`
+/// against the `NR` consecutive columns `c0..c0 + NR` of the d-major
+/// panel `kt`. `None` when not dispatched or the run does not fit (the
+/// scalar path owns the panic semantics).
+#[inline]
+pub fn dot_rows_run(a: &[f32], kt: &Panel, c0: usize) -> Option<[f32; NR]> {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if active() {
+        let stride = kt.cols();
+        let data = kt.as_slice();
+        if c0 + NR <= stride && a.len().saturating_mul(stride) <= data.len() {
+            // SAFETY: AVX2 is present, and the guard proves every NR-wide
+            // load at `data[d*stride + c0]` with `d < a.len()` lies inside
+            // `data` (since `c0 + NR <= stride`).
+            return Some(unsafe { avx2::dot_rows_run(a, data, stride, c0) });
+        }
+    }
+    let _ = (a, kt, c0);
+    None
+}
+
+/// Vector form of one `NR`-wide destination block of the chunk-batched
+/// fused accumulate: `x[t] += Σ_j p[j] * v_rows[j][d0 + t]` with the
+/// `j` loop outermost, exactly like the scalar window. Returns `false`
+/// (leaving `x` untouched) when not dispatched or a V row is too short.
+#[inline]
+pub fn accumulate_block(
+    x: &mut [f32; NR],
+    p: &[f32; NR],
+    v_rows: &[&[f32]; NR],
+    width: usize,
+    d0: usize,
+) -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if active() && width <= NR && v_rows[..width].iter().all(|row| d0 + NR <= row.len()) {
+        // SAFETY: AVX2 is present and every active V row was just checked
+        // to contain the NR-wide slab starting at `d0`.
+        unsafe { avx2::accumulate_block(x, p, v_rows, width, d0) };
+        return true;
+    }
+    let _ = (x, p, v_rows, width, d0);
+    false
+}
+
+/// Vector form of the f16→f32 decode in [`crate::pack::decode_slice`]:
+/// gathers 8 entries per step from the same compile-time LUT that
+/// [`crate::Half::to_f32`] indexes. Returns `false` (leaving `dst`
+/// untouched) when not dispatched or the lengths differ (the scalar
+/// path owns the panic semantics).
+#[inline]
+pub fn decode_f16(src: &[Half], dst: &mut [f32]) -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if active() && src.len() == dst.len() {
+        // SAFETY: AVX2 (and thus the vector gather) is present, the lengths
+        // match, and every gather index is a u16 — always inside the
+        // 65,536-entry LUT.
+        unsafe { avx2::decode_f16(src, dst) };
+        return true;
+    }
+    let _ = (src, dst);
+    false
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod avx2 {
+    //! The AVX2 implementations. Everything here runs under
+    //! `#[target_feature(enable = "avx2")]` and is reached only through
+    //! the dispatch wrappers above, which check feature presence and
+    //! slice geometry first.
+
+    use super::{Half, NR, SPAN};
+    use std::arch::x86_64::*;
+
+    // SAFETY: callers (the dispatch wrappers) verified AVX2 is available
+    // and that `j0 + SPAN <= n` and `a_f.len() * n <= bp.len()`, so every
+    // load below is in bounds.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn row_panel_span(
+        a_f: &[f32],
+        bp: &[f32],
+        n: usize,
+        j0: usize,
+        out: &mut [f32; SPAN],
+    ) {
+        let mut acc0 = _mm256_setzero_ps();
+        let mut acc1 = _mm256_setzero_ps();
+        let mut acc2 = _mm256_setzero_ps();
+        let mut acc3 = _mm256_setzero_ps();
+        for (kk, &av) in a_f.iter().enumerate() {
+            let avv = _mm256_set1_ps(av);
+            // SAFETY: `kk*n + j0 + SPAN <= (kk+1)*n <= bp.len()` per the
+            // wrapper's guard.
+            let p = unsafe { bp.as_ptr().add(kk * n + j0) };
+            // SAFETY: the four loads cover `p[0..SPAN]`, in bounds as above.
+            unsafe {
+                acc0 = _mm256_add_ps(_mm256_mul_ps(avv, _mm256_loadu_ps(p)), acc0);
+                acc1 = _mm256_add_ps(_mm256_mul_ps(avv, _mm256_loadu_ps(p.add(NR))), acc1);
+                acc2 = _mm256_add_ps(_mm256_mul_ps(avv, _mm256_loadu_ps(p.add(2 * NR))), acc2);
+                acc3 = _mm256_add_ps(_mm256_mul_ps(avv, _mm256_loadu_ps(p.add(3 * NR))), acc3);
+            }
+        }
+        let op = out.as_mut_ptr();
+        // SAFETY: `out` is exactly SPAN = 4*NR floats.
+        unsafe {
+            _mm256_storeu_ps(op, acc0);
+            _mm256_storeu_ps(op.add(NR), acc1);
+            _mm256_storeu_ps(op.add(2 * NR), acc2);
+            _mm256_storeu_ps(op.add(3 * NR), acc3);
+        }
+    }
+
+    // SAFETY: callers verified AVX2, `a0_f.len() == a1_f.len()`,
+    // `j0 + SPAN <= n`, and `a0_f.len() * n <= bp.len()`, so every load
+    // below is in bounds for both rows.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn row_panel_span2(
+        a0_f: &[f32],
+        a1_f: &[f32],
+        bp: &[f32],
+        n: usize,
+        j0: usize,
+        out0: &mut [f32; SPAN],
+        out1: &mut [f32; SPAN],
+    ) {
+        let mut acc00 = _mm256_setzero_ps();
+        let mut acc01 = _mm256_setzero_ps();
+        let mut acc02 = _mm256_setzero_ps();
+        let mut acc03 = _mm256_setzero_ps();
+        let mut acc10 = _mm256_setzero_ps();
+        let mut acc11 = _mm256_setzero_ps();
+        let mut acc12 = _mm256_setzero_ps();
+        let mut acc13 = _mm256_setzero_ps();
+        for (kk, (&av0, &av1)) in a0_f.iter().zip(a1_f.iter()).enumerate() {
+            let avv0 = _mm256_set1_ps(av0);
+            let avv1 = _mm256_set1_ps(av1);
+            // SAFETY: `kk*n + j0 + SPAN <= (kk+1)*n <= bp.len()` per the
+            // wrapper's guard.
+            let p = unsafe { bp.as_ptr().add(kk * n + j0) };
+            // SAFETY: the four loads cover `p[0..SPAN]`, in bounds as
+            // above; each B vector feeds both rows' chains.
+            unsafe {
+                let b0 = _mm256_loadu_ps(p);
+                let b1 = _mm256_loadu_ps(p.add(NR));
+                let b2 = _mm256_loadu_ps(p.add(2 * NR));
+                let b3 = _mm256_loadu_ps(p.add(3 * NR));
+                acc00 = _mm256_add_ps(_mm256_mul_ps(avv0, b0), acc00);
+                acc01 = _mm256_add_ps(_mm256_mul_ps(avv0, b1), acc01);
+                acc02 = _mm256_add_ps(_mm256_mul_ps(avv0, b2), acc02);
+                acc03 = _mm256_add_ps(_mm256_mul_ps(avv0, b3), acc03);
+                acc10 = _mm256_add_ps(_mm256_mul_ps(avv1, b0), acc10);
+                acc11 = _mm256_add_ps(_mm256_mul_ps(avv1, b1), acc11);
+                acc12 = _mm256_add_ps(_mm256_mul_ps(avv1, b2), acc12);
+                acc13 = _mm256_add_ps(_mm256_mul_ps(avv1, b3), acc13);
+            }
+        }
+        let op0 = out0.as_mut_ptr();
+        let op1 = out1.as_mut_ptr();
+        // SAFETY: each output is exactly SPAN = 4*NR floats.
+        unsafe {
+            _mm256_storeu_ps(op0, acc00);
+            _mm256_storeu_ps(op0.add(NR), acc01);
+            _mm256_storeu_ps(op0.add(2 * NR), acc02);
+            _mm256_storeu_ps(op0.add(3 * NR), acc03);
+            _mm256_storeu_ps(op1, acc10);
+            _mm256_storeu_ps(op1.add(NR), acc11);
+            _mm256_storeu_ps(op1.add(2 * NR), acc12);
+            _mm256_storeu_ps(op1.add(3 * NR), acc13);
+        }
+    }
+
+    // SAFETY: callers verified AVX2 and `j0 + NR <= n`,
+    // `a_f.len() * n <= bp.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn row_panel_block(a_f: &[f32], bp: &[f32], n: usize, j0: usize) -> [f32; NR] {
+        let mut acc = _mm256_setzero_ps();
+        for (kk, &av) in a_f.iter().enumerate() {
+            let avv = _mm256_set1_ps(av);
+            // SAFETY: `kk*n + j0 + NR <= (kk+1)*n <= bp.len()` per the
+            // wrapper's guard.
+            let bv = unsafe { _mm256_loadu_ps(bp.as_ptr().add(kk * n + j0)) };
+            acc = _mm256_add_ps(_mm256_mul_ps(avv, bv), acc);
+        }
+        store8(acc)
+    }
+
+    // SAFETY: callers verified AVX2 and that every lane is exactly
+    // `a.len()` long.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_rows_block(a: &[f32], lanes: &[&[f32]; NR]) -> [f32; NR] {
+        let p: [*const f32; NR] = std::array::from_fn(|j| lanes[j].as_ptr());
+        // Seed every lane with -0.0, matching the `Sum` fold `dot` uses.
+        let mut acc = _mm256_set1_ps(-0.0);
+        for (k, &av) in a.iter().enumerate() {
+            let avv = _mm256_set1_ps(av);
+            // SAFETY: `k < a.len() == lanes[j].len()` for every lane, so
+            // each gathered scalar read is in bounds. (`_mm256_set_ps`
+            // takes lanes high-to-low: lane j reads `lanes[j][k]`.)
+            let kv = unsafe {
+                _mm256_set_ps(
+                    *p[7].add(k),
+                    *p[6].add(k),
+                    *p[5].add(k),
+                    *p[4].add(k),
+                    *p[3].add(k),
+                    *p[2].add(k),
+                    *p[1].add(k),
+                    *p[0].add(k),
+                )
+            };
+            acc = _mm256_add_ps(_mm256_mul_ps(avv, kv), acc);
+        }
+        store8(acc)
+    }
+
+    // SAFETY: callers verified AVX2 and `c0 + NR <= stride`,
+    // `a.len() * stride <= kt.len()`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_rows_run(a: &[f32], kt: &[f32], stride: usize, c0: usize) -> [f32; NR] {
+        // Seed every lane with -0.0, matching the `Sum` fold `dot` uses.
+        let mut acc = _mm256_set1_ps(-0.0);
+        for (d, &av) in a.iter().enumerate() {
+            let avv = _mm256_set1_ps(av);
+            // SAFETY: `d*stride + c0 + NR <= (d+1)*stride <= kt.len()` per
+            // the wrapper's guard.
+            let kv = unsafe { _mm256_loadu_ps(kt.as_ptr().add(d * stride + c0)) };
+            acc = _mm256_add_ps(_mm256_mul_ps(avv, kv), acc);
+        }
+        store8(acc)
+    }
+
+    // SAFETY: callers verified AVX2, `width <= NR`, and that every active
+    // V row contains `d0 + NR` elements.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn accumulate_block(
+        x: &mut [f32; NR],
+        p: &[f32; NR],
+        v_rows: &[&[f32]; NR],
+        width: usize,
+        d0: usize,
+    ) {
+        // SAFETY: `x` is exactly NR floats.
+        let mut xv = unsafe { _mm256_loadu_ps(x.as_ptr()) };
+        for (pj, row) in p[..width].iter().zip(v_rows[..width].iter()) {
+            let pv = _mm256_set1_ps(*pj);
+            // SAFETY: `d0 + NR <= row.len()` per the wrapper's guard.
+            let vv = unsafe { _mm256_loadu_ps(row.as_ptr().add(d0)) };
+            xv = _mm256_add_ps(_mm256_mul_ps(pv, vv), xv);
+        }
+        // SAFETY: `x` is exactly NR floats.
+        unsafe { _mm256_storeu_ps(x.as_mut_ptr(), xv) };
+    }
+
+    // SAFETY: callers verified AVX2 and `src.len() == dst.len()`; gather
+    // indices are zero-extended u16s, always inside the 2^16-entry LUT.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn decode_f16(src: &[Half], dst: &mut [f32]) {
+        let lut = crate::half::f16_lut().as_ptr();
+        let n = src.len();
+        // `Half` is #[repr(transparent)] over u16, so a slice of Half
+        // reinterprets as a slice of u16 bit patterns.
+        let sp = src.as_ptr() as *const u16;
+        let dp = dst.as_mut_ptr();
+        let mut i = 0;
+        while i + NR <= n {
+            // SAFETY: `i + NR <= n` bounds the 8-element load and store;
+            // every gather index is a u16 into the 2^16-entry LUT.
+            unsafe {
+                let bits = _mm_loadu_si128(sp.add(i) as *const __m128i);
+                let idx = _mm256_cvtepu16_epi32(bits);
+                let vals = _mm256_i32gather_ps::<4>(lut, idx);
+                _mm256_storeu_ps(dp.add(i), vals);
+            }
+            i += NR;
+        }
+        for (d, s) in dst[i..].iter_mut().zip(src[i..].iter()) {
+            *d = s.to_f32();
+        }
+    }
+
+    // SAFETY: caller must have AVX2 enabled (all callers here do).
+    #[target_feature(enable = "avx2")]
+    unsafe fn store8(v: __m256) -> [f32; NR] {
+        let mut out = [0.0f32; NR];
+        // SAFETY: `out` is exactly NR floats.
+        unsafe { _mm256_storeu_ps(out.as_mut_ptr(), v) };
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pack, Matrix};
+
+    /// Runs `body` under both forced dispatch modes, restoring the
+    /// environment-driven decision afterwards. The assertions inside must
+    /// hold in either mode (bit-identity makes them mode-independent), so
+    /// concurrent tests flipping the shared override cannot break them.
+    fn in_both_modes(mut body: impl FnMut(bool)) {
+        for simd_on in [false, true] {
+            set_override(Some(simd_on));
+            body(simd_on);
+        }
+        set_override(None);
+    }
+
+    #[test]
+    fn decode_is_bit_identical_over_the_entire_half_bitspace() {
+        let src: Vec<Half> = (0..=u16::MAX).map(Half::from_bits).collect();
+        let expect: Vec<u32> = src.iter().map(|h| h.to_f32().to_bits()).collect();
+        in_both_modes(|_| {
+            // Offsets cover the vector body plus every tail length.
+            for lo in [0usize, 1, 5, 65_529] {
+                let mut dst = vec![0.0f32; src.len() - lo];
+                pack::decode_slice(&src[lo..], &mut dst);
+                for (i, (d, e)) in dst.iter().zip(expect[lo..].iter()).enumerate() {
+                    assert_eq!(d.to_bits(), *e, "bit pattern {}", lo + i);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn row_panel_kernels_match_scalar_windows_bitwise() {
+        // A panel with non-finite values and signed zeros: the wide-span
+        // and single-block kernels must reproduce the scalar register
+        // window bit-for-bit (NaN payloads included).
+        let k = 13;
+        let n = SPAN + NR + 3; // one span, one full block, a ragged tail
+        let mut b = Matrix::<f32>::from_fn(k, n, |r, c| ((r * 37 + c * 11) as f32).sin() * 3.0);
+        b.set(0, 1, f32::INFINITY);
+        b.set(2, SPAN + 1, f32::NAN);
+        b.set(5, 9, -0.0);
+        let bp = pack::Panel::from_matrix(&b);
+        let mut a: Vec<f32> = (0..k).map(|i| (i as f32 * 0.61).cos() - 0.3).collect();
+        a[3] = 0.0;
+        a[7] = f32::NEG_INFINITY;
+
+        let scalar_ref = |j0: usize, jw: usize| -> Vec<f32> {
+            let mut regs = vec![0.0f32; jw];
+            for (kk, &av) in a.iter().enumerate() {
+                for (t, reg) in regs.iter_mut().enumerate() {
+                    *reg += av * bp.as_slice()[kk * n + j0 + t];
+                }
+            }
+            regs
+        };
+
+        in_both_modes(|simd_on| {
+            let mut span_out = [0.0f32; SPAN];
+            let took = row_panel_span(&a, bp.as_slice(), n, 0, &mut span_out);
+            assert_eq!(took, simd_on && available(), "span dispatch state");
+            if took {
+                for (t, (got, want)) in span_out.iter().zip(scalar_ref(0, SPAN)).enumerate() {
+                    assert_eq!(got.to_bits(), want.to_bits(), "span lane {t}");
+                }
+            }
+            let blk = row_panel_block(&a, bp.as_slice(), n, SPAN);
+            assert_eq!(
+                blk.is_some(),
+                simd_on && available(),
+                "block dispatch state"
+            );
+            if let Some(regs) = blk {
+                for (t, (got, want)) in regs.iter().zip(scalar_ref(SPAN, NR)).enumerate() {
+                    assert_eq!(got.to_bits(), want.to_bits(), "block lane {t}");
+                }
+            }
+            // Out-of-range windows must decline, never touch memory.
+            assert!(!row_panel_span(&a, bp.as_slice(), n, NR + 4, &mut span_out));
+            assert!(row_panel_block(&a, bp.as_slice(), n, n - 3).is_none());
+        });
+    }
+
+    #[test]
+    fn accumulate_block_matches_scalar_window_bitwise() {
+        let dh = NR;
+        let rows: Vec<Vec<f32>> = (0..NR)
+            .map(|j| {
+                (0..dh + 2)
+                    .map(|d| ((j * 17 + d * 5) as f32).sin() * 2.0)
+                    .collect()
+            })
+            .collect();
+        let mut v_rows: [&[f32]; NR] = [&[]; NR];
+        for (slot, row) in v_rows.iter_mut().zip(rows.iter()) {
+            *slot = row;
+        }
+        let p: [f32; NR] = std::array::from_fn(|j| (j as f32 * 0.9).cos());
+        in_both_modes(|simd_on| {
+            for width in 0..=NR {
+                for d0 in [0usize, 2] {
+                    let mut x: [f32; NR] = std::array::from_fn(|t| t as f32 * 0.25 - 1.0);
+                    let mut want = x;
+                    for (pj, row) in p[..width].iter().zip(v_rows[..width].iter()) {
+                        for (t, w) in want.iter_mut().enumerate() {
+                            *w += pj * row[d0 + t];
+                        }
+                    }
+                    let took = accumulate_block(&mut x, &p, &v_rows, width, d0);
+                    assert_eq!(took, simd_on && available(), "dispatch at width {width}");
+                    if took {
+                        for (t, (got, w)) in x.iter().zip(want.iter()).enumerate() {
+                            assert_eq!(got.to_bits(), w.to_bits(), "lane {t} width {width}");
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn wrappers_decline_cleanly_when_geometry_does_not_fit() {
+        in_both_modes(|_| {
+            // Mismatched lane length: the wrapper must decline so the
+            // scalar path keeps its panic semantics.
+            let a = [1.0f32; 4];
+            let short = [1.0f32; 3];
+            let lanes: [&[f32]; NR] = [&short; NR];
+            assert!(dot_rows_block(&a, &lanes).is_none());
+            // A run falling outside the panel likewise declines.
+            let k = Matrix::<Half>::random(4, 4, 7);
+            let kt = pack::Panel::from_matrix_transposed(&k);
+            assert!(dot_rows_run(&[1.0f32; 4], &kt, 1).is_none());
+            // Length-mismatched decode declines (decode_slice asserts).
+            let src = [Half::ONE; 4];
+            let mut dst = [0.0f32; 3];
+            assert!(!decode_f16(&src, &mut dst));
+        });
+    }
+}

@@ -7,7 +7,7 @@
 //! space — which naturally includes subnormals, ±Inf, and NaN — plus
 //! empty and degenerate shapes, under 1-thread and 4-thread pools.
 
-use mg_tensor::{dot, dot_f32, gemm, gemm_nt, naive, Half, Matrix};
+use mg_tensor::{dot, dot_f32, gemm, gemm_nt, naive, simd, Half, Matrix};
 use rayon::ThreadPoolBuilder;
 
 /// Deterministic LCG over raw u16 bit patterns (MMIX constants). Unlike
@@ -124,6 +124,44 @@ fn dot_f32_matches_dot_bitwise_over_full_half_space() {
                 dot(&a, &b).to_bits(),
                 dot_f32(&a_f, &b_f).to_bits(),
                 "dot len {len} round {round}"
+            );
+        }
+    }
+}
+
+#[test]
+fn simd_and_scalar_dispatch_agree_bitwise() {
+    // The env-driven tests above already run under whatever MG_SIMD the CI
+    // matrix sets; this one pins the *override* path directly — forcing
+    // the scalar and vector kernels in turn on identical inputs and
+    // demanding bit-identical output, NaN payloads included. Interleaving
+    // with other tests is harmless: both modes equal `naive`, so a
+    // transient mode flip cannot fail a concurrent packed-vs-naive check.
+    let mut rng = BitRng(0x5eed_0005);
+    for threads in [1, 4] {
+        for &(m, k, n) in SHAPES {
+            let a = rng.matrix(m, k);
+            let b = rng.matrix(k, n);
+            let bt = rng.matrix(n, k);
+            let (s_gemm, s_nt, v_gemm, v_nt) = pool(threads).install(|| {
+                simd::set_override(Some(false));
+                let sg: Matrix<f32> = gemm(&a, &b);
+                let sn: Matrix<f32> = gemm_nt(&a, &bt);
+                simd::set_override(Some(true));
+                let vg: Matrix<f32> = gemm(&a, &b);
+                let vn: Matrix<f32> = gemm_nt(&a, &bt);
+                simd::set_override(None);
+                (sg, sn, vg, vn)
+            });
+            assert_bits_eq(
+                &v_gemm,
+                &s_gemm,
+                &format!("cross-mode gemm {m}x{k}x{n} threads {threads}"),
+            );
+            assert_bits_eq(
+                &v_nt,
+                &s_nt,
+                &format!("cross-mode gemm_nt {m}x{k}x{n} threads {threads}"),
             );
         }
     }
